@@ -1,0 +1,253 @@
+// Package ccnuma's root benchmark suite regenerates every table and figure
+// of the paper at reduced (SizeTest) problem sizes, one benchmark per
+// artifact, reporting the headline quantity of each as a custom metric.
+// Full-size regeneration is cmd/cctables; these benches keep
+// `go test -bench=.` fast while exercising the identical code paths.
+package ccnuma
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/exp"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/pram"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/workload"
+)
+
+// BenchmarkTable1Config times configuration construction and validation
+// (Table 1 is a parameter echo; this guards its cost and correctness).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Base()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if exp.Table1() == "" {
+		b.Fatal("empty table 1")
+	}
+}
+
+// BenchmarkTable2SubOps times the sub-operation occupancy model.
+func BenchmarkTable2SubOps(b *testing.B) {
+	costs := config.DefaultCosts()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for op := config.SubOp(0); op < config.SubOp(config.NumSubOps); op++ {
+			sum += int64(costs.Cost(config.HWC, op)) + int64(costs.Cost(config.PPC, op))
+		}
+	}
+	if sum == 0 {
+		b.Fatal("zero cost table")
+	}
+}
+
+// BenchmarkTable3Latency measures the no-contention remote clean read miss
+// (the paper's 142/212-cycle probe) end to end.
+func BenchmarkTable3Latency(b *testing.B) {
+	var res exp.Table3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.HWC), "HWC-cycles")
+	b.ReportMetric(float64(res.PPC), "PPC-cycles")
+	b.ReportMetric(100*res.RelativeIncrease(), "PPC-increase-%")
+}
+
+// BenchmarkTable4Handlers times handler occupancy computation over the
+// full Table 4 set.
+func BenchmarkTable4Handlers(b *testing.B) {
+	costs := config.DefaultCosts()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for _, h := range protocol.Table4Handlers {
+			sum += int64(protocol.Occupancy(&costs, config.HWC, h, 0))
+			sum += int64(protocol.Occupancy(&costs, config.PPC, h, 1))
+		}
+	}
+	if sum == 0 {
+		b.Fatal("zero occupancy")
+	}
+}
+
+// benchFigure runs one figure generator at SizeTest.
+func benchFigure(b *testing.B, f func(*exp.Suite) (*exp.FigureResult, error), penaltyApp string) {
+	b.Helper()
+	var fig *exp.FigureResult
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		var err error
+		fig, err = f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if penaltyApp != "" {
+		b.ReportMetric(100*fig.PPPenalty(penaltyApp), "PP-penalty-%")
+	}
+}
+
+// BenchmarkFigure6Base regenerates the base-configuration architecture
+// comparison (reduced sizes).
+func BenchmarkFigure6Base(b *testing.B) {
+	benchFigure(b, (*exp.Suite).Figure6, "ocean")
+}
+
+// BenchmarkFigure7SmallLines regenerates the 32-byte-line experiment.
+func BenchmarkFigure7SmallLines(b *testing.B) {
+	benchFigure(b, (*exp.Suite).Figure7, "fft")
+}
+
+// BenchmarkFigure8SlowNet regenerates the 1-microsecond-network experiment.
+func BenchmarkFigure8SlowNet(b *testing.B) {
+	benchFigure(b, (*exp.Suite).Figure8, "ocean")
+}
+
+// BenchmarkFigure9DataSize regenerates the data-size sensitivity runs.
+func BenchmarkFigure9DataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10ProcsPerNode regenerates the processors-per-node sweep.
+func BenchmarkFigure10ProcsPerNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Stats regenerates the communication-statistics table and
+// reports the Ocean occupancy ratio (the paper's ~2.5 observation).
+func BenchmarkTable6Stats(b *testing.B) {
+	var rows []exp.Table6Row
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		var err error
+		rows, err = s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.App == "Ocean" {
+			b.ReportMetric(r.OccupancyRatio, "PPC/HWC-occupancy")
+		}
+	}
+}
+
+// BenchmarkTable7TwoEngine regenerates the two-engine statistics.
+func BenchmarkTable7TwoEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11Saturation regenerates the arrival-rate curves.
+func BenchmarkFigure11Saturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Figure11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12PenaltyCurve regenerates the penalty-vs-RCCPI curve.
+func BenchmarkFigure12PenaltyCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Figure12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictionMethodology runs the paper's Section 3.3 pipeline
+// (PRAM estimates + calibration + interpolation) at reduced sizes.
+func BenchmarkPredictionMethodology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		res, err := s.Prediction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 8 {
+			b.Fatal("missing prediction rows")
+		}
+	}
+}
+
+// BenchmarkExtensionsSection5 runs the engine-scaling and accelerated-PP
+// studies at reduced sizes.
+func BenchmarkExtensionsSection5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(workload.SizeTest)
+		if _, err := s.Extensions("radix"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPRAMEstimator measures the functional estimator's speed on one
+// workload (it is the fast path of the prediction methodology).
+func BenchmarkPRAMEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Base()
+		cfg.Nodes, cfg.ProcsPerNode = 4, 2
+		m, err := machine.New(cfg, "ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := workload.New("ocean", workload.SizeTest, m.NProcs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Setup(m); err != nil {
+			b.Fatal(err)
+		}
+		est := pram.New(&m.Cfg, m.Space)
+		if err := est.Run(w.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetailedSimulator measures the detailed simulator speed on
+// the same workload for comparison with the PRAM estimator.
+func BenchmarkDetailedSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Base()
+		cfg.Nodes, cfg.ProcsPerNode = 4, 2
+		cfg.SimLimit = 10_000_000_000
+		m, err := machine.New(cfg, "ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := workload.New("ocean", workload.SizeTest, m.NProcs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Setup(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(w.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

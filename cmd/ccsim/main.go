@@ -1,0 +1,148 @@
+// Command ccsim runs a single CC-NUMA simulation — one application on one
+// coherence-controller architecture under explicit parameters — and prints
+// a full statistics report.
+//
+// Usage:
+//
+//	ccsim -app ocean -arch PPC
+//	ccsim -app fft -arch 2HWC -nodes 8 -ppn 4 -line 32 -netlat 200 -size large
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "ocean", fmt.Sprintf("application: %v", workload.Names()))
+	arch := flag.String("arch", "HWC", "controller architecture: HWC, PPC, PPCA, 2HWC, 2PPC, 2PPCA")
+	engines := flag.Int("engines", 0, "override the protocol engine count (>2 requires -split region)")
+	nodes := flag.Int("nodes", 16, "SMP nodes")
+	ppn := flag.Int("ppn", 4, "processors per node")
+	line := flag.Int("line", 128, "cache line size in bytes")
+	netlat := flag.Int("netlat", 14, "network point-to-point latency in CPU cycles")
+	sizeFlag := flag.String("size", "base", "problem size: test, base, large")
+	split := flag.String("split", "local-remote", "engine split policy: local-remote, round-robin, or region")
+	arb := flag.String("arb", "paper", "dispatch arbitration: paper or fifo")
+	topo := flag.String("topo", "crossbar", "interconnect topology: crossbar or mesh")
+	directPath := flag.Bool("directpath", true, "enable the direct bus/network data path for write-backs")
+	dirCache := flag.Int("dircache", 8192, "directory cache entries (0 disables)")
+	counters := flag.Bool("counters", false, "dump all raw counters")
+	flag.Parse()
+
+	cfg := config.Base()
+	var err error
+	cfg, err = cfg.WithArch(*arch)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Nodes = *nodes
+	cfg.ProcsPerNode = *ppn
+	cfg.LineSize = *line
+	cfg.NetLatency = sim.Time(*netlat)
+	cfg.DirectDataPath = *directPath
+	cfg.DirCacheEntries = *dirCache
+	cfg.SimLimit = 50_000_000_000
+	cfg.NumEngines = *engines
+	switch *split {
+	case "local-remote":
+		cfg.Split = config.SplitLocalRemote
+	case "round-robin":
+		cfg.Split = config.SplitRoundRobin
+	case "region":
+		cfg.Split = config.SplitRegion
+	default:
+		fatal(fmt.Errorf("unknown split %q", *split))
+	}
+	switch *topo {
+	case "crossbar":
+		cfg.Topology = config.TopoCrossbar
+	case "mesh":
+		cfg.Topology = config.TopoMesh2D
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topo))
+	}
+	switch *arb {
+	case "paper":
+		cfg.Arbitration = config.ArbPaper
+	case "fifo":
+		cfg.Arbitration = config.ArbFIFO
+	default:
+		fatal(fmt.Errorf("unknown arbitration %q", *arb))
+	}
+
+	var size workload.SizeClass
+	switch *sizeFlag {
+	case "test":
+		size = workload.SizeTest
+	case "base":
+		size = workload.SizeBase
+	case "large":
+		size = workload.SizeLarge
+	default:
+		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	}
+
+	m, err := machine.New(cfg, *app)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.New(*app, size, m.NProcs())
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Setup(m); err != nil {
+		fatal(err)
+	}
+	r, err := m.Run(w.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+
+	fmt.Printf("application:        %s (%s)\n", *app, *sizeFlag)
+	fmt.Printf("architecture:       %s (%d nodes x %d procs, %dB lines, %d-cycle network)\n",
+		cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, cfg.LineSize, cfg.NetLatency)
+	fmt.Printf("execution time:     %d cycles (%.2f us)\n", r.ExecTime, r.ExecTime.Nanoseconds()/1000)
+	fmt.Printf("instructions:       %d\n", r.Instructions)
+	fmt.Printf("1000 x RCCPI:       %.3f\n", 1000*r.RCCPI())
+	fmt.Printf("controller util:    %.2f%%\n", 100*r.AvgUtilization(-1))
+	if cfg.TwoEngines {
+		fmt.Printf("  LPE util:         %.2f%% (share %.1f%%, queue %.0f ns)\n",
+			100*r.AvgUtilization(0), 100*r.EngineShare(0), r.AvgQueueDelayNs(0))
+		fmt.Printf("  RPE util:         %.2f%% (share %.1f%%, queue %.0f ns)\n",
+			100*r.AvgUtilization(1), 100*r.EngineShare(1), r.AvgQueueDelayNs(1))
+	}
+	fmt.Printf("queueing delay:     %.0f ns\n", r.AvgQueueDelayNs(-1))
+	fmt.Printf("arrival rate:       %.2f requests/us per controller\n", r.ArrivalRatePerMicrosecond())
+	fmt.Printf("requests to CCs:    %d\n", r.TotalArrivals())
+
+	fmt.Printf("miss latency:       mean %.0f cycles, p50<=%d p90<=%d p99<=%d max=%d (n=%d)\n",
+		r.MissLatency.Mean(), r.MissLatency.Percentile(50), r.MissLatency.Percentile(90),
+		r.MissLatency.Percentile(99), r.MissLatency.MaxVal, r.MissLatency.Count)
+
+	if *counters {
+		fmt.Println("\ncounters:")
+		names := r.CounterNames()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-40s %d\n", n, r.Counter(n))
+		}
+		fmt.Println()
+		fmt.Print(r.MissLatency.Render("miss latency distribution (cycles)"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}

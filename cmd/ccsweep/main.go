@@ -1,0 +1,139 @@
+// Command ccsweep sweeps one architectural parameter across values and
+// architectures, emitting CSV for plotting (the raw material behind the
+// paper's sensitivity figures).
+//
+// Usage:
+//
+//	ccsweep -app ocean -param netlat -values 14,50,100,200 -archs HWC,PPC
+//	ccsweep -app fft -param line -values 32,64,128
+//	ccsweep -app radix -param ppn -values 1,2,4,8
+//	ccsweep -app ocean -param engines -values 1,2,4 -archs PPC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application to sweep")
+	param := flag.String("param", "netlat", "parameter: netlat, line, ppn, engines, dircache, banks, hoplat (mesh)")
+	values := flag.String("values", "14,50,100,200", "comma-separated parameter values")
+	archs := flag.String("archs", "HWC,PPC", "comma-separated architectures")
+	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
+	nodes := flag.Int("nodes", 4, "SMP nodes (ignored by -param ppn, which fixes total processors)")
+	ppn := flag.Int("ppn", 2, "processors per node")
+	flag.Parse()
+
+	var size workload.SizeClass
+	switch *sizeFlag {
+	case "test":
+		size = workload.SizeTest
+	case "base":
+		size = workload.SizeBase
+	case "large":
+		size = workload.SizeLarge
+	default:
+		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	}
+
+	fmt.Println("app,param,value,arch,exec_cycles,rccpi_x1000,util_pct,queue_ns,penalty_vs_first_arch_pct")
+	for _, vs := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(vs))
+		if err != nil {
+			fatal(err)
+		}
+		var baseline *stats.Run
+		for _, arch := range strings.Split(*archs, ",") {
+			arch = strings.TrimSpace(arch)
+			cfg := config.Base()
+			cfg, err := cfg.WithArch(arch)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Nodes, cfg.ProcsPerNode = *nodes, *ppn
+			cfg.SimLimit = 50_000_000_000
+			if err := apply(&cfg, *param, v); err != nil {
+				fatal(err)
+			}
+			r, err := run(cfg, *app, size)
+			if err != nil {
+				fatal(err)
+			}
+			if baseline == nil {
+				baseline = r
+			}
+			fmt.Printf("%s,%s,%d,%s,%d,%.3f,%.2f,%.0f,%.1f\n",
+				*app, *param, v, arch, r.ExecTime, 1000*r.RCCPI(),
+				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1),
+				100*stats.Penalty(baseline, r))
+		}
+	}
+}
+
+// apply sets the swept parameter on the configuration.
+func apply(cfg *config.Config, param string, v int) error {
+	switch param {
+	case "netlat":
+		cfg.NetLatency = sim.Time(v)
+	case "line":
+		cfg.LineSize = v
+	case "ppn":
+		total := cfg.Nodes * cfg.ProcsPerNode
+		if total%v != 0 {
+			return fmt.Errorf("ppn %d does not divide %d processors", v, total)
+		}
+		cfg.Nodes, cfg.ProcsPerNode = total/v, v
+	case "engines":
+		cfg.NumEngines = v
+		if v > 2 {
+			cfg.Split = config.SplitRegion
+		}
+	case "dircache":
+		cfg.DirCacheEntries = v
+	case "banks":
+		cfg.MemBanks = v
+	case "hoplat":
+		cfg.Topology = config.TopoMesh2D
+		cfg.NetHopLatency = sim.Time(v)
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+	return nil
+}
+
+func run(cfg config.Config, app string, size workload.SizeClass) (*stats.Run, error) {
+	m, err := machine.New(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.New(app, size, m.NProcs())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Setup(m); err != nil {
+		return nil, err
+	}
+	r, err := m.Run(w.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Verify(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command cctables regenerates every table and figure of the paper's
+// evaluation section (Tables 1-4, 6, 7 and Figures 6-12).
+//
+// Usage:
+//
+//	cctables                 # everything at base problem sizes
+//	cctables -only fig6      # one artifact (table1..table7, fig6..fig12)
+//	cctables -size test      # quick smoke run at tiny sizes
+//	cctables -v              # per-simulation progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccnuma/internal/exp"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	size := flag.String("size", "base", "problem size class: test or base")
+	only := flag.String("only", "", "regenerate one artifact: table1,table2,table3,table4,table6,table7,fig6,fig7,fig8,fig9,fig10,fig11,fig12,ext,placement,predict")
+	verbose := flag.Bool("v", false, "print per-simulation progress")
+	flag.Parse()
+
+	var sc workload.SizeClass
+	switch *size {
+	case "test":
+		sc = workload.SizeTest
+	case "base":
+		sc = workload.SizeBase
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q (want test or base)\n", *size)
+		os.Exit(2)
+	}
+	s := exp.NewSuite(sc)
+	if *verbose {
+		s.Progress = os.Stderr
+	}
+
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if want("table1") {
+		fmt.Println(exp.Table1())
+	}
+	if want("table2") {
+		fmt.Println(exp.Table2())
+	}
+	if want("table3") {
+		t3, err := exp.Table3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t3.Render())
+	}
+	if want("table4") {
+		fmt.Println(exp.Table4())
+	}
+	if want("fig6") {
+		f, err := s.Figure6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig7") {
+		f, err := s.Figure7()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig8") {
+		f, err := s.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig9") {
+		f, err := s.Figure9()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig10") {
+		f, err := s.Figure10()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("table6") {
+		rows, err := s.Table6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTable6(rows))
+	}
+	if want("table7") {
+		rows, err := s.Table7()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTable7(rows))
+	}
+	if want("fig11") {
+		f, err := s.Figure11()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig12") {
+		f, err := s.Figure12()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("ext") {
+		f, err := s.Extensions()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("placement") {
+		f, err := s.Placement()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+	if want("predict") {
+		f, err := s.Prediction()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+}

@@ -1,0 +1,115 @@
+// Command cctrace runs a simulation with the protocol event trace enabled
+// and prints every controller dispatch and message send — optionally
+// filtered to one cache line — plus the cache-state transitions of that
+// line. It is the tool that found this repository's protocol races; it is
+// equally useful for studying handler interleavings.
+//
+// Usage:
+//
+//	cctrace -app ocean -arch PPC -size test                 # full trace
+//	cctrace -app radix -line 0x3200 -max 200                # one line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/core"
+	"ccnuma/internal/cpu"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/workload"
+)
+
+// lineFilter passes through only trace lines mentioning the wanted line.
+type lineFilter struct {
+	out  *bufio.Writer
+	want string // "" = everything
+	kept int
+	max  int
+}
+
+func (f *lineFilter) Write(p []byte) (int, error) {
+	s := string(p)
+	if f.want == "" || strings.Contains(s, f.want) {
+		if f.max == 0 || f.kept < f.max {
+			f.out.WriteString(s)
+			f.kept++
+		}
+	}
+	return len(p), nil
+}
+
+func main() {
+	app := flag.String("app", "ocean", fmt.Sprintf("application: %v", workload.Names()))
+	arch := flag.String("arch", "HWC", "controller architecture")
+	nodes := flag.Int("nodes", 4, "SMP nodes")
+	ppn := flag.Int("ppn", 2, "processors per node")
+	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
+	lineHex := flag.String("line", "", "only trace this cache line (hex, e.g. 0x3200)")
+	maxLines := flag.Int("max", 0, "stop printing after this many trace lines (0 = unlimited)")
+	flag.Parse()
+
+	cfg := config.Base()
+	cfg, err := cfg.WithArch(*arch)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Nodes, cfg.ProcsPerNode = *nodes, *ppn
+	cfg.SimLimit = 50_000_000_000
+
+	var size workload.SizeClass
+	switch *sizeFlag {
+	case "test":
+		size = workload.SizeTest
+	case "base":
+		size = workload.SizeBase
+	case "large":
+		size = workload.SizeLarge
+	default:
+		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	filter := &lineFilter{out: out, max: *maxLines}
+	if *lineHex != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*lineHex, "0x"), 16, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -line %q: %w", *lineHex, err))
+		}
+		filter.want = fmt.Sprintf("%#x", v)
+		cpu.DebugLine = v
+	}
+	core.Debug = filter
+	defer func() { core.Debug = nil; cpu.DebugLine = 0 }()
+
+	m, err := machine.New(cfg, *app)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.New(*app, size, m.NProcs())
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Setup(m); err != nil {
+		fatal(err)
+	}
+	r, err := m.Run(w.Body)
+	if err != nil {
+		out.Flush()
+		fatal(err)
+	}
+	out.Flush()
+	fmt.Fprintf(os.Stderr, "\n%s/%s: %d cycles, %d protocol events traced\n",
+		*app, cfg.ArchName(), r.ExecTime, filter.kept)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cctrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module ccnuma
+
+go 1.22

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicInsertLookup(t *testing.T) {
+	c := New(1024, 2, 128) // 4 sets, 2 ways
+	if c.Sets() != 4 || c.Assoc() != 2 {
+		t.Fatalf("geometry %d sets %d ways", c.Sets(), c.Assoc())
+	}
+	if st := c.Lookup(0x1000); st != Invalid {
+		t.Fatalf("empty cache lookup = %v", st)
+	}
+	c.Insert(0x1000, Shared)
+	if st := c.Lookup(0x1000); st != Shared {
+		t.Fatalf("lookup after insert = %v", st)
+	}
+	c.SetState(0x1000, Modified)
+	if st := c.Lookup(0x1000); st != Modified {
+		t.Fatalf("after SetState = %v", st)
+	}
+	if st := c.Invalidate(0x1000); st != Modified {
+		t.Fatalf("invalidate returned %v", st)
+	}
+	if st := c.Lookup(0x1000); st != Invalid {
+		t.Fatalf("after invalidate = %v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(512, 2, 128) // 2 sets, 2 ways; same-set stride = 2*128 = 256
+	// Lines 0x0000, 0x0200, 0x0400 all map to set 0.
+	c.Insert(0x0000, Shared)
+	c.Insert(0x0200, Shared)
+	c.Touch(0x0000) // make 0x0000 MRU; 0x0200 becomes LRU
+	victim, st := c.Insert(0x0400, Modified)
+	if victim != 0x0200 || st != Shared {
+		t.Fatalf("evicted %#x/%v, want 0x200/S", victim, st)
+	}
+	if c.Lookup(0x0000) != Shared || c.Lookup(0x0400) != Modified {
+		t.Fatal("survivors corrupted")
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	c := New(512, 2, 128)
+	c.Insert(0x0000, Shared)
+	victim, st := c.Insert(0x0000, Modified)
+	if victim != 0 || st != Invalid {
+		t.Fatalf("re-insert evicted %#x/%v", victim, st)
+	}
+	if c.Lookup(0x0000) != Modified {
+		t.Fatal("re-insert did not update state")
+	}
+	if c.Count() != 1 {
+		t.Fatalf("count = %d, want 1", c.Count())
+	}
+}
+
+func TestSnoopLookupDoesNotTouchLRU(t *testing.T) {
+	c := New(512, 2, 128)
+	c.Insert(0x0000, Shared)
+	c.Insert(0x0200, Shared)
+	// Lookup (snoop) 0x0000 must NOT make it MRU.
+	c.Lookup(0x0000)
+	victim, _ := c.Insert(0x0400, Shared)
+	if victim != 0x0000 {
+		t.Fatalf("evicted %#x, want 0x0000 (Lookup must not update LRU)", victim)
+	}
+}
+
+func TestSetStateOnAbsentPanics(t *testing.T) {
+	c := New(512, 2, 128)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on absent line did not panic")
+		}
+	}()
+	c.SetState(0xdead00, Shared)
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][3]int{{0, 1, 128}, {1000, 4, 128}, {768, 2, 128}} {
+		g := g
+		func() {
+			defer func() { recover() }()
+			New(g[0], g[1], g[2])
+			t.Errorf("geometry %v did not panic", g)
+		}()
+	}
+}
+
+func TestLinesIteration(t *testing.T) {
+	c := New(1024, 2, 128)
+	want := map[uint64]State{0x1000: Shared, 0x2080: Modified, 0x3100: Exclusive}
+	for l, s := range want {
+		c.Insert(l, s)
+	}
+	got := map[uint64]State{}
+	c.Lines(func(l uint64, s State) bool { got[l] = s; return true })
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d lines, want %d", len(got), len(want))
+	}
+	for l, s := range want {
+		if got[l] != s {
+			t.Errorf("line %#x = %v, want %v", l, got[l], s)
+		}
+	}
+	// Early termination.
+	n := 0
+	c.Lines(func(uint64, State) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a line just inserted is
+// always present afterwards.
+func TestCapacityProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New(2048, 4, 128) // 4 sets * 4 ways = 16 lines max
+		for _, l := range lines {
+			line := uint64(l) * 128
+			c.Insert(line, Shared)
+			if c.Lookup(line) != Shared {
+				return false
+			}
+			if c.Count() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an evicted victim is no longer present and came from the same
+// set as the inserted line.
+func TestVictimSameSetProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New(1024, 2, 128) // 4 sets
+		setOf := func(line uint64) uint64 { return (line / 128) % 4 }
+		for _, l := range lines {
+			line := uint64(l) * 128
+			victim, st := c.Insert(line, Modified)
+			if st != Invalid {
+				if setOf(victim) != setOf(line) {
+					return false
+				}
+				if c.Lookup(victim) != Invalid {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

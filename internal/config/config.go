@@ -1,0 +1,537 @@
+// Package config holds every architectural parameter of the simulated
+// CC-NUMA machine: the geometry (nodes, processors per node), the cache and
+// memory hierarchy, the SMP bus and network timings of the paper's Table 1,
+// and the protocol-engine sub-operation occupancies of Table 2. All times
+// are in compute-processor cycles (5 ns at 200 MHz).
+package config
+
+import (
+	"fmt"
+
+	"ccnuma/internal/sim"
+)
+
+// EngineKind selects the protocol-engine implementation inside the
+// coherence controller.
+type EngineKind int
+
+const (
+	// HWC is the custom-hardware finite-state-machine engine (100 MHz,
+	// on-chip registers, bit operations folded into other actions).
+	HWC EngineKind = iota
+	// PPC is the commodity protocol processor (200 MHz PowerPC) that talks
+	// to the bus and network interfaces through memory-mapped off-chip
+	// registers on the controller's local bus.
+	PPC
+	// PPCA is the paper's Section 5 proposal, implemented here as an
+	// extension: a commodity protocol processor with incremental custom
+	// hardware accelerating the common handler actions (a hardware
+	// dispatch assist and a message-send/data-path assist), keeping the
+	// protocol programmable.
+	PPCA
+
+	numEngineKinds
+)
+
+// NumEngineKinds is the number of engine implementations.
+const NumEngineKinds = int(numEngineKinds)
+
+func (k EngineKind) String() string {
+	switch k {
+	case HWC:
+		return "HWC"
+	case PPC:
+		return "PPC"
+	case PPCA:
+		return "PPCA"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// SplitPolicy selects how requests are distributed over two protocol
+// engines.
+type SplitPolicy int
+
+const (
+	// SplitLocalRemote is the paper's (and S3.mp's) policy: the local
+	// protocol engine (LPE) handles requests for addresses whose home is
+	// this node, the remote protocol engine (RPE) handles the rest. Only
+	// the LPE touches the directory.
+	SplitLocalRemote SplitPolicy = iota
+	// SplitRoundRobin alternates requests between the engines regardless
+	// of address; it is the "more even" alternative the paper discusses
+	// (and would require both engines to reach the directory).
+	SplitRoundRobin
+	// SplitRegion interleaves memory regions across all engines (the
+	// paper's Section 5 "more protocol engines for different regions of
+	// memory"); every engine needs a directory path. Required when more
+	// than two engines are configured.
+	SplitRegion
+	// SplitDynamic assigns each request to the engine with the shortest
+	// queue — the paper's "splitting the workload dynamically" alternative
+	// (which it notes requires every engine to access the directory,
+	// "increasing the cost and complexity of coherence controllers").
+	SplitDynamic
+)
+
+func (p SplitPolicy) String() string {
+	switch p {
+	case SplitRoundRobin:
+		return "round-robin"
+	case SplitRegion:
+		return "region"
+	case SplitDynamic:
+		return "dynamic"
+	default:
+		return "local/remote"
+	}
+}
+
+// ArbPolicy selects the dispatch arbitration between the controller's three
+// input queues.
+type ArbPolicy int
+
+const (
+	// ArbPaper is the paper's policy: network responses first, then network
+	// requests, then bus requests, except that a bus request that has
+	// waited through LivelockLimit network-request dispatches proceeds
+	// before further network requests.
+	ArbPaper ArbPolicy = iota
+	// ArbFIFO dispatches strictly in arrival order (ablation).
+	ArbFIFO
+)
+
+func (p ArbPolicy) String() string {
+	if p == ArbFIFO {
+		return "fifo"
+	}
+	return "paper"
+}
+
+// SubOp enumerates the protocol-engine sub-operations of the paper's
+// Table 2. A protocol handler is a sequence of sub-operations; its occupancy
+// is the sum of their costs for the engine kind in use.
+type SubOp int
+
+const (
+	// OpDispatch receives and decodes the next request and jumps to its
+	// handler (for PPC: read the dispatch-controller register, decode,
+	// branch).
+	OpDispatch SubOp = iota
+	// OpReadBusReg reads a special bus-interface register.
+	OpReadBusReg
+	// OpWriteBusReg writes a special bus-interface register.
+	OpWriteBusReg
+	// OpReadNIReg reads a special network-interface register.
+	OpReadNIReg
+	// OpWriteNIReg writes a special network-interface register.
+	OpWriteNIReg
+	// OpLatchHeader extracts the request's type and address from the
+	// already-fetched dispatch information (the PP's 14-cycle dispatch
+	// includes the uncached read of the dispatch-controller register, so
+	// both engines pay only a decode here).
+	OpLatchHeader
+	// OpAssocSearch searches the pending-transaction (MSHR) table: a CAM
+	// lookup for HWC, a cached software table probe for the PP.
+	OpAssocSearch
+	// OpDirCacheRead reads a directory entry that hits in the directory
+	// cache (HWC: custom on-chip cache; PPC: the PP's on-chip data cache).
+	OpDirCacheRead
+	// OpDirCacheWrite writes a directory entry through the directory cache.
+	OpDirCacheWrite
+	// OpSendHeader composes and sends a network message header (PPC: three
+	// uncached stores to NI registers).
+	OpSendHeader
+	// OpStartDataXfer triggers the direct bus-interface/network-interface
+	// data transfer with a single special-register write.
+	OpStartDataXfer
+	// OpBitField sets, clears, or extracts a bit field (HWC folds these
+	// into other actions at zero cost).
+	OpBitField
+	// OpCondition decides a condition or branch (HWC decides multiple
+	// conditions in one cycle at zero marginal cost).
+	OpCondition
+	// OpCompute is one cycle-equivalent of miscellaneous handler
+	// computation.
+	OpCompute
+
+	numSubOps
+)
+
+var subOpNames = [...]string{
+	"dispatch handler",
+	"read special bus interface register",
+	"write special bus interface register",
+	"read special network interface register",
+	"write special network interface register",
+	"latch request header",
+	"pending-transaction table search",
+	"directory cache read",
+	"directory cache write",
+	"compose and send message header",
+	"start direct data transfer",
+	"bit field operation",
+	"decide condition",
+	"other computation",
+}
+
+func (op SubOp) String() string {
+	if op >= 0 && int(op) < len(subOpNames) {
+		return subOpNames[op]
+	}
+	return fmt.Sprintf("SubOp(%d)", int(op))
+}
+
+// NumSubOps is the number of defined sub-operations.
+const NumSubOps = int(numSubOps)
+
+// CostTable gives the occupancy of each sub-operation for each engine kind,
+// in compute-processor cycles (Table 2 of the paper, plus the PPCA
+// extension column).
+type CostTable [numSubOps][numEngineKinds]sim.Time
+
+// Cost returns the occupancy of op on engine kind k.
+func (t *CostTable) Cost(k EngineKind, op SubOp) sim.Time { return t[op][k] }
+
+// DefaultCosts reflects the paper's Table 2 assumptions:
+//   - HWC accesses to on-chip registers take one system cycle (2 CPU
+//     cycles); bit operations and conditions are combined with other
+//     actions (zero marginal cost).
+//   - PP reads of off-chip registers take 4 system cycles (8 CPU cycles),
+//     +1 system cycle (2 CPU cycles) for an associative search; PP writes
+//     take 2 system cycles (4 CPU cycles); PP compute cycles follow
+//     compiled PowerPC instruction counts (about 2 CPU cycles per simple
+//     operation here).
+//
+// The PPCA column models the paper's Section 5 proposal of incremental
+// custom hardware added to a protocol processor: a hardware dispatch
+// assist (request pre-decoded into on-chip registers), single-store
+// message-send and data-path assists, and hardware bit-field extraction;
+// the remaining sub-operations keep the commodity-PP costs.
+func DefaultCosts() CostTable {
+	var t CostTable
+	set := func(op SubOp, hwc, ppc, ppca sim.Time) { t[op] = [numEngineKinds]sim.Time{hwc, ppc, ppca} }
+	set(OpDispatch, 2, 14, 6)
+	set(OpReadBusReg, 2, 8, 8)
+	set(OpWriteBusReg, 2, 4, 4)
+	set(OpReadNIReg, 2, 8, 8)
+	set(OpWriteNIReg, 2, 4, 4)
+	set(OpLatchHeader, 2, 2, 2)
+	set(OpAssocSearch, 2, 6, 4)
+	set(OpDirCacheRead, 2, 2, 2)
+	set(OpDirCacheWrite, 2, 2, 2)
+	set(OpSendHeader, 2, 8, 4)
+	set(OpStartDataXfer, 2, 4, 2)
+	set(OpBitField, 0, 2, 0)
+	set(OpCondition, 0, 2, 2)
+	set(OpCompute, 0, 2, 2)
+	return t
+}
+
+// Config is the complete parameter set for one simulation. Use Base() and
+// mutate copies; the struct is plain data and safe to copy.
+type Config struct {
+	// Geometry.
+	Nodes        int // SMP nodes in the machine
+	ProcsPerNode int // compute processors per node
+
+	// Controller architecture.
+	Engine EngineKind
+	// TwoEngines selects the paper's two-engine designs (2HWC / 2PPC).
+	TwoEngines bool
+	// NumEngines, when positive, overrides TwoEngines with an arbitrary
+	// engine count (the paper's Section 5 extension); more than two
+	// engines require the region or round-robin split.
+	NumEngines  int
+	Split       SplitPolicy
+	Arbitration ArbPolicy
+	// RegionBytes is the interleaving granularity of SplitRegion.
+	RegionBytes int
+	// LivelockLimit is the number of consecutive network-request dispatches
+	// after which a waiting bus request is served first (paper: "e.g. four").
+	LivelockLimit int
+	// DirectDataPath enables the direct bus-interface/network-interface
+	// path that forwards dirty-remote write-backs to the home node without
+	// waiting for handler dispatch.
+	DirectDataPath bool
+
+	// Cache hierarchy.
+	LineSize int // bytes per cache line (base: 128)
+	L1Size   int // bytes (16 KB)
+	L1Assoc  int
+	L2Size   int // bytes (1 MB)
+	L2Assoc  int
+	// L1HitTime and L2HitTime are load-to-use latencies; L2MissDetect is
+	// the time to discover an L2 miss and issue the bus request (Table 3:
+	// "detect L2 miss" = 8).
+	L1HitTime    sim.Time
+	L2HitTime    sim.Time
+	L2MissDetect sim.Time
+
+	// SMP bus (100 MHz, 16 bytes wide, fully pipelined, split transaction,
+	// separate address and data buses).
+	BusCycle       sim.Time // CPU cycles per bus cycle (2)
+	AddrStrobe     sim.Time // address strobe to next address strobe (4)
+	BusArb         sim.Time // arbitration before the strobe
+	SnoopLatch     sim.Time // strobe to controller queue insertion
+	MemAccess      sim.Time // address strobe to start of data from memory (20)
+	CacheToCache   sim.Time // address strobe to start of data from another cache
+	CriticalQuad   sim.Time // data start to critical quad word delivered
+	FillRestart    sim.Time // L2/L1 fill to processor restart
+	BusRetry       sim.Time // back-off before re-arbitrating a retried transaction
+	MemBanks       int      // interleaved banks per node
+	BankBusy       sim.Time // bank occupancy per line access
+	WriteBackDepth int      // write-back buffer entries per processor
+
+	// Network (Table 1: point-to-point 14 cycles = 70 ns; 32-byte links).
+	NetLatency   sim.Time // point-to-point latency (crossbar) / router cut-through (mesh)
+	NetFlitBytes int      // link width per flit
+	NetFlitTime  sim.Time // cycles per flit on a port (100 MHz link: 2)
+	NetHeader    int      // header bytes per message
+	// Topology selects the interconnect structure; NetHopLatency is the
+	// per-hop router+wire latency of the 2-D mesh.
+	Topology      Topology
+	NetHopLatency sim.Time
+
+	// Directory.
+	DirCacheEntries int      // write-through directory cache entries (8K)
+	DirDRAMRead     sim.Time // controller-side DRAM directory read
+	DirDRAMWrite    sim.Time // controller-side DRAM directory write
+
+	// Protocol-engine sub-operation occupancies (Table 2).
+	Costs CostTable
+
+	// Memory layout.
+	PageSize  int // bytes per page for placement
+	Placement PlacementPolicy
+
+	// Synchronization.
+	BarrierCost sim.Time // fixed cost of a barrier episode
+	LockRetry   sim.Time // back-off before a queued lock retry
+
+	// SimLimit bounds simulated time to catch protocol livelock (0 = none).
+	SimLimit sim.Time
+}
+
+// Topology selects the interconnect structure.
+type Topology int
+
+const (
+	// TopoCrossbar is the paper's IBM switch: a single-stage network with
+	// one fixed point-to-point latency between any pair of nodes.
+	TopoCrossbar Topology = iota
+	// TopoMesh2D is a 2-D mesh with dimension-order (X then Y) routing:
+	// latency grows with Manhattan distance and messages contend for the
+	// individual links along their route (an extension beyond the paper's
+	// switch, for studying topology sensitivity).
+	TopoMesh2D
+)
+
+func (t Topology) String() string {
+	if t == TopoMesh2D {
+		return "mesh2d"
+	}
+	return "crossbar"
+}
+
+// PlacementPolicy selects how pages are assigned home nodes.
+type PlacementPolicy int
+
+const (
+	// PlaceRoundRobin assigns pages to nodes round-robin (the paper's
+	// default policy).
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceFirstTouch assigns a page to the node of the first processor
+	// that touches it after initialization.
+	PlaceFirstTouch
+	// PlaceExplicit honours per-allocation placement hints (used for FFT,
+	// which the paper runs with programmer-optimized placement).
+	PlaceExplicit
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceFirstTouch:
+		return "first-touch"
+	case PlaceExplicit:
+		return "explicit"
+	default:
+		return "round-robin"
+	}
+}
+
+// Base returns the paper's base system configuration: 16 four-processor SMP
+// nodes, 128-byte lines, 16 KB L1 / 1 MB L2 4-way LRU caches, 100 MHz
+// 16-byte split-transaction bus, 70 ns network, HWC controller with one
+// engine.
+func Base() Config {
+	return Config{
+		Nodes:        16,
+		ProcsPerNode: 4,
+
+		Engine:         HWC,
+		TwoEngines:     false,
+		Split:          SplitLocalRemote,
+		RegionBytes:    4096,
+		Arbitration:    ArbPaper,
+		LivelockLimit:  4,
+		DirectDataPath: true,
+
+		LineSize:     128,
+		L1Size:       16 * 1024,
+		L1Assoc:      4,
+		L2Size:       1024 * 1024,
+		L2Assoc:      4,
+		L1HitTime:    1,
+		L2HitTime:    8,
+		L2MissDetect: 8,
+
+		BusCycle:       2,
+		AddrStrobe:     4,
+		BusArb:         4,
+		SnoopLatch:     4,
+		MemAccess:      20,
+		CacheToCache:   16,
+		CriticalQuad:   4,
+		FillRestart:    10,
+		BusRetry:       20,
+		MemBanks:       4,
+		BankBusy:       40,
+		WriteBackDepth: 4,
+
+		NetLatency:    14,
+		NetFlitBytes:  32,
+		NetFlitTime:   2,
+		NetHeader:     8,
+		Topology:      TopoCrossbar,
+		NetHopLatency: 4,
+
+		DirCacheEntries: 8192,
+		DirDRAMRead:     20,
+		DirDRAMWrite:    20,
+
+		Costs: DefaultCosts(),
+
+		PageSize:  4096,
+		Placement: PlaceRoundRobin,
+
+		BarrierCost: 200,
+		LockRetry:   40,
+	}
+}
+
+// TotalProcs returns the machine's processor count.
+func (c *Config) TotalProcs() int { return c.Nodes * c.ProcsPerNode }
+
+// LineDataFlits returns the number of network flits occupied by a message
+// carrying one cache line plus a header.
+func (c *Config) LineDataFlits() int {
+	return (c.LineSize + c.NetHeader + c.NetFlitBytes - 1) / c.NetFlitBytes
+}
+
+// ControlFlits returns the flits occupied by a header-only control message.
+func (c *Config) ControlFlits() int {
+	return (c.NetHeader + c.NetFlitBytes - 1) / c.NetFlitBytes
+}
+
+// BusDataTime returns the data-bus occupancy of a full cache-line transfer
+// (16 bytes per 100 MHz bus cycle).
+func (c *Config) BusDataTime() sim.Time {
+	cycles := (c.LineSize + 15) / 16
+	return sim.Time(cycles) * c.BusCycle
+}
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first problem found.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("config: Nodes must be positive, got %d", c.Nodes)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("config: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+	case c.Nodes&(c.Nodes-1) != 0:
+		return fmt.Errorf("config: Nodes must be a power of two, got %d", c.Nodes)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("config: LineSize must be a positive power of two, got %d", c.LineSize)
+	case c.PageSize < c.LineSize || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("config: PageSize must be a power of two >= LineSize, got %d", c.PageSize)
+	case c.L1Size%(c.L1Assoc*c.LineSize) != 0:
+		return fmt.Errorf("config: L1 geometry %d/%d-way/%dB does not divide evenly", c.L1Size, c.L1Assoc, c.LineSize)
+	case c.L2Size%(c.L2Assoc*c.LineSize) != 0:
+		return fmt.Errorf("config: L2 geometry %d/%d-way/%dB does not divide evenly", c.L2Size, c.L2Assoc, c.LineSize)
+	case c.MemBanks <= 0:
+		return fmt.Errorf("config: MemBanks must be positive, got %d", c.MemBanks)
+	case c.Engine < 0 || c.Engine >= EngineKind(numEngineKinds):
+		return fmt.Errorf("config: unknown engine kind %d", int(c.Engine))
+	case c.NumEngines < 0:
+		return fmt.Errorf("config: NumEngines must be non-negative, got %d", c.NumEngines)
+	case c.NumEngines > 2 && c.Split == SplitLocalRemote:
+		return fmt.Errorf("config: %d engines require the region or round-robin split", c.NumEngines)
+	case c.Split == SplitRegion && (c.RegionBytes < c.LineSize || c.RegionBytes&(c.RegionBytes-1) != 0):
+		return fmt.Errorf("config: RegionBytes must be a power of two >= LineSize, got %d", c.RegionBytes)
+	case c.LivelockLimit <= 0:
+		return fmt.Errorf("config: LivelockLimit must be positive, got %d", c.LivelockLimit)
+	case c.NetFlitBytes <= 0:
+		return fmt.Errorf("config: NetFlitBytes must be positive, got %d", c.NetFlitBytes)
+	}
+	return nil
+}
+
+// EngineCount returns the number of protocol engines per controller.
+func (c *Config) EngineCount() int {
+	if c.NumEngines > 0 {
+		return c.NumEngines
+	}
+	if c.TwoEngines {
+		return 2
+	}
+	return 1
+}
+
+// RegionShift returns log2(RegionBytes) for the region split.
+func (c *Config) RegionShift() uint {
+	s := uint(0)
+	for 1<<s < c.RegionBytes {
+		s++
+	}
+	return s
+}
+
+// ArchName returns the paper's name for the controller architecture
+// selected by this configuration: HWC, PPC, 2HWC, 2PPC, or nXXX for the
+// extended engine counts.
+func (c *Config) ArchName() string {
+	name := c.Engine.String()
+	if n := c.EngineCount(); n > 1 {
+		return fmt.Sprintf("%d%s", n, name)
+	}
+	return name
+}
+
+// WithArch returns a copy of c configured for the named architecture
+// ("HWC", "PPC", "2HWC", "2PPC").
+func (c Config) WithArch(name string) (Config, error) {
+	c.NumEngines = 0
+	switch name {
+	case "HWC":
+		c.Engine, c.TwoEngines = HWC, false
+	case "PPC":
+		c.Engine, c.TwoEngines = PPC, false
+	case "PPCA":
+		c.Engine, c.TwoEngines = PPCA, false
+	case "2HWC":
+		c.Engine, c.TwoEngines = HWC, true
+	case "2PPC":
+		c.Engine, c.TwoEngines = PPC, true
+	case "2PPCA":
+		c.Engine, c.TwoEngines = PPCA, true
+	default:
+		return c, fmt.Errorf("config: unknown architecture %q", name)
+	}
+	return c, nil
+}
+
+// Architectures lists the four controller architectures in the paper's
+// presentation order.
+var Architectures = []string{"HWC", "2HWC", "PPC", "2PPC"}

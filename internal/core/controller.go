@@ -1,0 +1,506 @@
+// Package core implements the paper's subject: the coherence controller of
+// an SMP-based CC-NUMA node. The controller bridges the node's snooping SMP
+// bus and the interconnection network, synthesizing global cache coherence
+// with a full-bit-map directory protocol. It contains:
+//
+//   - three input queues (bus-side requests, network-side requests,
+//     network-side responses) with the paper's dispatch arbitration policy:
+//     responses first, then network requests, then bus requests, except
+//     that a bus request that has waited through LivelockLimit consecutive
+//     network-request dispatches proceeds first;
+//   - one or two protocol engines (HWC finite-state machines or PPC
+//     protocol processors) whose handler occupancies come from the
+//     sub-operation sequences in the protocol package and the Table 2 cost
+//     model;
+//   - under the two-engine split, an LPE serving local-home addresses
+//     (the only engine that touches the directory) and an RPE serving
+//     remote-home addresses, as in S3.mp;
+//   - the direct bus-interface/network-interface data path that forwards
+//     dirty-remote write-backs to the home node without handler dispatch.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/directory"
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/memaddr"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/smpbus"
+	"ccnuma/internal/stats"
+)
+
+// work is one queued protocol request: either a deferred bus transaction or
+// a network message.
+type work struct {
+	arrival sim.Time
+	txn     *smpbus.Txn
+	msg     *protocol.Msg
+}
+
+// homeOp is a transient home-node operation on a local line.
+type homeOp struct {
+	line      uint64
+	excl      bool
+	requester int         // remote requester node, or -1 when local
+	parked    *smpbus.Txn // parked local bus transaction (requester == -1)
+	upgrade   bool        // parked transaction is an upgrade (no data)
+
+	acksLeft     int
+	needData     bool
+	haveData     bool
+	intervention bool // fetch forwarded to a remote owner, response pending
+	waitWB       bool // intervention missed; waiting for the eviction WB
+	wbArrived    bool
+	finishing    bool // response issued; retirement pending on the bus reply
+	// finalDir is written to the directory when the op completes.
+	finalDir directory.Entry
+
+	waiters []*work
+}
+
+func (op *homeOp) ready() bool {
+	return !op.intervention && op.acksLeft == 0 &&
+		(!op.needData || op.haveData) && (!op.waitWB || op.wbArrived)
+}
+
+// mshrEntry tracks one outstanding request from this node to a remote home.
+type mshrEntry struct {
+	line   uint64
+	excl   bool
+	parked *smpbus.Txn
+	// responseArrived is set the moment a data response for this miss
+	// reaches the node (it may still be waiting in an input queue). Under
+	// the round-robin engine split an intervention for the same line can
+	// otherwise be dispatched by the other engine ahead of the response.
+	responseArrived bool
+	filling         bool // response dispatched, bus supply in flight
+	waiters         []*work
+}
+
+// Controller is one node's coherence controller.
+type Controller struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	node  int
+	bus   *smpbus.Bus
+	net   *interconnect.Network
+	dir   *directory.Directory
+	space *memaddr.Space
+	st    *stats.ControllerStats
+
+	engines []*engine
+	rr      int
+
+	homeOps map[uint64]*homeOp
+	mshr    map[uint64]*mshrEntry
+
+	handlerCounts [protocol.NumHandlers]uint64
+	handlerBusy   [protocol.NumHandlers]sim.Time
+}
+
+// engine is one protocol engine (FSM or protocol processor) with its input
+// queues.
+type engine struct {
+	cc        *Controller
+	idx       int
+	busQ      []*work
+	reqQ      []*work
+	respQ     []*work
+	busy      bool
+	netStreak int // consecutive network-request dispatches while bus waits
+}
+
+// Debug, when non-nil, receives a line per protocol event (message sends,
+// handler dispatches, directory writes). For tests and diagnostics only.
+var Debug io.Writer
+
+func (cc *Controller) tracef(format string, args ...interface{}) {
+	if Debug != nil {
+		fmt.Fprintf(Debug, "[%8d n%d] ", cc.eng.Now(), cc.node)
+		fmt.Fprintf(Debug, format+"\n", args...)
+	}
+}
+
+// New creates a controller, attaching it to the node's bus and to the
+// network. st receives the controller's measurements (may be a throwaway
+// for unit tests).
+func New(eng *sim.Engine, cfg *config.Config, node int, bus *smpbus.Bus,
+	net *interconnect.Network, dir *directory.Directory, space *memaddr.Space,
+	st *stats.ControllerStats) *Controller {
+
+	cc := &Controller{
+		eng:     eng,
+		cfg:     cfg,
+		node:    node,
+		bus:     bus,
+		net:     net,
+		dir:     dir,
+		space:   space,
+		st:      st,
+		homeOps: make(map[uint64]*homeOp),
+		mshr:    make(map[uint64]*mshrEntry),
+	}
+	for i := 0; i < cfg.EngineCount(); i++ {
+		cc.engines = append(cc.engines, &engine{cc: cc, idx: i})
+	}
+	bus.AttachController(cc)
+	net.Attach(node, cc.deliver)
+	return cc
+}
+
+// HandlerCount returns how many times handler h was dispatched.
+func (cc *Controller) HandlerCount(h protocol.Handler) uint64 {
+	return cc.handlerCounts[h]
+}
+
+// HandlerBusy returns the total engine occupancy charged by handler h.
+func (cc *Controller) HandlerBusy(h protocol.Handler) sim.Time {
+	return cc.handlerBusy[h]
+}
+
+// PendingOps reports outstanding transient state (for end-of-run checks).
+func (cc *Controller) PendingOps() int { return len(cc.homeOps) + len(cc.mshr) }
+
+// DumpPending describes outstanding transient state for deadlock
+// diagnostics.
+func (cc *Controller) DumpPending() string {
+	var b strings.Builder
+	for line, op := range cc.homeOps {
+		fmt.Fprintf(&b, "node %d homeOp line=%#x excl=%v req=%d acks=%d needData=%v haveData=%v interv=%v waitWB=%v wbArr=%v upgrade=%v waiters=%d\n",
+			cc.node, line, op.excl, op.requester, op.acksLeft, op.needData,
+			op.haveData, op.intervention, op.waitWB, op.wbArrived, op.upgrade, len(op.waiters))
+	}
+	for line, m := range cc.mshr {
+		fmt.Fprintf(&b, "node %d mshr line=%#x excl=%v filling=%v waiters=%d\n",
+			cc.node, line, m.excl, m.filling, len(m.waiters))
+	}
+	for i, e := range cc.engines {
+		fmt.Fprintf(&b, "node %d engine %d busy=%v busQ=%d reqQ=%d respQ=%d\n",
+			cc.node, i, e.busy, len(e.busQ), len(e.reqQ), len(e.respQ))
+	}
+	return b.String()
+}
+
+func (cc *Controller) costs() *config.CostTable { return &cc.cfg.Costs }
+
+func (cc *Controller) cost(op config.SubOp) sim.Time {
+	return cc.cfg.Costs.Cost(cc.cfg.Engine, op)
+}
+
+// engineFor selects the engine serving a line per the split policy.
+func (cc *Controller) engineFor(line uint64) *engine {
+	if len(cc.engines) == 1 {
+		return cc.engines[0]
+	}
+	switch cc.cfg.Split {
+	case config.SplitRoundRobin:
+		cc.rr = (cc.rr + 1) % len(cc.engines)
+		return cc.engines[cc.rr]
+	case config.SplitDynamic:
+		// Shortest-queue assignment (ties to the lowest index keep it
+		// deterministic).
+		best := cc.engines[0]
+		bestLen := best.queueLen()
+		for _, e := range cc.engines[1:] {
+			if l := e.queueLen(); l < bestLen {
+				best, bestLen = e, l
+			}
+		}
+		return best
+	case config.SplitRegion:
+		// Memory regions interleave across all engines (Section 5's
+		// "more protocol engines for different regions of memory").
+		idx := int(line>>cc.cfg.RegionShift()) % len(cc.engines)
+		return cc.engines[idx]
+	default:
+		if cc.space.Home(line) == cc.node {
+			return cc.engines[0] // LPE
+		}
+		return cc.engines[1] // RPE
+	}
+}
+
+// ---- bus-facing interface -------------------------------------------------
+
+// Snoop implements the bus-side directory filter: it claims transactions
+// that need protocol action and lets the memory controller or sibling
+// caches serve the rest. It is side-effect-free (a claimed transaction is
+// handed over via AcceptDeferred).
+func (cc *Controller) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
+	if txn.Kind == smpbus.WriteBack {
+		// Write-backs never need a deferred reply; remote ones arrive via
+		// the direct data path (CaptureWriteBack).
+		return smpbus.SnoopNone
+	}
+	if !txn.HomeLocal {
+		// Remote-home line: if no sibling cache supplies it, the request
+		// must travel to the home node.
+		return smpbus.SnoopDefer
+	}
+	if cc.homeOps[txn.Line] != nil {
+		return smpbus.SnoopDefer
+	}
+	e := cc.dir.Lookup(txn.Line)
+	switch txn.Kind {
+	case smpbus.Read:
+		if e.State == directory.DirtyRemote {
+			return smpbus.SnoopDefer
+		}
+		if e.State == directory.SharedRemote {
+			// Memory may respond, but the requester must install Shared:
+			// remote nodes hold copies.
+			return smpbus.SnoopShared
+		}
+	case smpbus.ReadEx, smpbus.Upgrade:
+		if e.State != directory.NoRemote {
+			return smpbus.SnoopDefer
+		}
+	}
+	return smpbus.SnoopNone
+}
+
+// AcceptDeferred receives a bus transaction the snoop claimed.
+func (cc *Controller) AcceptDeferred(txn *smpbus.Txn) {
+	w := &work{arrival: cc.eng.Now(), txn: txn}
+	cc.st.NoteArrival(w.arrival)
+	e := cc.engineFor(txn.Line)
+	e.busQ = append(e.busQ, w)
+	e.kick()
+}
+
+// CaptureWriteBack implements the direct data path: a dirty-remote
+// write-back is forwarded to the home node without dispatching a protocol
+// handler.
+func (cc *Controller) CaptureWriteBack(line uint64, sharedLeft bool) {
+	home := cc.space.Home(line)
+	if home == cc.node {
+		panic("core: direct data path invoked for a local line")
+	}
+	cc.send(cc.eng.Now(), home, &protocol.Msg{
+		Type: protocol.MsgWriteBack, Line: line, Src: cc.node,
+		Dirty: true, SharedLeft: sharedLeft,
+	})
+}
+
+// ---- network-facing interface ---------------------------------------------
+
+func (cc *Controller) deliver(src int, payload interface{}) {
+	msg, ok := payload.(*protocol.Msg)
+	if !ok {
+		panic(fmt.Sprintf("core: unexpected payload %T", payload))
+	}
+	w := &work{arrival: cc.eng.Now(), msg: msg}
+	cc.st.NoteArrival(w.arrival)
+	e := cc.engineFor(msg.Line)
+	if msg.IsResponse() {
+		switch msg.Type {
+		case protocol.MsgDataShared, protocol.MsgDataExcl, protocol.MsgOwnerData:
+			if m := cc.mshr[msg.Line]; m != nil {
+				m.responseArrived = true
+			}
+		}
+		e.respQ = append(e.respQ, w)
+	} else {
+		e.reqQ = append(e.reqQ, w)
+	}
+	e.kick()
+}
+
+func (cc *Controller) send(at sim.Time, dst int, msg *protocol.Msg) {
+	if dst == cc.node {
+		panic(fmt.Sprintf("core: node %d sending %v to itself", dst, msg.Type))
+	}
+	if dst < 0 {
+		panic(fmt.Sprintf("core: message %v to unmapped home %d (line %#x)", msg.Type, dst, msg.Line))
+	}
+	cc.tracef("send %v line=%#x -> n%d (req=%d excl=%v dirty=%v sharedLeft=%v)",
+		msg.Type, msg.Line, dst, msg.Requester, msg.Excl, msg.Dirty, msg.SharedLeft)
+	cc.eng.At(at, func() {
+		cc.net.Send(cc.node, dst, msg.Flits(cc.cfg), msg)
+	})
+}
+
+// ---- dispatch -------------------------------------------------------------
+
+// queueLen returns the engine's total queued work plus any in-service
+// handler (the dynamic split's load metric).
+func (e *engine) queueLen() int {
+	n := len(e.busQ) + len(e.reqQ) + len(e.respQ)
+	if e.busy {
+		n++
+	}
+	return n
+}
+
+// kick starts a dispatch if the engine is idle and work is queued.
+func (e *engine) kick() {
+	if e.busy {
+		return
+	}
+	w := e.pick()
+	if w == nil {
+		return
+	}
+	e.dispatch(w)
+}
+
+// pick removes and returns the next work item per the arbitration policy.
+func (e *engine) pick() *work {
+	if e.cc.cfg.Arbitration == config.ArbFIFO {
+		return e.pickFIFO()
+	}
+	// Paper policy: responses, then network requests, then bus requests —
+	// with the anti-livelock exception for long-waiting bus requests.
+	if len(e.respQ) > 0 {
+		w := e.respQ[0]
+		e.respQ = e.respQ[1:]
+		return w
+	}
+	if len(e.busQ) > 0 && len(e.reqQ) > 0 && e.netStreak >= e.cc.cfg.LivelockLimit {
+		w := e.busQ[0]
+		e.busQ = e.busQ[1:]
+		e.netStreak = 0
+		return w
+	}
+	if len(e.reqQ) > 0 {
+		w := e.reqQ[0]
+		e.reqQ = e.reqQ[1:]
+		if len(e.busQ) > 0 {
+			e.netStreak++
+		}
+		return w
+	}
+	if len(e.busQ) > 0 {
+		w := e.busQ[0]
+		e.busQ = e.busQ[1:]
+		e.netStreak = 0
+		return w
+	}
+	return nil
+}
+
+func (e *engine) pickFIFO() *work {
+	best := -1 // 0=resp 1=req 2=bus
+	var bestAt sim.Time
+	if len(e.respQ) > 0 {
+		best, bestAt = 0, e.respQ[0].arrival
+	}
+	if len(e.reqQ) > 0 && (best < 0 || e.reqQ[0].arrival < bestAt) {
+		best, bestAt = 1, e.reqQ[0].arrival
+	}
+	if len(e.busQ) > 0 && (best < 0 || e.busQ[0].arrival < bestAt) {
+		best = 2
+	}
+	switch best {
+	case 0:
+		w := e.respQ[0]
+		e.respQ = e.respQ[1:]
+		return w
+	case 1:
+		w := e.reqQ[0]
+		e.reqQ = e.reqQ[1:]
+		return w
+	case 2:
+		w := e.busQ[0]
+		e.busQ = e.busQ[1:]
+		return w
+	}
+	return nil
+}
+
+// dispatch runs w's handler, occupying the engine for the handler's
+// occupancy, then re-arbitrates.
+func (e *engine) dispatch(w *work) {
+	cc := e.cc
+	now := cc.eng.Now()
+	est := &cc.st.Engines[e.idx]
+	est.Dispatches++
+	est.QueueDelay += now - w.arrival
+
+	e.busy = true
+	var occ sim.Time
+	if w.txn != nil {
+		occ = cc.handleBusTxn(w)
+	} else {
+		occ = cc.handleMsg(w)
+	}
+	if occ <= 0 {
+		panic("core: handler with non-positive occupancy")
+	}
+	est.Busy += occ
+	cc.eng.At(now+occ, func() {
+		e.busy = false
+		e.kick()
+	})
+}
+
+// charge computes a handler's total occupancy and its action time (the
+// cycle at which the handler's externally visible action — bus request or
+// network send — is issued). dirExtra is a directory-DRAM stall inserted
+// before the action; extraInvals adds per-invalidation fan-out work.
+func (cc *Controller) charge(h protocol.Handler, dirExtra sim.Time, extraInvals int) (occ sim.Time, actionAt sim.Time) {
+	cc.handlerCounts[h]++
+	k := cc.cfg.Engine
+	disp := cc.cfg.Costs.Cost(k, config.OpDispatch)
+	// Handlers that fetch the line over the local bus keep the engine
+	// occupied for the no-contention access time (the paper's handler
+	// occupancies include SMP bus and local memory access times); the
+	// fetch is issued at the action point and the engine stalls after it.
+	stall := protocol.StallTime(cc.cfg, protocol.Stall(h))
+	occ = disp + protocol.Occupancy(cc.costs(), k, h, extraInvals) + dirExtra + stall
+	cc.handlerBusy[h] += occ
+	actionAt = cc.eng.Now() + disp +
+		protocol.PrefixOccupancy(cc.costs(), k, h, protocol.ActionIndex(h)) + dirExtra
+	return occ, actionAt
+}
+
+// homeFetchStall is the engine stall charged by state-dependent paths that
+// fetch from home memory under a handler whose common case does not.
+func (cc *Controller) homeFetchStall() sim.Time {
+	return protocol.StallTime(cc.cfg, protocol.StallHomeFetch)
+}
+
+// perInvalCost is the engine time per additional invalidation sent.
+func (cc *Controller) perInvalCost() sim.Time {
+	var t sim.Time
+	for _, op := range protocol.PerInvalOps {
+		t += cc.cfg.Costs.Cost(cc.cfg.Engine, op)
+	}
+	return t
+}
+
+// requeue parks w on a waiter list with the busy-check occupancy.
+func (cc *Controller) requeue(list *[]*work, w *work) sim.Time {
+	occ, _ := cc.charge(protocol.HBusyRequeue, 0, 0)
+	*list = append(*list, w)
+	return occ
+}
+
+// replay re-enqueues parked work after the blocking state cleared.
+func (cc *Controller) replay(ws []*work) {
+	for _, w := range ws {
+		w := w
+		w.arrival = cc.eng.Now()
+		e := cc.engineFor(cc.lineOf(w))
+		if w.txn != nil {
+			e.busQ = append(e.busQ, w)
+		} else if w.msg.IsResponse() {
+			e.respQ = append(e.respQ, w)
+		} else {
+			e.reqQ = append(e.reqQ, w)
+		}
+		e.kick()
+	}
+}
+
+func (cc *Controller) lineOf(w *work) uint64 {
+	if w.txn != nil {
+		return w.txn.Line
+	}
+	return w.msg.Line
+}

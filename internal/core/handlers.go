@@ -1,0 +1,648 @@
+package core
+
+import (
+	"fmt"
+
+	"ccnuma/internal/directory"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/smpbus"
+)
+
+// handleBusTxn dispatches a deferred bus transaction and returns the
+// engine occupancy.
+func (cc *Controller) handleBusTxn(w *work) sim.Time {
+	txn := w.txn
+	cc.tracef("dispatch bus %v line=%#x src=%d local=%v dir=%v",
+		txn.Kind, txn.Line, txn.Src, txn.HomeLocal, cc.dir.Lookup(txn.Line))
+	if txn.HomeLocal {
+		return cc.handleLocalBus(w)
+	}
+	return cc.handleRemoteBus(w)
+}
+
+// ---- requester side: misses to remote-home lines ---------------------------
+
+func (cc *Controller) handleRemoteBus(w *work) sim.Time {
+	txn := w.txn
+	line := txn.Line
+	home := cc.space.Home(line)
+	if m := cc.mshr[line]; m != nil {
+		// The bus serializes processor transactions per line, so a second
+		// processor transaction can only appear here through a replay race;
+		// park it behind the outstanding one.
+		return cc.requeue(&m.waiters, w)
+	}
+	excl := txn.Kind != smpbus.Read
+	h := protocol.HBusReadRemote
+	mt := protocol.MsgReadReq
+	if excl {
+		h = protocol.HBusReadExRemote
+		mt = protocol.MsgReadExReq
+	}
+	occ, act := cc.charge(h, 0, 0)
+	cc.mshr[line] = &mshrEntry{line: line, excl: excl, parked: txn}
+	cc.send(act, home, &protocol.Msg{Type: mt, Line: line, Src: cc.node, Requester: cc.node})
+	return occ
+}
+
+// mshrFill completes an outstanding miss: the parked transaction is
+// supplied on the bus; when the fill finishes, queued interventions and
+// invalidations for the line are replayed.
+func (cc *Controller) mshrFill(m *mshrEntry, shared bool) {
+	m.filling = true
+	orig := m.parked.Done
+	line := m.line
+	m.parked.Done = func(o smpbus.Outcome) {
+		orig(o)
+		cur := cc.mshr[line]
+		if cur == m {
+			delete(cc.mshr, line)
+			cc.replay(m.waiters)
+		}
+	}
+	cc.bus.Supply(m.parked, true, shared)
+}
+
+// ---- home side: local-home lines -------------------------------------------
+
+func (cc *Controller) handleLocalBus(w *work) sim.Time {
+	txn := w.txn
+	line := txn.Line
+	if op := cc.homeOps[line]; op != nil {
+		return cc.requeue(&op.waiters, w)
+	}
+	switch txn.Kind {
+	case smpbus.Read:
+		return cc.homeLocalRead(w)
+	case smpbus.ReadEx, smpbus.Upgrade:
+		return cc.homeLocalReadEx(w)
+	default:
+		panic(fmt.Sprintf("core: unexpected deferred bus txn %v", txn.Kind))
+	}
+}
+
+// homeLocalRead serves a local processor read that the snoop deferred
+// (line dirty in a remote node, or the state changed while queued).
+func (cc *Controller) homeLocalRead(w *work) sim.Time {
+	txn := w.txn
+	line := txn.Line
+	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
+	occ, act := cc.charge(protocol.HBusReadLocalDirtyRemote, dirExtra, 0)
+
+	op := &homeOp{line: line, requester: -1, parked: txn}
+	cc.homeOps[line] = op
+
+	switch entry.State {
+	case directory.DirtyRemote:
+		op.intervention = true
+		op.finalDir = directory.Entry{State: directory.SharedRemote,
+			Sharers: directory.Bitmap(0).Set(entry.Owner)}
+		cc.send(act, entry.Owner, &protocol.Msg{
+			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: cc.node,
+		})
+	default:
+		// The directory changed while the request was queued: the line is
+		// now clean at home (or shared remotely). Fetch from memory and
+		// supply.
+		occ += cc.homeFetchStall()
+		op.needData = true
+		op.finalDir = entry
+		cc.fetchForOp(act, op, false)
+	}
+	return occ
+}
+
+// homeLocalReadEx serves a local processor read-exclusive or upgrade that
+// the snoop deferred (remote copies exist).
+func (cc *Controller) homeLocalReadEx(w *work) sim.Time {
+	txn := w.txn
+	line := txn.Line
+	upgrade := txn.Kind == smpbus.Upgrade
+	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
+
+	op := &homeOp{line: line, requester: -1, parked: txn, excl: true, upgrade: upgrade,
+		finalDir: directory.Entry{State: directory.NoRemote}}
+
+	switch entry.State {
+	case directory.SharedRemote:
+		invals := entry.Sharers.Count()
+		extra := invals - 1
+		if extra < 0 {
+			extra = 0
+		}
+		occ, act := cc.charge(protocol.HBusReadExLocalCachedRemote, dirExtra, extra)
+		cc.homeOps[line] = op
+		op.acksLeft = invals
+		cc.sendInvals(act, entry.Sharers, line)
+		if !upgrade {
+			occ += cc.homeFetchStall()
+			op.needData = true
+			cc.fetchForOp(act, op, true)
+		}
+		return occ
+	case directory.DirtyRemote:
+		occ, act := cc.charge(protocol.HBusReadExLocalDirtyRemote, dirExtra, 0)
+		cc.homeOps[line] = op
+		op.intervention = true
+		cc.send(act, entry.Owner, &protocol.Msg{
+			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: cc.node,
+		})
+		return occ
+	default: // NoRemote: state changed while queued
+		occ, act := cc.charge(protocol.HBusReadExLocalCachedRemote, dirExtra, 0)
+		cc.homeOps[line] = op
+		if upgrade {
+			cc.eng.At(act, func() { cc.finishOp(op) })
+		} else {
+			occ += cc.homeFetchStall()
+			op.needData = true
+			cc.fetchForOp(act, op, true)
+		}
+		return occ
+	}
+}
+
+// sendInvals fans invalidations out to every node in the sharing vector,
+// spacing the sends by the per-invalidation engine cost.
+func (cc *Controller) sendInvals(act sim.Time, sharers directory.Bitmap, line uint64) {
+	per := cc.perInvalCost()
+	i := 0
+	sharers.ForEach(func(node int) {
+		cc.send(act+sim.Time(i)*per, node, &protocol.Msg{
+			Type: protocol.MsgInval, Line: line, Src: cc.node,
+		})
+		i++
+	})
+}
+
+// fetchForOp issues the home-side bus fetch that collects line data from
+// local memory or the home node's own caches. The fetch completion is
+// engine-free (the network/bus data transfer was armed by the handler).
+func (cc *Controller) fetchForOp(at sim.Time, op *homeOp, exclusive bool) {
+	kind := smpbus.Fetch
+	if exclusive {
+		kind = smpbus.FetchEx
+	}
+	var txn *smpbus.Txn
+	txn = &smpbus.Txn{
+		Kind: kind, Line: op.line, Src: smpbus.CCSrc, HomeLocal: true,
+		Done: func(o smpbus.Outcome) {
+			switch o.Status {
+			case smpbus.RetryNeeded:
+				// A live processor transaction on this line is mid-flight;
+				// fetch again once it lands.
+				cc.eng.After(cc.cfg.BusRetry, func() { cc.bus.Issue(txn) })
+			case smpbus.OK:
+				op.haveData = true
+				cc.finishIfReady(op)
+			default:
+				panic(fmt.Sprintf("core: home fetch of local line %#x failed: %+v", op.line, o))
+			}
+		},
+	}
+	cc.eng.At(at, func() { cc.bus.Issue(txn) })
+}
+
+// finishIfReady completes the op if nothing remains outstanding.
+func (cc *Controller) finishIfReady(op *homeOp) {
+	if cc.homeOps[op.line] != op || op.finishing {
+		return // already finished or finishing
+	}
+	if op.ready() {
+		cc.finishOp(op)
+	}
+}
+
+// finishOp responds to the requester, writes the final directory state,
+// and replays any queued conflicting requests. For a local requester the
+// op stays open until the deferred bus reply has actually delivered the
+// line: retiring earlier would let a queued remote request race the supply
+// and double-grant ownership.
+func (cc *Controller) finishOp(op *homeOp) {
+	if op.finishing {
+		return
+	}
+	op.finishing = true
+	now := cc.eng.Now()
+	if op.requester >= 0 {
+		mt := protocol.MsgDataShared
+		if op.excl {
+			mt = protocol.MsgDataExcl
+		}
+		cc.send(now, op.requester, &protocol.Msg{
+			Type: mt, Line: op.line, Src: cc.node, Requester: op.requester,
+		})
+	} else if op.parked != nil {
+		orig := op.parked.Done
+		op.parked.Done = func(o smpbus.Outcome) {
+			orig(o)
+			cc.retireOp(op)
+		}
+		cc.bus.Supply(op.parked, !op.upgrade, !op.excl)
+		return
+	}
+	cc.retireOp(op)
+}
+
+// retireOp writes the op's final directory state and unblocks waiters.
+func (cc *Controller) retireOp(op *homeOp) {
+	if cc.homeOps[op.line] != op {
+		return
+	}
+	cc.dir.Write(cc.eng.Now(), op.line, op.finalDir)
+	delete(cc.homeOps, op.line)
+	cc.replay(op.waiters)
+}
+
+// ---- network message handlers ----------------------------------------------
+
+func (cc *Controller) handleMsg(w *work) sim.Time {
+	msg := w.msg
+	cc.tracef("dispatch %v line=%#x from n%d (req=%d excl=%v dirty=%v) dir=%v",
+		msg.Type, msg.Line, msg.Src, msg.Requester, msg.Excl, msg.Dirty, cc.dir.Lookup(msg.Line))
+	switch msg.Type {
+	case protocol.MsgReadReq:
+		return cc.homeRead(w)
+	case protocol.MsgReadExReq:
+		return cc.homeReadEx(w)
+	case protocol.MsgFetchReq:
+		return cc.ownerFetch(w, false)
+	case protocol.MsgFetchExReq:
+		return cc.ownerFetch(w, true)
+	case protocol.MsgInval:
+		return cc.sharerInval(w)
+	case protocol.MsgInvalAck:
+		return cc.homeInvalAck(w)
+	case protocol.MsgDataShared, protocol.MsgDataExcl, protocol.MsgOwnerData:
+		return cc.requesterData(w)
+	case protocol.MsgFetchDone:
+		return cc.homeFetchDone(w)
+	case protocol.MsgFetchExDone:
+		return cc.homeFetchExDone(w)
+	case protocol.MsgFetchDataHome:
+		return cc.homeFetchData(w)
+	case protocol.MsgInterventionMiss:
+		return cc.homeInterventionMiss(w)
+	case protocol.MsgWriteBack:
+		return cc.homeWriteBack(w)
+	default:
+		panic(fmt.Sprintf("core: unhandled message %v", msg.Type))
+	}
+}
+
+// homeRead serves a remote node's read request for a local line.
+func (cc *Controller) homeRead(w *work) sim.Time {
+	msg := w.msg
+	line := msg.Line
+	if op := cc.homeOps[line]; op != nil {
+		return cc.requeue(&op.waiters, w)
+	}
+	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
+	r := msg.Requester
+
+	switch entry.State {
+	case directory.DirtyRemote:
+		op := &homeOp{line: line, requester: r}
+		cc.homeOps[line] = op
+		if entry.Owner == r {
+			// The requester is the registered owner: its write-back is in
+			// flight; wait for it, then reply with the fresh data.
+			occ, _ := cc.charge(protocol.HRemoteReadHomeDirty, dirExtra, 0)
+			op.waitWB = true
+			op.finalDir = directory.Entry{State: directory.SharedRemote,
+				Sharers: directory.Bitmap(0).Set(r)}
+			return occ
+		}
+		occ, act := cc.charge(protocol.HRemoteReadHomeDirty, dirExtra, 0)
+		op.intervention = true
+		op.finalDir = directory.Entry{State: directory.SharedRemote,
+			Sharers: directory.Bitmap(0).Set(entry.Owner).Set(r)}
+		cc.send(act, entry.Owner, &protocol.Msg{
+			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: r,
+		})
+		return occ
+	default: // NoRemote or SharedRemote: clean at home
+		occ, act := cc.charge(protocol.HRemoteReadHomeClean, dirExtra, 0)
+		op := &homeOp{line: line, requester: r, needData: true}
+		op.finalDir = directory.Entry{State: directory.SharedRemote,
+			Sharers: entry.Sharers.Set(r)}
+		cc.homeOps[line] = op
+		cc.fetchForOp(act, op, false)
+		return occ
+	}
+}
+
+// homeReadEx serves a remote node's read-exclusive request for a local
+// line.
+func (cc *Controller) homeReadEx(w *work) sim.Time {
+	msg := w.msg
+	line := msg.Line
+	if op := cc.homeOps[line]; op != nil {
+		return cc.requeue(&op.waiters, w)
+	}
+	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
+	r := msg.Requester
+	op := &homeOp{line: line, requester: r, excl: true,
+		finalDir: directory.Entry{State: directory.DirtyRemote, Owner: r}}
+
+	switch entry.State {
+	case directory.NoRemote:
+		occ, act := cc.charge(protocol.HRemoteReadExHomeUncached, dirExtra, 0)
+		cc.homeOps[line] = op
+		op.needData = true
+		cc.fetchForOp(act, op, true)
+		return occ
+	case directory.SharedRemote:
+		toInval := entry.Sharers.Clear(r)
+		extra := toInval.Count() - 1
+		if extra < 0 {
+			extra = 0
+		}
+		occ, act := cc.charge(protocol.HRemoteReadExHomeShared, dirExtra, extra)
+		cc.homeOps[line] = op
+		op.acksLeft = toInval.Count()
+		op.needData = true
+		cc.sendInvals(act, toInval, line)
+		cc.fetchForOp(act, op, true)
+		return occ
+	default: // DirtyRemote
+		if entry.Owner == r {
+			occ, _ := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
+			cc.homeOps[line] = op
+			op.waitWB = true
+			return occ
+		}
+		occ, act := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
+		cc.homeOps[line] = op
+		op.intervention = true
+		cc.send(act, entry.Owner, &protocol.Msg{
+			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: r,
+		})
+		return occ
+	}
+}
+
+// ownerFetch serves an intervention at the (supposed) owner node.
+func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
+	msg := w.msg
+	line := msg.Line
+	home := msg.Src
+	if m := cc.mshr[line]; m != nil && (m.filling || m.responseArrived) {
+		// Our own fill for this line is racing (its data response is on
+		// the bus or still in an input queue); process the intervention
+		// after the fill lands.
+		return cc.requeue(&m.waiters, w)
+	}
+	fromHome := msg.Requester == home
+	var h protocol.Handler
+	switch {
+	case exclusive && fromHome:
+		h = protocol.HFetchExOwnerFromHome
+	case exclusive:
+		h = protocol.HFetchExOwnerRemoteReq
+	case fromHome:
+		h = protocol.HFetchOwnerFromHome
+	default:
+		h = protocol.HFetchOwnerRemoteReq
+	}
+	occ, act := cc.charge(h, 0, 0)
+
+	kind := smpbus.Fetch
+	if exclusive {
+		kind = smpbus.FetchEx
+	}
+	requester := msg.Requester
+	var txn *smpbus.Txn
+	txn = &smpbus.Txn{
+		Kind: kind, Line: line, Src: smpbus.CCSrc, HomeLocal: false,
+		Done: func(o smpbus.Outcome) {
+			switch o.Status {
+			case smpbus.RetryNeeded:
+				// A line transfer is in flight on our bus; retry after it
+				// lands.
+				cc.eng.After(cc.cfg.BusRetry, func() { cc.bus.Issue(txn) })
+			case smpbus.NoData:
+				cc.send(cc.eng.Now(), home, &protocol.Msg{
+					Type: protocol.MsgInterventionMiss, Line: line, Src: cc.node,
+				})
+			case smpbus.OK:
+				if fromHome {
+					cc.send(cc.eng.Now(), home, &protocol.Msg{
+						Type: protocol.MsgFetchDataHome, Line: line, Src: cc.node,
+						Dirty: o.Dirty, Excl: exclusive,
+					})
+					return
+				}
+				cc.send(cc.eng.Now(), requester, &protocol.Msg{
+					Type: protocol.MsgOwnerData, Line: line, Src: cc.node,
+					Requester: requester, Excl: exclusive,
+				})
+				if exclusive {
+					cc.send(cc.eng.Now(), home, &protocol.Msg{
+						Type: protocol.MsgFetchExDone, Line: line, Src: cc.node,
+					})
+				} else {
+					cc.send(cc.eng.Now(), home, &protocol.Msg{
+						Type: protocol.MsgFetchDone, Line: line, Src: cc.node,
+						Dirty: o.Dirty,
+					})
+				}
+			default:
+				panic(fmt.Sprintf("core: unexpected intervention outcome %+v on line %#x", o, line))
+			}
+		},
+	}
+	cc.eng.At(act, func() { cc.bus.Issue(txn) })
+	return occ
+}
+
+// sharerInval invalidates local copies on behalf of the home node.
+func (cc *Controller) sharerInval(w *work) sim.Time {
+	msg := w.msg
+	line := msg.Line
+	home := msg.Src
+	if m := cc.mshr[line]; m != nil && (m.filling || m.responseArrived) {
+		return cc.requeue(&m.waiters, w)
+	}
+	occ, act := cc.charge(protocol.HInvalAtSharer, 0, 0)
+	var txn *smpbus.Txn
+	txn = &smpbus.Txn{
+		Kind: smpbus.Inval, Line: line, Src: smpbus.CCSrc, HomeLocal: false,
+		Done: func(o smpbus.Outcome) {
+			if o.Status == smpbus.RetryNeeded {
+				cc.eng.After(cc.cfg.BusRetry, func() { cc.bus.Issue(txn) })
+				return
+			}
+			cc.send(cc.eng.Now(), home, &protocol.Msg{
+				Type: protocol.MsgInvalAck, Line: line, Src: cc.node,
+			})
+		},
+	}
+	cc.eng.At(act, func() { cc.bus.Issue(txn) })
+	return occ
+}
+
+// homeInvalAck counts an acknowledgement at the home node.
+func (cc *Controller) homeInvalAck(w *work) sim.Time {
+	msg := w.msg
+	op := cc.homeOps[msg.Line]
+	if op == nil || op.acksLeft <= 0 {
+		panic(fmt.Sprintf("core: stray invalidation ack for line %#x", msg.Line))
+	}
+	op.acksLeft--
+	h := protocol.HInvalAckMore
+	if op.acksLeft == 0 {
+		if op.requester < 0 {
+			h = protocol.HInvalAckLastLocal
+		} else {
+			h = protocol.HInvalAckLastRemote
+		}
+	}
+	occ, act := cc.charge(h, 0, 0)
+	if op.acksLeft == 0 {
+		cc.eng.At(act, func() { cc.finishIfReady(op) })
+	}
+	return occ
+}
+
+// requesterData installs a data response for an outstanding miss.
+func (cc *Controller) requesterData(w *work) sim.Time {
+	msg := w.msg
+	m := cc.mshr[msg.Line]
+	if m == nil {
+		panic(fmt.Sprintf("core: data response with no MSHR for line %#x", msg.Line))
+	}
+	if m.filling {
+		panic(fmt.Sprintf("core: duplicate data response for line %#x", msg.Line))
+	}
+	shared := msg.Type == protocol.MsgDataShared ||
+		(msg.Type == protocol.MsgOwnerData && !msg.Excl)
+	h := protocol.HDataRespRead
+	if !shared {
+		h = protocol.HDataRespReadEx
+	}
+	occ, act := cc.charge(h, 0, 0)
+	cc.eng.At(act, func() { cc.mshrFill(m, shared) })
+	return occ
+}
+
+// homeFetchDone closes a read forwarded to a remote owner (remote
+// requester got its data directly from the owner).
+func (cc *Controller) homeFetchDone(w *work) sim.Time {
+	msg := w.msg
+	op := cc.homeOps[msg.Line]
+	if op == nil {
+		panic(fmt.Sprintf("core: FetchDone with no home op for line %#x", msg.Line))
+	}
+	occ, act := cc.charge(protocol.HOwnerWBAtHomeRead, 0, 0)
+	if msg.Dirty {
+		cc.memoryWrite(act, msg.Line)
+	}
+	op.intervention = false
+	cc.eng.At(act, func() { cc.finishIfReadyNoResponse(op) })
+	return occ
+}
+
+// homeFetchExDone closes a read-exclusive forwarded to a remote owner.
+func (cc *Controller) homeFetchExDone(w *work) sim.Time {
+	msg := w.msg
+	op := cc.homeOps[msg.Line]
+	if op == nil {
+		panic(fmt.Sprintf("core: FetchExDone with no home op for line %#x", msg.Line))
+	}
+	occ, act := cc.charge(protocol.HOwnerAckAtHome, 0, 0)
+	op.intervention = false
+	cc.eng.At(act, func() { cc.finishIfReadyNoResponse(op) })
+	return occ
+}
+
+// homeFetchData receives owner data when the home itself was the
+// requester.
+func (cc *Controller) homeFetchData(w *work) sim.Time {
+	msg := w.msg
+	op := cc.homeOps[msg.Line]
+	if op == nil {
+		panic(fmt.Sprintf("core: FetchDataHome with no home op for line %#x", msg.Line))
+	}
+	h := protocol.HOwnerDataAtHomeRead
+	if msg.Excl {
+		h = protocol.HOwnerDataAtHomeReadEx
+	}
+	occ, act := cc.charge(h, 0, 0)
+	if msg.Dirty && !msg.Excl {
+		// The line stays shared: home memory must absorb the dirty data.
+		cc.memoryWrite(act, msg.Line)
+	}
+	op.intervention = false
+	op.haveData = true
+	cc.eng.At(act, func() { cc.finishIfReady(op) })
+	return occ
+}
+
+// homeInterventionMiss notes that the owner no longer held the line: its
+// write-back is (or was) in flight and carries the data.
+func (cc *Controller) homeInterventionMiss(w *work) sim.Time {
+	msg := w.msg
+	op := cc.homeOps[msg.Line]
+	if op == nil {
+		panic(fmt.Sprintf("core: InterventionMiss with no home op for line %#x", msg.Line))
+	}
+	occ, act := cc.charge(protocol.HInterventionMissAtHome, 0, 0)
+	op.intervention = false
+	op.waitWB = true
+	cc.eng.At(act, func() { cc.finishIfReady(op) })
+	return occ
+}
+
+// homeWriteBack absorbs an eviction write-back at the home node.
+func (cc *Controller) homeWriteBack(w *work) sim.Time {
+	msg := w.msg
+	line := msg.Line
+	occ, act := cc.charge(protocol.HWriteBackAtHome, 0, 0)
+	cc.memoryWrite(act, line)
+
+	if op := cc.homeOps[line]; op != nil {
+		op.wbArrived = true
+		op.haveData = true
+		cc.eng.At(act, func() { cc.finishIfReady(op) })
+		return occ
+	}
+	var e directory.Entry
+	if msg.SharedLeft {
+		e = directory.Entry{State: directory.SharedRemote,
+			Sharers: directory.Bitmap(0).Set(msg.Src)}
+	}
+	cc.dir.Write(cc.eng.Now(), line, e)
+	return occ
+}
+
+// finishIfReadyNoResponse completes an op whose requester already received
+// data directly from the owner: no home data response is sent.
+func (cc *Controller) finishIfReadyNoResponse(op *homeOp) {
+	if cc.homeOps[op.line] != op || op.finishing {
+		return
+	}
+	if !op.ready() {
+		return
+	}
+	if op.requester >= 0 {
+		// Data went owner->requester directly; just retire the op.
+		cc.dir.Write(cc.eng.Now(), op.line, op.finalDir)
+		delete(cc.homeOps, op.line)
+		cc.replay(op.waiters)
+		return
+	}
+	cc.finishOp(op)
+}
+
+// memoryWrite updates home memory through a controller-issued bus
+// write-back (contends for the bus and the banks, occupies no engine time
+// beyond what the handler already charged).
+func (cc *Controller) memoryWrite(at sim.Time, line uint64) {
+	txn := &smpbus.Txn{
+		Kind: smpbus.WriteBack, Line: line, Src: smpbus.CCSrc, HomeLocal: true,
+		Done: func(smpbus.Outcome) {},
+	}
+	cc.eng.At(at, func() { cc.bus.Issue(txn) })
+}

@@ -1,0 +1,563 @@
+// Package cpu implements the execution-driven compute-processor model.
+// Each simulated processor runs its workload program on a dedicated
+// goroutine; the program's shared-memory loads and stores are issued to the
+// timing model (L1 -> L2 -> SMP bus -> coherence controller) and the
+// goroutine blocks until the simulated access completes, exactly like the
+// Augmint task-switch-per-reference model the paper used. Control is handed
+// off synchronously, so only one goroutine (the engine's or one program's)
+// ever runs at a time and simulations stay deterministic.
+package cpu
+
+import (
+	"fmt"
+
+	"ccnuma/internal/cache"
+	"ccnuma/internal/config"
+	"ccnuma/internal/memaddr"
+	"ccnuma/internal/prog"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/smpbus"
+	"ccnuma/internal/stats"
+)
+
+// DebugLine, when non-zero, prints every cache-state transition touching
+// that line (diagnostics only).
+var DebugLine uint64
+
+func (p *Proc) dbg(format string, args ...interface{}) {
+	fmt.Printf("[cpu %8d p%d] "+format+"\n",
+		append([]interface{}{int64(p.eng.Now()), p.id}, args...)...)
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opBarrier
+	opLock
+	opUnlock
+	opDone
+)
+
+type op struct {
+	kind opKind
+	addr uint64
+	comp int64 // compute cycles/instructions preceding this operation
+	id   int   // lock identifier
+}
+
+// SyncHandler implements machine-level synchronization: the processor
+// hands barrier/lock operations to it and expects Resume to be called when
+// the processor may continue.
+type SyncHandler interface {
+	Barrier(p *Proc)
+	Lock(p *Proc, id int)
+	Unlock(p *Proc, id int)
+}
+
+// Proc is one simulated compute processor.
+type Proc struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	id    int // global processor index
+	node  int
+	bus   *smpbus.Bus
+	src   int // snooper index on the bus
+	space *memaddr.Space
+	sync  SyncHandler
+
+	l1 *cache.Cache
+	l2 *cache.Cache
+
+	start chan struct{}
+	ops   chan op
+
+	// syncCb, when set, receives the completion of an access issued by the
+	// synchronization layer instead of resuming the program.
+	syncCb func()
+
+	pendingComp int64 // program-side accumulated compute cycles
+
+	// Statistics.
+	instructions uint64
+	reads        uint64
+	writes       uint64
+	l1Hits       uint64
+	l2Hits       uint64
+	misses       uint64
+	upgrades     uint64
+	retries      uint64
+	finished     bool
+	finishedAt   sim.Time
+	missLat      stats.Histogram
+	missStart    sim.Time // start of the in-flight miss (one per processor)
+	missActive   bool
+}
+
+// New creates a processor attached to its node's bus.
+func New(eng *sim.Engine, cfg *config.Config, id, node int, bus *smpbus.Bus,
+	space *memaddr.Space, sync SyncHandler) *Proc {
+	p := &Proc{
+		eng:   eng,
+		cfg:   cfg,
+		id:    id,
+		node:  node,
+		bus:   bus,
+		space: space,
+		sync:  sync,
+		l1:    cache.New(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		l2:    cache.New(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+		start: make(chan struct{}),
+		ops:   make(chan op),
+	}
+	p.src = bus.AttachSnooper(p)
+	return p
+}
+
+// ID returns the processor's global index.
+func (p *Proc) ID() int { return p.id }
+
+// Node returns the processor's node index.
+func (p *Proc) Node() int { return p.node }
+
+// Instructions returns the instruction count (compute cycles plus one per
+// memory reference, the paper's 1-IPC in-order assumption).
+func (p *Proc) Instructions() uint64 { return p.instructions }
+
+// Finished reports whether the program has completed, and when.
+func (p *Proc) Finished() (bool, sim.Time) { return p.finished, p.finishedAt }
+
+// ForEachL2Line visits every valid line in the processor's L2 cache (for
+// end-of-run coherence invariant checks).
+func (p *Proc) ForEachL2Line(fn func(line uint64, st cache.State)) {
+	p.l2.Lines(func(line uint64, st cache.State) bool {
+		fn(line, st)
+		return true
+	})
+}
+
+// MissLatencies returns the processor's miss service-time distribution.
+func (p *Proc) MissLatencies() *stats.Histogram { return &p.missLat }
+
+// Counters returns the processor's reference statistics.
+func (p *Proc) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"reads": p.reads, "writes": p.writes,
+		"l1Hits": p.l1Hits, "l2Hits": p.l2Hits, "misses": p.misses,
+		"upgrades": p.upgrades, "busRetries": p.retries,
+	}
+}
+
+// Run launches the program goroutine and schedules its first time slice.
+// The program must use only the provided Env for shared-memory access.
+func (p *Proc) Run(program func(prog.Env)) {
+	env := &Env{p: p}
+	go func() {
+		<-p.start
+		program(env)
+		p.ops <- op{kind: opDone}
+	}()
+	p.eng.At(p.eng.Now(), p.resumeProgram)
+}
+
+// Resume lets the synchronization handler continue a parked processor.
+func (p *Proc) Resume() {
+	p.resumeProgram()
+}
+
+// SyncAccess models a load/store issued by the synchronization layer on
+// behalf of the parked program (a lock-line acquisition or release). done
+// runs at completion instead of resuming the program.
+func (p *Proc) SyncAccess(addr uint64, write bool, done func()) {
+	if p.syncCb != nil {
+		panic("cpu: overlapping SyncAccess")
+	}
+	p.syncCb = done
+	p.instructions++
+	if write {
+		p.writes++
+	} else {
+		p.reads++
+	}
+	p.access(addr, write)
+}
+
+// resumeProgram transfers control to the program goroutine, receives its
+// next operation, and models it. The engine goroutine blocks while the
+// program computes, which serializes all program execution deterministically.
+func (p *Proc) resumeProgram() {
+	p.start <- struct{}{}
+	o := <-p.ops
+	p.handleOp(o)
+}
+
+func (p *Proc) handleOp(o op) {
+	if o.comp > 0 {
+		p.instructions += uint64(o.comp)
+		p.eng.After(sim.Time(o.comp), func() { p.execOp(o) })
+		return
+	}
+	p.execOp(o)
+}
+
+func (p *Proc) execOp(o op) {
+	switch o.kind {
+	case opRead, opWrite:
+		p.instructions++
+		if o.kind == opRead {
+			p.reads++
+		} else {
+			p.writes++
+		}
+		p.access(o.addr, o.kind == opWrite)
+	case opBarrier:
+		p.sync.Barrier(p)
+	case opLock:
+		p.sync.Lock(p, o.id)
+	case opUnlock:
+		p.sync.Unlock(p, o.id)
+	case opDone:
+		p.finished = true
+		p.finishedAt = p.eng.Now()
+	default:
+		panic(fmt.Sprintf("cpu: unknown op %d", o.kind))
+	}
+}
+
+// access models one load or store.
+func (p *Proc) access(addr uint64, write bool) {
+	line := p.space.Line(addr)
+	if p.space.Home(line) < 0 {
+		// First touch under first-touch placement assigns the page here.
+		p.space.HomeOrAssign(line, p.node)
+	}
+
+	// L1: presence filter. Writes additionally require L2 exclusivity.
+	if p.l1.Touch(line) != cache.Invalid {
+		st := p.l2.Touch(line)
+		if st == cache.Invalid {
+			// Inclusion was broken by a snoop between references; fall
+			// through to the L2/bus path after back-invalidating L1.
+			p.l1.Invalidate(line)
+		} else if !write {
+			p.l1Hits++
+			p.finishAccess(p.cfg.L1HitTime)
+			return
+		} else if st == cache.Modified || st == cache.Exclusive {
+			p.l1Hits++
+			p.l2.SetState(line, cache.Modified)
+			p.finishAccess(p.cfg.L1HitTime)
+			return
+		}
+		// Write to a Shared/Owned line: exclusivity needed below.
+	}
+
+	st := p.l2.Touch(line)
+	switch {
+	case st == cache.Invalid:
+		p.misses++
+		p.missStart = p.eng.Now()
+		p.missActive = true
+		kind := smpbus.Read
+		if write {
+			kind = smpbus.ReadEx
+		}
+		p.eng.After(p.cfg.L2MissDetect, func() { p.issueMiss(line, kind) })
+	case !write:
+		p.l2Hits++
+		p.installL1(line)
+		p.finishAccess(p.cfg.L2HitTime)
+	case st == cache.Modified || st == cache.Exclusive:
+		p.l2Hits++
+		p.l2.SetState(line, cache.Modified)
+		p.installL1(line)
+		p.finishAccess(p.cfg.L2HitTime)
+	default: // write to Shared or Owned: upgrade
+		p.upgrades++
+		p.eng.After(p.cfg.L2MissDetect, func() { p.issueMiss(line, smpbus.Upgrade) })
+	}
+}
+
+// requesterOwns reports whether an Upgrade should carry the
+// dirty-ownership mark (the line is Owned in our L2 at issue time).
+func (p *Proc) requesterOwns(line uint64, kind smpbus.Kind) bool {
+	return kind == smpbus.Upgrade && p.l2.Lookup(line) == cache.Owned
+}
+
+// issueMiss puts a transaction on the bus and handles its outcome,
+// retrying with a re-evaluated cache state when bounced.
+func (p *Proc) issueMiss(line uint64, kind smpbus.Kind) {
+	owns := p.requesterOwns(line, kind)
+	txn := &smpbus.Txn{
+		Kind:          kind,
+		Line:          line,
+		Src:           p.src,
+		HomeLocal:     p.space.Home(line) == p.node,
+		RequesterOwns: owns,
+		Done:          func(o smpbus.Outcome) { p.missDone(line, kind, owns, o) },
+	}
+	p.bus.Issue(txn)
+}
+
+func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outcome) {
+	if DebugLine != 0 && line == DebugLine {
+		p.dbg("missDone %v owned=%v %+v", kind, owned, o)
+	}
+	switch o.Status {
+	case smpbus.RetryNeeded:
+		p.retries++
+		p.eng.After(p.cfg.BusRetry, func() { p.retryAccess(line, kind) })
+		return
+	case smpbus.OK:
+	default:
+		panic(fmt.Sprintf("cpu: unexpected miss outcome %+v", o))
+	}
+	switch kind {
+	case smpbus.Read:
+		st := cache.Exclusive
+		if o.Shared {
+			st = cache.Shared
+		}
+		p.installL2(line, st)
+	case smpbus.ReadEx:
+		p.installL2(line, cache.Modified)
+	case smpbus.Upgrade:
+		if o.WithData {
+			// The reply carried the full line (deferred upgrades convert
+			// to read-exclusive at the home, and in-node ownership
+			// transfers move the line cache-to-cache).
+			p.installL2(line, cache.Modified)
+			break
+		}
+		if owned {
+			// A dirty-owner grant is valid only if we still hold the line
+			// Owned: a home-initiated intervention may have downgraded or
+			// invalidated it while the upgrade was in flight, in which
+			// case global ownership moved and we must restart.
+			if p.l2.Lookup(line) != cache.Owned {
+				p.eng.After(p.cfg.BusRetry, func() { p.retryAccess(line, smpbus.Upgrade) })
+				return
+			}
+			p.l2.SetState(line, cache.Modified)
+			p.installL1(line)
+			break
+		}
+		// A bare home grant may arrive after an intervening invalidation
+		// removed our copy; in that case restart as a full read-exclusive.
+		if p.l2.Lookup(line) == cache.Invalid {
+			p.issueMiss(line, smpbus.ReadEx)
+			return
+		}
+		p.l2.SetState(line, cache.Modified)
+		p.installL1(line)
+	}
+	p.finishMiss()
+	p.finishAccess(p.cfg.FillRestart)
+}
+
+// retryAccess re-evaluates the cache state after a bus bounce: the line may
+// have arrived via a sibling in the meantime.
+func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
+	st := p.l2.Touch(line)
+	switch kind {
+	case smpbus.Read:
+		if st != cache.Invalid {
+			p.installL1(line)
+			p.finishAccess(p.cfg.L2HitTime)
+			return
+		}
+	case smpbus.ReadEx, smpbus.Upgrade:
+		switch st {
+		case cache.Modified, cache.Exclusive:
+			p.l2.SetState(line, cache.Modified)
+			p.installL1(line)
+			p.finishAccess(p.cfg.L2HitTime)
+			return
+		case cache.Shared, cache.Owned:
+			kind = smpbus.Upgrade
+		case cache.Invalid:
+			kind = smpbus.ReadEx
+		}
+	}
+	p.issueMiss(line, kind)
+}
+
+// installL2 inserts a filled line, writing back a dirty victim and keeping
+// L1 inclusive.
+func (p *Proc) installL2(line uint64, st cache.State) {
+	victim, vstate := p.l2.Insert(line, st)
+	if DebugLine != 0 && line == DebugLine {
+		p.dbg("install %v", st)
+	}
+	if vstate != cache.Invalid {
+		if DebugLine != 0 && victim == DebugLine {
+			p.dbg("evict %v", vstate)
+		}
+		p.l1.Invalidate(victim)
+		if vstate.Dirty() {
+			p.writeBack(victim)
+		}
+	}
+	p.installL1(line)
+}
+
+func (p *Proc) installL1(line uint64) {
+	p.l1.Insert(line, cache.Shared) // L1 tracks presence only
+}
+
+// writeBack issues an eviction write-back (fire and forget; the write-back
+// buffer is not a modelled resource beyond the bus itself).
+func (p *Proc) writeBack(line uint64) {
+	if DebugLine != 0 && line == DebugLine {
+		p.dbg("writeBack issue")
+	}
+	txn := &smpbus.Txn{
+		Kind:      smpbus.WriteBack,
+		Line:      line,
+		Src:       p.src,
+		HomeLocal: p.space.Home(line) == p.node,
+		Done: func(o smpbus.Outcome) {
+			if DebugLine != 0 && line == DebugLine {
+				p.dbg("writeBack done %+v", o)
+			}
+			if o.Status == smpbus.RetryNeeded {
+				p.eng.After(p.cfg.BusRetry, func() { p.writeBack(line) })
+			}
+		},
+	}
+	p.bus.Issue(txn)
+}
+
+// finishMiss records the completed miss's service time.
+func (p *Proc) finishMiss() {
+	if p.missActive {
+		p.missLat.Add(p.eng.Now() - p.missStart)
+		p.missActive = false
+	}
+}
+
+// finishAccess resumes the program (or completes a synchronization access)
+// after the access latency.
+func (p *Proc) finishAccess(extra sim.Time) {
+	if cb := p.syncCb; cb != nil {
+		p.syncCb = nil
+		p.eng.After(extra, cb)
+		return
+	}
+	p.eng.After(extra, p.resumeProgram)
+}
+
+// Snoop implements the bus snooping agent for this processor's caches.
+func (p *Proc) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
+	line := txn.Line
+	st := p.l2.Lookup(line)
+	if DebugLine != 0 && line == DebugLine && st != cache.Invalid {
+		p.dbg("snoop %v while %v", txn.Kind, st)
+	}
+	if st == cache.Invalid {
+		return smpbus.SnoopNone
+	}
+	switch txn.Kind {
+	case smpbus.Read:
+		// In-node read: a dirty owner supplies and keeps ownership
+		// (Modified -> Owned); clean holders supply shared.
+		if st.Dirty() {
+			p.l2.SetState(line, cache.Owned)
+			return smpbus.SnoopOwned
+		}
+		if st == cache.Exclusive {
+			p.l2.SetState(line, cache.Shared)
+		}
+		return smpbus.SnoopShared
+	case smpbus.Fetch:
+		// Controller fetch: dirty data leaves the node (home memory will
+		// be updated), so the copy downgrades to clean Shared.
+		if st.Dirty() {
+			p.l2.SetState(line, cache.Shared)
+			return smpbus.SnoopOwned
+		}
+		if st == cache.Exclusive {
+			p.l2.SetState(line, cache.Shared)
+		}
+		return smpbus.SnoopShared
+	case smpbus.ReadEx, smpbus.Upgrade, smpbus.FetchEx, smpbus.Inval:
+		p.l2.Invalidate(line)
+		p.l1.Invalidate(line)
+		if st.Dirty() {
+			return smpbus.SnoopOwned
+		}
+		return smpbus.SnoopShared
+	case smpbus.WriteBack:
+		// Another agent writes the line back; we keep our (clean) copy and
+		// report continued sharing.
+		return smpbus.SnoopShared
+	default:
+		return smpbus.SnoopNone
+	}
+}
+
+// ---- program-facing API -----------------------------------------------------
+
+// Env is the shared-memory interface handed to workload programs (the
+// detailed implementation of prog.Env). All methods block the program
+// goroutine until the simulated operation completes. Env is owned by a
+// single program goroutine.
+type Env struct {
+	p *Proc
+}
+
+var _ prog.Env = (*Env)(nil)
+
+// ID returns the global processor index running this program.
+func (e *Env) ID() int { return e.p.id }
+
+// Node returns the processor's node.
+func (e *Env) Node() int { return e.p.node }
+
+// Compute charges n instruction cycles of local computation. The cost is
+// attached to the next memory or synchronization operation.
+func (e *Env) Compute(n int) {
+	if n > 0 {
+		e.p.pendingComp += int64(n)
+	}
+}
+
+func (e *Env) issue(o op) {
+	o.comp = e.p.pendingComp
+	e.p.pendingComp = 0
+	e.p.ops <- o
+	<-e.p.start
+}
+
+// Read performs a shared-memory load from addr.
+func (e *Env) Read(addr uint64) { e.issue(op{kind: opRead, addr: addr}) }
+
+// Write performs a shared-memory store to addr.
+func (e *Env) Write(addr uint64) { e.issue(op{kind: opWrite, addr: addr}) }
+
+// ReadRange loads n consecutive 8-byte words starting at addr, one
+// reference per word (the caches collapse same-line references).
+func (e *Env) ReadRange(addr uint64, n int) {
+	for i := 0; i < n; i++ {
+		e.Read(addr + uint64(i*8))
+	}
+}
+
+// WriteRange stores n consecutive 8-byte words starting at addr.
+func (e *Env) WriteRange(addr uint64, n int) {
+	for i := 0; i < n; i++ {
+		e.Write(addr + uint64(i*8))
+	}
+}
+
+// Barrier joins the global barrier; the program resumes when every
+// processor has arrived.
+func (e *Env) Barrier() { e.issue(op{kind: opBarrier}) }
+
+// Lock acquires the numbered lock, modelling the coherence traffic of a
+// read-exclusive acquisition of the lock's cache line.
+func (e *Env) Lock(id int) { e.issue(op{kind: opLock, id: id}) }
+
+// Unlock releases the numbered lock.
+func (e *Env) Unlock(id int) { e.issue(op{kind: opUnlock, id: id}) }

@@ -1,0 +1,154 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+)
+
+func newDir(t *testing.T, mutate func(*config.Config)) (*Directory, *config.Config) {
+	t.Helper()
+	cfg := config.Base()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := sim.NewEngine()
+	return New(eng, &cfg, 0), &cfg
+}
+
+func TestBitmapOperations(t *testing.T) {
+	var b Bitmap
+	b = b.Set(3).Set(7).Set(3)
+	if b.Count() != 2 {
+		t.Fatalf("count = %d, want 2", b.Count())
+	}
+	if !b.Has(3) || !b.Has(7) || b.Has(0) {
+		t.Fatal("membership wrong")
+	}
+	b = b.Clear(3)
+	if b.Has(3) || b.Count() != 1 {
+		t.Fatal("clear failed")
+	}
+	var got []int
+	Bitmap(0).Set(1).Set(15).Set(8).ForEach(func(n int) { got = append(got, n) })
+	if len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 15 {
+		t.Fatalf("ForEach order %v", got)
+	}
+}
+
+func TestBitmapProperties(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		b := Bitmap(v)
+		node := int(n % 64)
+		if !b.Set(node).Has(node) {
+			return false
+		}
+		if b.Clear(node).Has(node) {
+			return false
+		}
+		// Set then clear restores when the bit was absent.
+		if !b.Has(node) && b.Set(node).Clear(node) != b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupDefaultsToNoRemote(t *testing.T) {
+	d, _ := newDir(t, nil)
+	e := d.Lookup(0x1000)
+	if e.State != NoRemote || e.Sharers != 0 {
+		t.Fatalf("default entry %+v", e)
+	}
+}
+
+func TestWriteThenLookup(t *testing.T) {
+	d, _ := newDir(t, nil)
+	d.Write(0, 0x1000, Entry{State: DirtyRemote, Owner: 5})
+	e := d.Lookup(0x1000)
+	if e.State != DirtyRemote || e.Owner != 5 {
+		t.Fatalf("entry %+v", e)
+	}
+	// Writing NoRemote reclaims storage.
+	d.Write(0, 0x1000, Entry{State: NoRemote})
+	if d.Lookup(0x1000).State != NoRemote {
+		t.Fatal("NoRemote write did not clear entry")
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	d, cfg := newDir(t, nil)
+	_, extra := d.Read(0, 0x1000)
+	if extra != cfg.DirDRAMRead {
+		t.Fatalf("first read extra = %d, want DRAM latency %d", extra, cfg.DirDRAMRead)
+	}
+	_, extra = d.Read(100, 0x1000)
+	if extra != 0 {
+		t.Fatalf("second read extra = %d, want 0 (cache hit)", extra)
+	}
+	if d.CacheHits() != 1 || d.CacheMisses() != 1 {
+		t.Fatalf("hits=%d misses=%d", d.CacheHits(), d.CacheMisses())
+	}
+}
+
+func TestReadContentionOnDRAM(t *testing.T) {
+	d, cfg := newDir(t, nil)
+	// Two misses at the same cycle: the second queues behind the first.
+	_, e1 := d.Read(0, 0x1000)
+	_, e2 := d.Read(0, 0x2000)
+	if e1 != cfg.DirDRAMRead {
+		t.Fatalf("first extra = %d", e1)
+	}
+	if e2 != 2*cfg.DirDRAMRead {
+		t.Fatalf("second extra = %d, want %d (queued)", e2, 2*cfg.DirDRAMRead)
+	}
+}
+
+func TestWriteKeepsCacheWarm(t *testing.T) {
+	d, _ := newDir(t, nil)
+	d.Write(0, 0x3000, Entry{State: SharedRemote, Sharers: Bitmap(0).Set(2)})
+	_, extra := d.Read(10, 0x3000)
+	if extra != 0 {
+		t.Fatalf("read after write extra = %d, want 0 (write-allocate)", extra)
+	}
+}
+
+func TestNoDirCacheAlwaysPaysDRAM(t *testing.T) {
+	d, cfg := newDir(t, func(c *config.Config) { c.DirCacheEntries = 0 })
+	_, e1 := d.Read(0, 0x1000)
+	// Sequential reads at separated times both pay full latency.
+	_, e2 := d.Read(1000, 0x1000)
+	if e1 != cfg.DirDRAMRead || e2 != cfg.DirDRAMRead {
+		t.Fatalf("extras %d %d, want DRAM latency both times", e1, e2)
+	}
+}
+
+func TestDirCacheEviction(t *testing.T) {
+	d, cfg := newDir(t, func(c *config.Config) { c.DirCacheEntries = 8 })
+	// Fill well past capacity.
+	for i := 0; i < 64; i++ {
+		d.Read(sim.Time(i*100), uint64(i*cfg.LineSize))
+	}
+	if d.CacheMisses() != 64 {
+		t.Fatalf("misses = %d, want 64 (distinct lines)", d.CacheMisses())
+	}
+	// The earliest line must have been evicted; re-reading it misses again.
+	before := d.CacheMisses()
+	d.Read(10000, 0)
+	if d.CacheMisses() != before+1 {
+		t.Fatal("expected eviction of the oldest entry")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{NoRemote: "NoRemote", SharedRemote: "SharedRemote", DirtyRemote: "DirtyRemote"} {
+		if s.String() != want {
+			t.Errorf("%v string = %q", uint8(s), s.String())
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ccnuma/internal/stats"
+	"ccnuma/internal/workload"
+)
+
+func TestStaticTablesRender(t *testing.T) {
+	for name, text := range map[string]string{
+		"table1": Table1(),
+		"table2": Table2(),
+		"table4": Table4(),
+	} {
+		if len(text) < 100 {
+			t.Errorf("%s suspiciously short:\n%s", name, text)
+		}
+	}
+	if !strings.Contains(Table1(), "16 nodes x 4 processors") {
+		t.Error("table 1 missing base geometry")
+	}
+	if !strings.Contains(Table2(), "dispatch handler") {
+		t.Error("table 2 missing dispatch row")
+	}
+	if !strings.Contains(Table4(), "remote read to home (clean)") {
+		t.Error("table 4 missing a handler row")
+	}
+}
+
+func TestTable3Probe(t *testing.T) {
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWC < 100 || res.HWC > 200 {
+		t.Errorf("HWC latency %d outside plausible range", res.HWC)
+	}
+	if res.PPC <= res.HWC {
+		t.Errorf("PPC latency %d not above HWC %d", res.PPC, res.HWC)
+	}
+	rel := res.RelativeIncrease()
+	if rel < 0.25 || rel > 0.80 {
+		t.Errorf("relative increase %.2f far from the paper's 0.49", rel)
+	}
+	if !strings.Contains(res.Render(), "Paper") {
+		t.Error("render missing paper column")
+	}
+}
+
+func TestSuiteFigure6TestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	f, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Apps) != 8 || len(f.Archs) != 4 {
+		t.Fatalf("figure shape %dx%d", len(f.Apps), len(f.Archs))
+	}
+	for _, app := range f.Apps {
+		if got := f.Series["HWC"][app]; got != 1.0 {
+			t.Errorf("%s HWC normalized to %.3f, want 1.0", app, got)
+		}
+		if f.PPPenalty(app) < -0.5 {
+			t.Errorf("%s PPC penalty %.2f absurdly negative", app, f.PPPenalty(app))
+		}
+	}
+	if !strings.Contains(f.Render(), "Ocean") {
+		t.Error("render missing an application")
+	}
+	// Memoization: re-running must not error and must be instant-ish.
+	if _, err := s.Figure6(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteTables67TestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	rows6, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows6) != 8 {
+		t.Fatalf("table 6 rows = %d", len(rows6))
+	}
+	for _, r := range rows6 {
+		if r.RCCPIx1000 <= 0 {
+			t.Errorf("%s RCCPI = %v", r.App, r.RCCPIx1000)
+		}
+		if r.OccupancyRatio < 1.0 {
+			t.Errorf("%s occupancy ratio %.2f < 1 (PPC should occupy more)", r.App, r.OccupancyRatio)
+		}
+		if r.PPCUtil <= 0 || r.HWCUtil <= 0 {
+			t.Errorf("%s zero utilization", r.App)
+		}
+	}
+	out6 := RenderTable6(rows6)
+	if !strings.Contains(out6, "PP penalty") {
+		t.Error("table 6 render missing header")
+	}
+
+	rows7, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 16 { // 8 apps x {2HWC, 2PPC}
+		t.Fatalf("table 7 rows = %d", len(rows7))
+	}
+	for _, r := range rows7 {
+		if r.LPEShare+r.RPEShare < 0.99 || r.LPEShare+r.RPEShare > 1.01 {
+			t.Errorf("%s/%s engine shares do not sum to 1: %v + %v",
+				r.App, r.Arch, r.LPEShare, r.RPEShare)
+		}
+	}
+	if !strings.Contains(RenderTable7(rows7), "LPE util") {
+		t.Error("table 7 render missing header")
+	}
+}
+
+func TestSuiteCurvesTestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	f11, err := s.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.HWC) != len(f11.PPC) || len(f11.HWC) == 0 {
+		t.Fatalf("figure 11 points: %d/%d", len(f11.HWC), len(f11.PPC))
+	}
+	f12, err := s.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f12.Points) != len(f11.HWC) {
+		t.Fatalf("figure 12 points = %d", len(f12.Points))
+	}
+	if !strings.Contains(f11.Render(), "req/us") || !strings.Contains(f12.Render(), "PP penalty") {
+		t.Error("curve renders missing headers")
+	}
+}
+
+func TestGeometryRules(t *testing.T) {
+	s := NewSuite(workload.SizeBase)
+	if n, p := s.geometry("ocean"); n != 16 || p != 4 {
+		t.Errorf("ocean geometry %dx%d, want 16x4", n, p)
+	}
+	if n, p := s.geometry("lu"); n != 8 || p != 4 {
+		t.Errorf("lu geometry %dx%d, want 8x4 (32 processors)", n, p)
+	}
+	st := NewSuite(workload.SizeTest)
+	if n, p := st.geometry("ocean"); n != 4 || p != 2 {
+		t.Errorf("test ocean geometry %dx%d, want 4x2", n, p)
+	}
+}
+
+func TestAppLabels(t *testing.T) {
+	for app, want := range map[string]string{
+		"lu": "LU", "ocean": "Ocean", "water-sp": "Water-Sp",
+		"water-nsq": "Water-Nsq", "fft": "FFT", "radix": "Radix",
+		"barnes": "Barnes", "cholesky": "Cholesky", "other": "other",
+	} {
+		if got := AppLabel(app); got != want {
+			t.Errorf("AppLabel(%s) = %s, want %s", app, got, want)
+		}
+	}
+}
+
+func TestExtensionsTestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	res, err := s.Extensions("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineScaling["radix"][1] != 1.0 {
+		t.Errorf("1-engine baseline not normalized: %v", res.EngineScaling["radix"][1])
+	}
+	// More engines must not slow the controller-bound workload down much;
+	// four region-split engines should beat one.
+	if res.EngineScaling["radix"][4] >= 1.05 {
+		t.Errorf("4-engine scaling %.3f, expected improvement over 1 engine",
+			res.EngineScaling["radix"][4])
+	}
+	// The accelerated PP sits between custom hardware and the commodity PP.
+	h, a, p := res.KindTimes["radix"]["HWC"], res.KindTimes["radix"]["PPCA"], res.KindTimes["radix"]["PPC"]
+	if !(h <= a && a <= p) {
+		t.Errorf("engine-kind ordering HWC=%.3f PPCA=%.3f PPC=%.3f, want HWC <= PPCA <= PPC", h, a, p)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPlacementTestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	res, err := s.Placement("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Normalized["ocean"]["round-robin"] != 1.0 {
+		t.Errorf("round-robin not normalized: %v", res.Normalized["ocean"]["round-robin"])
+	}
+	ft := res.Normalized["ocean"]["first-touch"]
+	if ft <= 0 {
+		t.Errorf("first-touch time missing: %v", ft)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPredictionTestSize(t *testing.T) {
+	s := NewSuite(workload.SizeTest)
+	res, err := s.Prediction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) < 4 {
+		t.Fatalf("calibration curve has %d points", len(res.Curve))
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].X < res.Curve[i-1].X {
+			t.Fatal("curve not sorted by RCCPI")
+		}
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("prediction rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PRAMRCCPIx1000 <= 0 {
+			t.Errorf("%s: PRAM estimate missing", row.App)
+		}
+		// The PRAM estimate should land within a factor ~3 of the detailed
+		// RCCPI even at tiny problem sizes.
+		ratio := row.PRAMRCCPIx1000 / row.ActualRCCPIx1000
+		if ratio < 0.25 || ratio > 4.0 {
+			t.Errorf("%s: PRAM/actual RCCPI ratio %.2f", row.App, ratio)
+		}
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	curve := []stats.CurvePoint{{X: 1, Y: 0.1}, {X: 3, Y: 0.3}, {X: 10, Y: 1.0}}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0.1},  // clamp low
+		{1, 0.1},    // exact
+		{2, 0.2},    // midpoint
+		{3, 0.3},    // exact
+		{6.5, 0.65}, // interior
+		{20, 1.0},   // clamp high
+	}
+	for _, c := range cases {
+		if got := interpolate(curve, c.x); got < c.want-1e-9 || got > c.want+1e-9 {
+			t.Errorf("interpolate(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if interpolate(nil, 5) != 0 {
+		t.Error("empty curve should return 0")
+	}
+}

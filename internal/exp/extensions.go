@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/stats"
+)
+
+// ExtensionResult holds the Section 5 extension studies: scaling the number
+// of protocol engines ("more protocol engines for different regions of
+// memory") and adding incremental custom hardware to a protocol processor
+// (the PPCA engine).
+type ExtensionResult struct {
+	Apps []string
+	// EngineScaling[app][n] = exec time with n region-split PPC engines,
+	// normalized by the app's 1-engine PPC run.
+	EngineScaling map[string]map[int]float64
+	// KindTimes[app][kind] = exec time normalized by the app's HWC run.
+	KindTimes map[string]map[string]float64
+}
+
+// engineCounts for the scaling study.
+var engineCounts = []int{1, 2, 4}
+
+// Extensions runs both Section 5 studies on the given applications
+// (defaults to ocean and radix, the highest-penalty pair).
+func (s *Suite) Extensions(apps ...string) (*ExtensionResult, error) {
+	if len(apps) == 0 {
+		apps = []string{"ocean", "radix"}
+	}
+	res := &ExtensionResult{
+		Apps:          apps,
+		EngineScaling: map[string]map[int]float64{},
+		KindTimes:     map[string]map[string]float64{},
+	}
+	for _, app := range apps {
+		res.EngineScaling[app] = map[int]float64{}
+		var base *stats.Run
+		for _, n := range engineCounts {
+			v := variant{name: fmt.Sprintf("eng%d", n)}
+			r, err := s.runEngines(app, n, v)
+			if err != nil {
+				return nil, err
+			}
+			if n == 1 {
+				base = r
+			}
+			res.EngineScaling[app][n] = float64(r.ExecTime) / float64(base.ExecTime)
+		}
+
+		res.KindTimes[app] = map[string]float64{}
+		hwc, err := s.Run(app, "HWC", base2())
+		if err != nil {
+			return nil, err
+		}
+		for _, arch := range []string{"HWC", "PPCA", "PPC"} {
+			r, err := s.Run(app, arch, base2())
+			if err != nil {
+				return nil, err
+			}
+			res.KindTimes[app][arch] = float64(r.ExecTime) / float64(hwc.ExecTime)
+		}
+	}
+	return res, nil
+}
+
+// base2 aliases the base variant (kept separate so extension runs get their
+// own cache keys when suites are shared).
+func base2() variant { return variant{name: "base"} }
+
+// runEngines simulates app with n region-split PPC engines.
+func (s *Suite) runEngines(app string, n int, v variant) (*stats.Run, error) {
+	k := s.key(app, fmt.Sprintf("%dPPC-region", n), v)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := config.Base()
+	cfg.Engine = config.PPC
+	cfg.NumEngines = n
+	if n > 1 {
+		cfg.Split = config.SplitRegion
+	}
+	nodes, ppn := s.geometry(app)
+	cfg.Nodes, cfg.ProcsPerNode = nodes, ppn
+	cfg.SimLimit = 20_000_000_000
+	r, err := s.simulate(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[k] = r
+	return r, nil
+}
+
+// Render formats the extension studies.
+func (r *ExtensionResult) Render() string {
+	var rows [][]string
+	for _, app := range r.Apps {
+		for _, n := range engineCounts {
+			rows = append(rows, []string{
+				AppLabel(app),
+				fmt.Sprintf("%d x PPC (region split)", n),
+				fmt.Sprintf("%.3f", r.EngineScaling[app][n]),
+			})
+		}
+		for _, arch := range []string{"HWC", "PPCA", "PPC"} {
+			rows = append(rows, []string{
+				AppLabel(app),
+				arch + " (1 engine)",
+				fmt.Sprintf("%.3f", r.KindTimes[app][arch]),
+			})
+		}
+	}
+	return renderTable("Extensions (paper section 5): engine scaling (normalized to 1xPPC) and accelerated protocol processor (normalized to HWC)",
+		[]string{"Application", "Configuration", "Normalized time"}, rows)
+}

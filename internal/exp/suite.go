@@ -1,0 +1,230 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// section. Each experiment has a typed result plus a text renderer that
+// prints the same rows/series the paper reports; cmd/cctables drives them
+// all. Runs are memoized inside a Suite so the statistics tables reuse the
+// Figure 6 base runs, exactly as the paper derives Tables 6 and 7 from the
+// base-configuration simulations.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/workload"
+)
+
+// Suite runs experiments at a given problem-size class, memoizing
+// simulation results.
+type Suite struct {
+	// Size selects the workload problem sizes (SizeTest shrinks both the
+	// data sets and the machine for quick smoke runs and benchmarks).
+	Size workload.SizeClass
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+
+	cache map[string]*stats.Run
+}
+
+// NewSuite creates a suite at the given size class.
+func NewSuite(size workload.SizeClass) *Suite {
+	return &Suite{Size: size, cache: make(map[string]*stats.Run)}
+}
+
+// geometry returns the machine shape for an application: the paper's base
+// system is 16 nodes x 4 processors, with LU and Cholesky run on 8 x 4
+// (32 processors) because they do not scale to 64 at these data sizes. At
+// SizeTest everything shrinks to 4 x 2 (2 x 2 for lu/cholesky).
+func (s *Suite) geometry(app string) (nodes, ppn int) {
+	small := app == "lu" || app == "cholesky"
+	if s.Size == workload.SizeTest {
+		if small {
+			return 2, 2
+		}
+		return 4, 2
+	}
+	if small {
+		return 8, 4
+	}
+	return 16, 4
+}
+
+// variant captures the parameter deltas of the non-base experiments.
+type variant struct {
+	name       string
+	lineSize   int
+	netLatency int
+	size       workload.SizeClass
+	nodes, ppn int // 0 = use default geometry
+}
+
+func (s *Suite) key(app, arch string, v variant) string {
+	return fmt.Sprintf("%s/%s/%s/%d/%d/%d/%d/%d", app, arch, v.name, v.lineSize, v.netLatency, int(v.size), v.nodes, v.ppn)
+}
+
+// Run simulates one application on one architecture under a variant,
+// memoizing the result.
+func (s *Suite) Run(app, arch string, v variant) (*stats.Run, error) {
+	k := s.key(app, arch, v)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := config.Base()
+	var err error
+	cfg, err = cfg.WithArch(arch)
+	if err != nil {
+		return nil, err
+	}
+	nodes, ppn := s.geometry(app)
+	if v.nodes > 0 {
+		nodes = v.nodes
+	}
+	if v.ppn > 0 {
+		ppn = v.ppn
+	}
+	cfg.Nodes, cfg.ProcsPerNode = nodes, ppn
+	if v.lineSize > 0 {
+		cfg.LineSize = v.lineSize
+	}
+	if v.netLatency > 0 {
+		cfg.NetLatency = sim.Time(v.netLatency)
+	}
+	cfg.SimLimit = 20_000_000_000
+	size := s.Size
+	if v.size != 0 {
+		size = v.size
+	}
+	if s.Size == workload.SizeTest {
+		size = workload.SizeTest
+	}
+
+	r, err := s.simulateAt(cfg, app, size)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s (%s): %w", app, arch, v.name, err)
+	}
+	if s.Progress != nil {
+		fmt.Fprintf(s.Progress, "  ran %-10s %-5s %-12s exec=%-12d 1000*RCCPI=%.2f\n",
+			app, arch, v.name, r.ExecTime, 1000*r.RCCPI())
+	}
+	s.cache[k] = r
+	return r, nil
+}
+
+// simulate runs app on a fully specified configuration at the suite's size
+// class.
+func (s *Suite) simulate(cfg config.Config, app string) (*stats.Run, error) {
+	size := workload.SizeBase
+	if s.Size == workload.SizeTest {
+		size = workload.SizeTest
+	}
+	return s.simulateAt(cfg, app, size)
+}
+
+func (s *Suite) simulateAt(cfg config.Config, app string, size workload.SizeClass) (*stats.Run, error) {
+	m, err := machine.New(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.New(app, size, m.NProcs())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Setup(m); err != nil {
+		return nil, err
+	}
+	r, err := m.Run(w.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Verify(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// base returns the base-configuration variant.
+func base() variant { return variant{name: "base"} }
+
+// AppLabel maps internal names to the paper's display names.
+func AppLabel(app string) string {
+	switch app {
+	case "lu":
+		return "LU"
+	case "water-sp":
+		return "Water-Sp"
+	case "barnes":
+		return "Barnes"
+	case "cholesky":
+		return "Cholesky"
+	case "water-nsq":
+		return "Water-Nsq"
+	case "fft":
+		return "FFT"
+	case "radix":
+		return "Radix"
+	case "ocean":
+		return "Ocean"
+	default:
+		return app
+	}
+}
+
+// renderTable formats rows of columns with a header, padding columns.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// sortedKeys returns map keys in sorted order (for deterministic output).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,138 @@
+// Package interconnect models the CC-NUMA system's point-to-point network:
+// a fast switch with 32-byte-wide links, a fixed point-to-point latency
+// (70 ns in the base system), and external point contention modelled as
+// FIFO queueing on each node's network-interface input and output ports.
+// Payloads are opaque to the network; the coherence protocol lives above.
+package interconnect
+
+import (
+	"fmt"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+)
+
+// Handler receives a delivered message on the destination node.
+type Handler func(src int, payload interface{})
+
+// Network connects the nodes' network interfaces.
+type Network struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	out   []*sim.Resource // per-node NI output ports
+	in    []*sim.Resource // per-node NI input ports
+	sinks []Handler
+	mesh  *mesh // non-nil under TopoMesh2D
+
+	msgs  uint64
+	flits uint64
+}
+
+// New creates the network for the configured node count.
+func New(eng *sim.Engine, cfg *config.Config) *Network {
+	n := &Network{
+		eng:   eng,
+		cfg:   cfg,
+		out:   make([]*sim.Resource, cfg.Nodes),
+		in:    make([]*sim.Resource, cfg.Nodes),
+		sinks: make([]Handler, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.out[i] = sim.NewResource(eng, fmt.Sprintf("ni-out-%d", i))
+		n.in[i] = sim.NewResource(eng, fmt.Sprintf("ni-in-%d", i))
+	}
+	if cfg.Topology == config.TopoMesh2D {
+		n.mesh = newMesh(eng, cfg.Nodes)
+	}
+	return n
+}
+
+// Hops returns the routing distance between two nodes (1 for the
+// crossbar).
+func (n *Network) Hops(src, dst int) int {
+	if n.mesh == nil {
+		return 1
+	}
+	return n.mesh.Hops(src, dst)
+}
+
+// Attach registers the message sink for a node. Every node must have a sink
+// before traffic is sent to it.
+func (n *Network) Attach(node int, h Handler) {
+	if n.sinks[node] != nil {
+		panic(fmt.Sprintf("interconnect: node %d already attached", node))
+	}
+	n.sinks[node] = h
+}
+
+// Send transmits a message of the given flit count from src to dst. The
+// sender's output port is occupied for the serialization time; the head
+// flit then traverses the switch with the configured point-to-point
+// latency; the receiver's input port is occupied while the message drains
+// into the destination NI; the sink fires when the last flit has arrived.
+// Send returns immediately (the NI accepts the message into its send queue
+// at the current cycle).
+func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
+	if src < 0 || src >= len(n.out) || dst < 0 || dst >= len(n.in) {
+		panic(fmt.Sprintf("interconnect: send %d->%d out of range", src, dst))
+	}
+	if flitCount <= 0 {
+		flitCount = 1
+	}
+	n.msgs++
+	n.flits += uint64(flitCount)
+	ser := sim.Time(flitCount) * n.cfg.NetFlitTime
+	n.out[src].Acquire(ser, func(start sim.Time) {
+		if n.mesh != nil && src != dst {
+			n.sendMesh(src, dst, start, ser, payload)
+			return
+		}
+		headArrives := start + n.cfg.NetLatency
+		n.deliverAt(src, dst, headArrives, ser, payload)
+	})
+}
+
+// sendMesh chains the message across the mesh's links with dimension-order
+// routing: each hop contends for its directed link, occupies it for the
+// serialization time, and adds the per-hop router latency.
+func (n *Network) sendMesh(src, dst int, start, ser sim.Time, payload interface{}) {
+	hops := n.mesh.route(src, dst)
+	var advance func(i int, t sim.Time)
+	advance = func(i int, t sim.Time) {
+		if i == len(hops) {
+			n.deliverAt(src, dst, t, ser, payload)
+			return
+		}
+		link := n.mesh.links[hops[i]]
+		link.AcquireAt(t, ser, func(ls sim.Time) {
+			advance(i+1, ls+n.cfg.NetHopLatency)
+		})
+	}
+	advance(0, start)
+}
+
+// deliverAt drains the message into the destination NI beginning at
+// headArrives and fires the sink when the last flit lands.
+func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload interface{}) {
+	n.in[dst].AcquireAt(headArrives, ser, func(inStart sim.Time) {
+		n.eng.At(inStart+ser, func() {
+			sink := n.sinks[dst]
+			if sink == nil {
+				panic(fmt.Sprintf("interconnect: no sink on node %d", dst))
+			}
+			sink(src, payload)
+		})
+	})
+}
+
+// Messages returns the number of messages sent so far.
+func (n *Network) Messages() uint64 { return n.msgs }
+
+// Flits returns the number of flits sent so far.
+func (n *Network) Flits() uint64 { return n.flits }
+
+// OutPort exposes a node's output-port resource (for utilization reports).
+func (n *Network) OutPort(node int) *sim.Resource { return n.out[node] }
+
+// InPort exposes a node's input-port resource.
+func (n *Network) InPort(node int) *sim.Resource { return n.in[node] }

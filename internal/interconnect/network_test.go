@@ -1,0 +1,235 @@
+package interconnect
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *Network, *config.Config) {
+	t.Helper()
+	cfg := config.Base()
+	eng := sim.NewEngine()
+	net := New(eng, &cfg)
+	return eng, net, &cfg
+}
+
+func TestControlMessageLatency(t *testing.T) {
+	eng, net, cfg := setup(t)
+	var deliveredAt sim.Time = -1
+	var deliveredSrc int
+	var deliveredPayload interface{}
+	net.Attach(1, func(src int, p interface{}) {
+		deliveredAt = eng.Now()
+		deliveredSrc = src
+		deliveredPayload = p
+	})
+	eng.At(0, func() { net.Send(0, 1, cfg.ControlFlits(), "hello") })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Control message: 1 flit x 2 cycles serialization + 14 latency = 16.
+	if deliveredAt != 16 {
+		t.Fatalf("delivered at %d, want 16", deliveredAt)
+	}
+	if deliveredSrc != 0 || deliveredPayload != "hello" {
+		t.Fatalf("delivery metadata wrong: src=%d payload=%v", deliveredSrc, deliveredPayload)
+	}
+}
+
+func TestDataMessageLatency(t *testing.T) {
+	eng, net, cfg := setup(t)
+	var at sim.Time = -1
+	net.Attach(2, func(int, interface{}) { at = eng.Now() })
+	eng.At(0, func() { net.Send(0, 2, cfg.LineDataFlits(), nil) })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 flits x 2 + 14 = 24.
+	if at != 24 {
+		t.Fatalf("data message delivered at %d, want 24", at)
+	}
+}
+
+func TestOutputPortSerializes(t *testing.T) {
+	eng, net, _ := setup(t)
+	var times []sim.Time
+	net.Attach(1, func(int, interface{}) { times = append(times, eng.Now()) })
+	net.Attach(2, func(int, interface{}) { times = append(times, eng.Now()) })
+	eng.At(0, func() {
+		net.Send(0, 1, 5, nil) // occupies out port [0,10)
+		net.Send(0, 2, 1, nil) // must wait until 10
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("delivered %d messages", len(times))
+	}
+	// First: 10 + 14 = 24. Second: starts at 10, 2 + 14 = 26.
+	if times[0] != 24 || times[1] != 26 {
+		t.Fatalf("delivery times %v, want [24 26]", times)
+	}
+}
+
+func TestInputPortContention(t *testing.T) {
+	eng, net, _ := setup(t)
+	var times []sim.Time
+	net.Attach(3, func(src int, _ interface{}) { times = append(times, eng.Now()) })
+	eng.At(0, func() {
+		net.Send(0, 3, 5, nil) // arrives head at 14, drains [14,24)
+		net.Send(1, 3, 5, nil) // head also at 14, must queue: drains [24,34)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 24 || times[1] != 34 {
+		t.Fatalf("delivery times %v, want [24 34]", times)
+	}
+}
+
+func TestSlowNetworkParameter(t *testing.T) {
+	cfg := config.Base()
+	cfg.NetLatency = 200 // 1 microsecond
+	eng := sim.NewEngine()
+	net := New(eng, &cfg)
+	var at sim.Time
+	net.Attach(1, func(int, interface{}) { at = eng.Now() })
+	eng.At(0, func() { net.Send(0, 1, 1, nil) })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 202 {
+		t.Fatalf("slow-net delivery at %d, want 202", at)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng, net, _ := setup(t)
+	net.Attach(1, func(int, interface{}) {})
+	eng.At(0, func() {
+		net.Send(0, 1, 5, nil)
+		net.Send(0, 1, 1, nil)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Messages() != 2 || net.Flits() != 6 {
+		t.Fatalf("messages=%d flits=%d", net.Messages(), net.Flits())
+	}
+	if net.OutPort(0).Busy() != 12 {
+		t.Fatalf("out port busy = %d, want 12", net.OutPort(0).Busy())
+	}
+	if net.InPort(1).Grants() != 2 {
+		t.Fatalf("in port grants = %d", net.InPort(1).Grants())
+	}
+}
+
+func TestNoSinkPanics(t *testing.T) {
+	eng, net, _ := setup(t)
+	eng.At(0, func() { net.Send(0, 1, 1, nil) })
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery without sink did not panic")
+		}
+	}()
+	_, _ = eng.Run()
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	_, net, _ := setup(t)
+	net.Attach(0, func(int, interface{}) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double attach did not panic")
+		}
+	}()
+	net.Attach(0, func(int, interface{}) {})
+}
+
+func TestMeshGeometry(t *testing.T) {
+	cfg := config.Base()
+	cfg.Topology = config.TopoMesh2D
+	eng := sim.NewEngine()
+	net := New(eng, &cfg) // 16 nodes -> 4x4 mesh
+	// Corner to corner: Manhattan distance 6.
+	if got := net.Hops(0, 15); got != 6 {
+		t.Fatalf("hops(0,15) = %d, want 6", got)
+	}
+	if got := net.Hops(0, 1); got != 1 {
+		t.Fatalf("hops(0,1) = %d, want 1", got)
+	}
+	if got := net.Hops(5, 5); got != 0 {
+		t.Fatalf("hops(5,5) = %d, want 0", got)
+	}
+}
+
+func TestMeshLatencyScalesWithDistance(t *testing.T) {
+	cfg := config.Base()
+	cfg.Topology = config.TopoMesh2D
+	eng := sim.NewEngine()
+	net := New(eng, &cfg)
+	var near, far sim.Time
+	net.Attach(1, func(int, interface{}) { near = eng.Now() })
+	net.Attach(15, func(int, interface{}) { far = eng.Now() })
+	eng.At(0, func() {
+		net.Send(0, 1, 1, nil)  // 1 hop
+		net.Send(0, 15, 1, nil) // 6 hops
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if near == 0 || far == 0 {
+		t.Fatal("messages not delivered")
+	}
+	// Each extra hop costs at least HopLatency + serialization.
+	if far-near < 5*(cfg.NetHopLatency) {
+		t.Fatalf("distance scaling too weak: near=%d far=%d", near, far)
+	}
+}
+
+func TestMeshLinkContention(t *testing.T) {
+	cfg := config.Base()
+	cfg.Nodes = 4 // 2x2 mesh
+	cfg.Topology = config.TopoMesh2D
+	eng := sim.NewEngine()
+	net := New(eng, &cfg)
+	var times []sim.Time
+	net.Attach(1, func(int, interface{}) { times = append(times, eng.Now()) })
+	eng.At(0, func() {
+		// Two messages over the same 0->1 link: the second queues.
+		net.Send(0, 1, 5, nil)
+		net.Send(0, 1, 5, nil)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[1]-times[0] < 10 { // serialization of 5 flits x 2 cycles
+		t.Fatalf("no link contention visible: %v", times)
+	}
+}
+
+func TestMeshEndToEndMachine(t *testing.T) {
+	// Covered more fully in machine tests; here just assert crossbar and
+	// mesh deliver the same message count for one remote miss.
+	for _, topo := range []config.Topology{config.TopoCrossbar, config.TopoMesh2D} {
+		cfg := config.Base()
+		cfg.Nodes = 4
+		cfg.Topology = topo
+		eng := sim.NewEngine()
+		net := New(eng, &cfg)
+		got := 0
+		net.Attach(3, func(int, interface{}) { got++ })
+		eng.At(0, func() { net.Send(0, 3, cfg.LineDataFlits(), nil) })
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("%v: delivered %d", topo, got)
+		}
+	}
+}

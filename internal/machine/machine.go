@@ -1,0 +1,236 @@
+// Package machine assembles the full CC-NUMA system of the paper's base
+// configuration: N SMP nodes (bus + interleaved memory + caches + coherence
+// controller + directory) connected by the point-to-point network, plus the
+// synchronization layer (barriers and queued test-and-set locks) the
+// SPLASH-2 kernels need. It owns the simulation run loop and collects the
+// statistics of Tables 6 and 7.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/core"
+	"ccnuma/internal/cpu"
+	"ccnuma/internal/directory"
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/memaddr"
+	"ccnuma/internal/prog"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/smpbus"
+	"ccnuma/internal/stats"
+)
+
+// Machine is one fully wired CC-NUMA system.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   config.Config
+	Space *memaddr.Space
+	Net   *interconnect.Network
+	Buses []*smpbus.Bus
+	Dirs  []*directory.Directory
+	CCs   []*core.Controller
+	Procs []*cpu.Proc
+
+	run *stats.Run
+
+	// Barrier state (single global sense-counting barrier).
+	barrierParked []*cpu.Proc
+
+	// Lock state.
+	locks     map[int]*lockState
+	lockAddrs map[int]uint64
+	lockPage  uint64
+	lockNext  int
+}
+
+type lockState struct {
+	held    bool
+	waiters []*cpu.Proc
+}
+
+// New builds a machine for cfg. The app name labels the statistics run.
+func New(cfg config.Config, app string) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	eng.Limit = cfg.SimLimit
+	m := &Machine{
+		Eng:       eng,
+		Cfg:       cfg,
+		locks:     make(map[int]*lockState),
+		lockAddrs: make(map[int]uint64),
+		run:       stats.NewRun(cfg.ArchName(), app, cfg.Nodes, cfg.EngineCount()),
+	}
+	m.Space = memaddr.NewSpace(&m.Cfg)
+	m.Net = interconnect.New(eng, &m.Cfg)
+	for n := 0; n < cfg.Nodes; n++ {
+		bus := smpbus.New(eng, &m.Cfg, n)
+		dir := directory.New(eng, &m.Cfg, n)
+		cc := core.New(eng, &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n])
+		m.Buses = append(m.Buses, bus)
+		m.Dirs = append(m.Dirs, dir)
+		m.CCs = append(m.CCs, cc)
+		for i := 0; i < cfg.ProcsPerNode; i++ {
+			id := n*cfg.ProcsPerNode + i
+			p := cpu.New(eng, &m.Cfg, id, n, bus, m.Space, m)
+			m.Procs = append(m.Procs, p)
+		}
+	}
+	return m, nil
+}
+
+// NProcs returns the machine's processor count.
+func (m *Machine) NProcs() int { return len(m.Procs) }
+
+// Run executes program on every processor (SPMD) and returns the collected
+// statistics. The run fails if the simulation exceeds the configured time
+// limit or deadlocks with unfinished processors.
+func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
+	for _, p := range m.Procs {
+		p.Run(program)
+	}
+	if _, err := m.Eng.Run(); err != nil {
+		return nil, err
+	}
+	var execTime sim.Time
+	for _, p := range m.Procs {
+		done, at := p.Finished()
+		if !done {
+			var dump strings.Builder
+			for _, cc := range m.CCs {
+				dump.WriteString(cc.DumpPending())
+			}
+			return nil, fmt.Errorf("machine: processor %d never finished (deadlock: %d events executed, %d parked at barrier)\n%s",
+				p.ID(), m.Eng.Executed(), len(m.barrierParked), dump.String())
+		}
+		if at > execTime {
+			execTime = at
+		}
+	}
+	for n, cc := range m.CCs {
+		if pend := cc.PendingOps(); pend != 0 {
+			return nil, fmt.Errorf("machine: controller %d left %d transient ops", n, pend)
+		}
+	}
+	if err := m.CheckCoherence(); err != nil {
+		return nil, err
+	}
+	m.collect(execTime)
+	return m.run, nil
+}
+
+func (m *Machine) collect(execTime sim.Time) {
+	r := m.run
+	r.ExecTime = execTime
+	for _, p := range m.Procs {
+		r.Instructions += p.Instructions()
+		r.MissLatency.Merge(p.MissLatencies())
+		for k, v := range p.Counters() {
+			r.Add(k, v)
+		}
+	}
+	r.Add("netMessages", m.Net.Messages())
+	r.Add("netFlits", m.Net.Flits())
+	for _, b := range m.Buses {
+		for k := smpbus.Kind(0); k < 8; k++ {
+			if c := b.Count(k); c > 0 {
+				r.Add("bus"+k.String(), c)
+			}
+		}
+	}
+	for _, d := range m.Dirs {
+		r.Add("dirCacheHits", d.CacheHits())
+		r.Add("dirCacheMisses", d.CacheMisses())
+	}
+	for h := protocol.Handler(0); h < protocol.Handler(protocol.NumHandlers); h++ {
+		var c, busy uint64
+		for _, cc := range m.CCs {
+			c += cc.HandlerCount(h)
+			busy += uint64(cc.HandlerBusy(h))
+		}
+		if c > 0 {
+			r.Add("handler:"+h.String(), c)
+			r.Add("handlerBusy:"+h.String(), busy)
+		}
+	}
+}
+
+// ---- synchronization (cpu.SyncHandler) --------------------------------------
+
+// Barrier parks the processor; when the last one arrives, all resume after
+// the configured barrier cost. Barriers are simulated at a fixed cost
+// rather than as coherence spin loops (see DESIGN.md substitutions).
+func (m *Machine) Barrier(p *cpu.Proc) {
+	m.barrierParked = append(m.barrierParked, p)
+	if len(m.barrierParked) < len(m.Procs) {
+		return
+	}
+	parked := m.barrierParked
+	m.barrierParked = nil
+	for _, q := range parked {
+		q := q
+		m.Eng.After(m.Cfg.BarrierCost, q.Resume)
+	}
+}
+
+// lockAddrFor lazily assigns each lock a cache line (packed 32 per page so
+// lock homes spread round-robin like ordinary data).
+func (m *Machine) lockAddrFor(id int) uint64 {
+	if a, ok := m.lockAddrs[id]; ok {
+		return a
+	}
+	perPage := m.Cfg.PageSize / m.Cfg.LineSize
+	if m.lockNext%perPage == 0 {
+		m.lockPage = m.Space.Alloc(m.Cfg.PageSize)
+	}
+	a := m.lockPage + uint64((m.lockNext%perPage)*m.Cfg.LineSize)
+	m.lockNext++
+	m.lockAddrs[id] = a
+	return a
+}
+
+// Lock models a queued test-and-set lock: the acquire is a read-exclusive
+// of the lock's cache line; contended acquirers park until the release and
+// then retry the line acquisition after a back-off.
+func (m *Machine) Lock(p *cpu.Proc, id int) {
+	ls := m.locks[id]
+	if ls == nil {
+		ls = &lockState{}
+		m.locks[id] = ls
+	}
+	addr := m.lockAddrFor(id)
+	p.SyncAccess(addr, true, func() {
+		if !ls.held {
+			ls.held = true
+			p.Resume()
+			return
+		}
+		ls.waiters = append(ls.waiters, p)
+	})
+}
+
+// Unlock releases the lock with a store to its line and hands it to the
+// next waiter, whose retry pays another line acquisition.
+func (m *Machine) Unlock(p *cpu.Proc, id int) {
+	ls := m.locks[id]
+	if ls == nil || !ls.held {
+		panic(fmt.Sprintf("machine: unlock of free lock %d", id))
+	}
+	addr := m.lockAddrFor(id)
+	p.SyncAccess(addr, true, func() {
+		if len(ls.waiters) == 0 {
+			ls.held = false
+		} else {
+			next := ls.waiters[0]
+			ls.waiters = ls.waiters[1:]
+			m.Eng.After(m.Cfg.LockRetry, func() {
+				next.SyncAccess(addr, true, next.Resume)
+			})
+		}
+		p.Resume()
+	})
+}

@@ -1,0 +1,33 @@
+// Package prog defines the shared-memory programming interface that
+// workload programs are written against. Two implementations exist: the
+// detailed execution-driven processor model (cpu.Env), which charges every
+// reference to the full timing model, and the fast functional PRAM
+// estimator (pram.Env), which runs the same program in a single pass to
+// estimate its communication rate — the paper's Section 3.3 methodology of
+// measuring RCCPI with a simple simulator to predict the PP penalty.
+package prog
+
+// Env is a simulated processor's shared-memory interface. All methods
+// block the program until the (simulated) operation completes.
+type Env interface {
+	// ID returns the global processor index running this program.
+	ID() int
+	// Node returns the processor's SMP node.
+	Node() int
+	// Read performs a shared-memory load.
+	Read(addr uint64)
+	// Write performs a shared-memory store.
+	Write(addr uint64)
+	// ReadRange loads n consecutive 8-byte words starting at addr.
+	ReadRange(addr uint64, n int)
+	// WriteRange stores n consecutive 8-byte words starting at addr.
+	WriteRange(addr uint64, n int)
+	// Compute charges n instruction cycles of local computation.
+	Compute(n int)
+	// Barrier joins the global barrier.
+	Barrier()
+	// Lock acquires the numbered lock.
+	Lock(id int)
+	// Unlock releases the numbered lock.
+	Unlock(id int)
+}

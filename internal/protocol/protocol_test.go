@@ -1,0 +1,176 @@
+package protocol
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+)
+
+func TestMsgClassification(t *testing.T) {
+	responses := []MsgType{MsgDataShared, MsgDataExcl, MsgOwnerData, MsgFetchDone,
+		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss}
+	requests := []MsgType{MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq,
+		MsgInval, MsgWriteBack}
+	for _, mt := range responses {
+		m := Msg{Type: mt}
+		if !m.IsResponse() {
+			t.Errorf("%v should be a response", mt)
+		}
+	}
+	for _, mt := range requests {
+		m := Msg{Type: mt}
+		if m.IsResponse() {
+			t.Errorf("%v should be a request", mt)
+		}
+	}
+	if len(responses)+len(requests) != NumMsgTypes {
+		t.Fatalf("classification covers %d of %d message types",
+			len(responses)+len(requests), NumMsgTypes)
+	}
+}
+
+func TestMsgDataSizes(t *testing.T) {
+	cfg := config.Base()
+	data := []Msg{
+		{Type: MsgDataShared}, {Type: MsgDataExcl}, {Type: MsgOwnerData},
+		{Type: MsgFetchDataHome}, {Type: MsgWriteBack},
+		{Type: MsgFetchDone, Dirty: true},
+	}
+	control := []Msg{
+		{Type: MsgReadReq}, {Type: MsgInval}, {Type: MsgInvalAck},
+		{Type: MsgFetchDone, Dirty: false}, {Type: MsgFetchExDone},
+		{Type: MsgInterventionMiss},
+	}
+	for _, m := range data {
+		if !m.CarriesData() || m.Flits(&cfg) != cfg.LineDataFlits() {
+			t.Errorf("%v (dirty=%v) should carry data", m.Type, m.Dirty)
+		}
+	}
+	for _, m := range control {
+		if m.CarriesData() || m.Flits(&cfg) != cfg.ControlFlits() {
+			t.Errorf("%v (dirty=%v) should be control-size", m.Type, m.Dirty)
+		}
+	}
+}
+
+func TestOccupancyHWCvsPPC(t *testing.T) {
+	costs := config.DefaultCosts()
+	for h := Handler(0); h < Handler(NumHandlers); h++ {
+		hwc := Occupancy(&costs, config.HWC, h, 0)
+		ppc := Occupancy(&costs, config.PPC, h, 0)
+		if hwc <= 0 || ppc <= 0 {
+			t.Errorf("%v: non-positive occupancy hwc=%d ppc=%d", h, hwc, ppc)
+		}
+		if ppc <= hwc {
+			t.Errorf("%v: PPC occupancy %d not greater than HWC %d", h, ppc, hwc)
+		}
+	}
+}
+
+// The paper observes the total PPC/HWC occupancy ratio is roughly constant
+// around 2.5 across applications; the per-handler sequences should average
+// in that neighbourhood.
+func TestAggregateOccupancyRatio(t *testing.T) {
+	costs := config.DefaultCosts()
+	var hwc, ppc float64
+	for _, h := range Table4Handlers {
+		// Include dispatch, as the paper's occupancies do.
+		hwc += float64(costs.Cost(config.HWC, config.OpDispatch) + Occupancy(&costs, config.HWC, h, 0))
+		ppc += float64(costs.Cost(config.PPC, config.OpDispatch) + Occupancy(&costs, config.PPC, h, 0))
+	}
+	ratio := ppc / hwc
+	if ratio < 2.2 || ratio > 3.6 {
+		t.Fatalf("aggregate PPC/HWC handler occupancy ratio = %.2f, want in the paper's ~2.5 neighbourhood", ratio)
+	}
+}
+
+func TestExtraInvalsIncreaseOccupancy(t *testing.T) {
+	costs := config.DefaultCosts()
+	base := Occupancy(&costs, config.PPC, HRemoteReadExHomeShared, 0)
+	with3 := Occupancy(&costs, config.PPC, HRemoteReadExHomeShared, 3)
+	perInval := Occupancy(&costs, config.PPC, HRemoteReadExHomeShared, 1) - base
+	if with3 != base+3*perInval {
+		t.Fatalf("inval fan-out not linear: base=%d with3=%d per=%d", base, with3, perInval)
+	}
+	if perInval <= 0 {
+		t.Fatal("per-inval cost should be positive")
+	}
+}
+
+func TestActionIndexAndPrefix(t *testing.T) {
+	costs := config.DefaultCosts()
+	for _, h := range Table4Handlers {
+		idx := ActionIndex(h)
+		if idx <= 0 || idx > len(Sequence(h)) {
+			t.Errorf("%v: action index %d out of range", h, idx)
+		}
+		prefix := PrefixOccupancy(&costs, config.HWC, h, idx)
+		full := Occupancy(&costs, config.HWC, h, 0)
+		if prefix > full {
+			t.Errorf("%v: prefix %d exceeds full occupancy %d", h, prefix, full)
+		}
+	}
+	// PrefixOccupancy clamps n.
+	if PrefixOccupancy(&costs, config.HWC, HBusReadRemote, 100) != Occupancy(&costs, config.HWC, HBusReadRemote, 0) {
+		t.Error("PrefixOccupancy should clamp to the full sequence")
+	}
+}
+
+func TestSequenceReturnsCopy(t *testing.T) {
+	seq := Sequence(HBusReadRemote)
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+	seq[0] = config.OpCompute
+	if Sequence(HBusReadRemote)[0] == config.OpCompute {
+		t.Fatal("Sequence exposed internal storage")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for h := Handler(0); h < Handler(NumHandlers); h++ {
+		if h.String() == "" {
+			t.Errorf("handler %d has no name", int(h))
+		}
+	}
+	for m := MsgType(0); m < MsgType(NumMsgTypes); m++ {
+		if m.String() == "" {
+			t.Errorf("msg type %d has no name", int(m))
+		}
+	}
+	if len(Table4Handlers) != 23 {
+		t.Fatalf("Table 4 has %d handlers, want 23", len(Table4Handlers))
+	}
+}
+
+func TestStallClassification(t *testing.T) {
+	cfg := config.Base()
+	homeFetch := []Handler{HRemoteReadHomeClean, HRemoteReadExHomeUncached, HRemoteReadExHomeShared}
+	ownerFetch := []Handler{HFetchOwnerFromHome, HFetchOwnerRemoteReq, HFetchExOwnerFromHome, HFetchExOwnerRemoteReq}
+	for _, h := range homeFetch {
+		if Stall(h) != StallHomeFetch {
+			t.Errorf("%v should stall on a home fetch", h)
+		}
+	}
+	for _, h := range ownerFetch {
+		if Stall(h) != StallOwnerFetch {
+			t.Errorf("%v should stall on an owner fetch", h)
+		}
+	}
+	// Forwarding and response handlers stall on nothing.
+	for _, h := range []Handler{HRemoteReadHomeDirty, HDataRespRead, HInvalAckMore, HBusReadRemote} {
+		if Stall(h) != StallNone {
+			t.Errorf("%v should not stall", h)
+		}
+	}
+	// Home fetches include the memory access; owner fetches the c2c time.
+	if StallTime(&cfg, StallHomeFetch) != cfg.BusArb+cfg.MemAccess+cfg.CriticalQuad {
+		t.Error("home fetch stall wrong")
+	}
+	if StallTime(&cfg, StallOwnerFetch) != cfg.BusArb+cfg.CacheToCache+cfg.CriticalQuad {
+		t.Error("owner fetch stall wrong")
+	}
+	if StallTime(&cfg, StallNone) != 0 {
+		t.Error("no-stall should cost 0")
+	}
+}

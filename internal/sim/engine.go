@@ -1,0 +1,133 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the CC-NUMA machine model. Simulated time is measured in
+// compute-processor clock cycles (5 ns at 200 MHz, matching the paper's
+// parameter tables). All model components schedule closures on a single
+// Engine; the engine executes them in (time, sequence) order, which makes
+// every simulation bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in compute-processor cycles
+// (5 ns each). Negative durations are invalid.
+type Time int64
+
+// Nanoseconds converts a Time to nanoseconds using the paper's 200 MHz
+// compute-processor clock.
+func (t Time) Nanoseconds() float64 { return float64(t) * 5.0 }
+
+// event is a scheduled closure. seq breaks ties between events scheduled for
+// the same cycle so execution order is insertion order (deterministic).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with NewEngine. Engine is not safe for concurrent use: all model code
+// runs on the single goroutine that called Run (workload goroutines hand off
+// control synchronously and never touch the engine while it is stepping).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// stopped is set by Stop; Run drains no further events once set.
+	stopped bool
+	// executed counts events run, for debugging and runaway detection.
+	executed uint64
+	// limitHit records that the run ended because Limit was exceeded.
+	limitHit bool
+	// Limit optionally bounds simulated time; Run returns an error if the
+	// event horizon passes Limit (guards against protocol livelock bugs).
+	Limit Time
+}
+
+// NewEngine returns an empty engine at time zero with no time limit.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have been executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug rather than a recoverable condition.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and advances time to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	if e.Limit > 0 && e.events[0].at > e.Limit {
+		e.stopped = true
+		e.limitHit = true
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty, Stop is called, or the time
+// limit (if any) is exceeded. It returns the final simulated time and an
+// error if the time limit was hit with work still pending.
+func (e *Engine) Run() (Time, error) {
+	for e.Step() {
+	}
+	if e.limitHit {
+		return e.now, fmt.Errorf("sim: time limit %d exceeded at t=%d with %d events pending", e.Limit, e.now, len(e.events))
+	}
+	return e.now, nil
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }

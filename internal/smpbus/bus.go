@@ -1,0 +1,517 @@
+// Package smpbus models the node-local SMP bus of the paper's base system:
+// a 100 MHz, 16-byte-wide, fully pipelined, split-transaction bus with
+// separate address and data paths, snooping caches, and an interleaved
+// memory controller that is a separate bus agent from the coherence
+// controller. The coherence controller participates as a privileged agent:
+// its bus-side directory copy lets it claim (defer) transactions that need
+// protocol action, and the direct data path forwards dirty-remote
+// write-backs straight to the network interface.
+package smpbus
+
+import (
+	"fmt"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+)
+
+// Kind identifies a bus transaction type.
+type Kind int
+
+const (
+	// Read requests a shared copy of a line (processor read miss).
+	Read Kind = iota
+	// ReadEx requests an exclusive copy with data (processor write miss).
+	ReadEx
+	// Upgrade requests exclusivity for a line the requester holds Shared
+	// (no data transfer needed if nothing intervenes).
+	Upgrade
+	// WriteBack evicts a dirty line to memory (local home) or through the
+	// controller's direct data path to the network (remote home).
+	WriteBack
+	// Inval is a controller-issued invalidation of local copies (on behalf
+	// of a home-node invalidation request).
+	Inval
+	// Fetch is a controller-issued read of a line for a remote requester;
+	// a dirty local copy downgrades to Shared/Owned semantics preserved by
+	// the snoop rules.
+	Fetch
+	// FetchEx is a controller-issued read+invalidate of a line for a
+	// remote exclusive requester.
+	FetchEx
+	// supplyKind is the internal deferred-reply transaction.
+	supplyKind
+
+	numKinds
+)
+
+var kindNames = [...]string{"Read", "ReadEx", "Upgrade", "WriteBack", "Inval", "Fetch", "FetchEx", "Supply"}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// CCSrc is the Src value identifying the coherence controller as issuer.
+const CCSrc = -1
+
+// Status reports how a transaction completed.
+type Status int
+
+const (
+	// OK means the transaction completed (data delivered where relevant).
+	OK Status = iota
+	// RetryNeeded means the transaction collided with an in-flight
+	// transaction on the same line; the issuer should re-arbitrate after
+	// the configured back-off (re-evaluating its cache state first).
+	RetryNeeded
+	// NoData means a Fetch/FetchEx found neither a cached copy nor local
+	// memory backing (a fetch on a remote-home line whose dirty copy was
+	// written back in the meantime).
+	NoData
+)
+
+// Outcome is passed to a transaction's Done callback.
+type Outcome struct {
+	Status Status
+	// Shared reports, for Read, that other caches hold the line (install
+	// Shared rather than Exclusive); for WriteBack, that sibling caches
+	// still share the line (the home must keep this node in the sharing
+	// vector); for Fetch, that a dirty copy supplied the data.
+	Shared bool
+	// Dirty reports, for Fetch/FetchEx, that the data came from a dirty
+	// cache copy rather than memory (the home must update memory).
+	Dirty bool
+	// WithData reports that the completion delivered the full line (an
+	// upgrade grant after queued invalidations carries none; a deferred
+	// read-exclusive reply does).
+	WithData bool
+}
+
+// Txn is one bus transaction. Create with fields set and hand to Issue; the
+// bus invokes Done exactly once.
+type Txn struct {
+	ID   uint64
+	Kind Kind
+	Line uint64
+	// Src is the index of the issuing processor's snooper, or CCSrc for
+	// controller-issued transactions.
+	Src int
+	// HomeLocal reports whether the line's home node is this node
+	// (precomputed by the issuer from the address map).
+	HomeLocal bool
+	// RequesterOwns marks an Upgrade issued by a processor that holds the
+	// line Owned (dirty-shared): the node already has dirty ownership, so
+	// the upgrade only invalidates in-node siblings and must not consult
+	// the home.
+	RequesterOwns bool
+	// Done receives the outcome. It runs at the completion cycle.
+	Done func(Outcome)
+
+	// supplyFor links an internal deferred-reply transaction to the parked
+	// transaction it completes.
+	supplyFor *Txn
+	withData  bool
+	shared    bool
+	// deferredToCC marks a transaction parked with the controller. Parked
+	// transactions hold their pending slot for a long time but are not
+	// actively transferring data, so controller interventions may proceed
+	// past them (the controller's MSHR-fill check covers the actual
+	// data-transfer window).
+	deferredToCC bool
+}
+
+// SnoopResult is a snooping agent's verdict at address-strobe time.
+type SnoopResult int
+
+const (
+	// SnoopNone: no copy, no interest.
+	SnoopNone SnoopResult = iota
+	// SnoopShared: agent holds a clean sharable copy (and will supply a
+	// Read via cache-to-cache transfer if no dirty owner exists).
+	SnoopShared
+	// SnoopOwned: agent holds a dirty copy and will supply it.
+	SnoopOwned
+	// SnoopDefer: the coherence controller claims the transaction; it will
+	// complete it later with a deferred reply.
+	SnoopDefer
+)
+
+// Snooper observes address strobes. Snoop must apply any state change the
+// transaction implies for the agent (invalidate on ReadEx/Upgrade/Inval/
+// FetchEx, downgrade on Read/Fetch) and return its verdict. The issuing
+// agent is not snooped.
+type Snooper interface {
+	Snoop(txn *Txn) SnoopResult
+}
+
+// Controller is the coherence controller's bus-facing interface.
+type Controller interface {
+	Snooper
+	// AcceptDeferred transfers completion responsibility for txn to the
+	// controller after its Snoop returned SnoopDefer. The controller later
+	// calls Bus.Supply (or Bus.Abort) with the same txn.
+	AcceptDeferred(txn *Txn)
+	// CaptureWriteBack receives a dirty-remote write-back through the
+	// direct data path, after the data has crossed the bus. sharedLeft
+	// reports whether sibling caches still hold the line.
+	CaptureWriteBack(line uint64, sharedLeft bool)
+}
+
+// Bus is one node's SMP bus plus its memory controller.
+type Bus struct {
+	eng  *sim.Engine
+	cfg  *config.Config
+	node int
+
+	addr  *sim.Resource
+	data  *sim.Resource
+	banks []*sim.Resource
+
+	snoopers []Snooper
+	cc       Controller
+
+	pending map[uint64]*Txn // line -> in-flight processor transaction
+	nextID  uint64
+
+	counts  [numKinds]uint64
+	retries uint64
+}
+
+// New creates a bus for the given node with the configured number of
+// interleaved memory banks.
+func New(eng *sim.Engine, cfg *config.Config, node int) *Bus {
+	b := &Bus{
+		eng:     eng,
+		cfg:     cfg,
+		node:    node,
+		addr:    sim.NewResource(eng, fmt.Sprintf("bus-addr-%d", node)),
+		data:    sim.NewResource(eng, fmt.Sprintf("bus-data-%d", node)),
+		pending: make(map[uint64]*Txn),
+	}
+	for i := 0; i < cfg.MemBanks; i++ {
+		b.banks = append(b.banks, sim.NewResource(eng, fmt.Sprintf("bank-%d.%d", node, i)))
+	}
+	return b
+}
+
+// AttachSnooper registers a processor cache agent and returns its Src index.
+func (b *Bus) AttachSnooper(s Snooper) int {
+	b.snoopers = append(b.snoopers, s)
+	return len(b.snoopers) - 1
+}
+
+// AttachController registers the node's coherence controller.
+func (b *Bus) AttachController(cc Controller) {
+	if b.cc != nil {
+		panic("smpbus: controller already attached")
+	}
+	b.cc = cc
+}
+
+// Node returns the node index this bus belongs to.
+func (b *Bus) Node() int { return b.node }
+
+// AddrResource and DataResource expose the underlying resources for
+// utilization reporting.
+func (b *Bus) AddrResource() *sim.Resource { return b.addr }
+
+// DataResource exposes the data-bus resource.
+func (b *Bus) DataResource() *sim.Resource { return b.data }
+
+// Count returns how many transactions of kind k reached the address strobe.
+func (b *Bus) Count(k Kind) uint64 { return b.counts[k] }
+
+// Retries returns how many transactions were bounced for same-line
+// conflicts.
+func (b *Bus) Retries() uint64 { return b.retries }
+
+func (b *Bus) bank(line uint64) *sim.Resource {
+	return b.banks[int(line/uint64(b.cfg.LineSize))%len(b.banks)]
+}
+
+// Issue submits a transaction. The address bus is arbitrated FIFO; the
+// snoop happens BusArb cycles after the grant; completion depends on the
+// responder (sibling cache, memory, or a controller deferred reply).
+func (b *Bus) Issue(txn *Txn) {
+	if txn.Done == nil {
+		panic("smpbus: transaction without Done callback")
+	}
+	if txn.Line&uint64(b.cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("smpbus: unaligned line %#x", txn.Line))
+	}
+	b.nextID++
+	txn.ID = b.nextID
+	b.addr.Acquire(b.cfg.AddrStrobe, func(start sim.Time) {
+		b.eng.At(start+b.cfg.BusArb, func() { b.strobe(txn) })
+	})
+}
+
+// strobe runs at address-strobe time: conflict check, snoop, resolution.
+func (b *Bus) strobe(txn *Txn) {
+	b.counts[txn.Kind]++
+	now := b.eng.Now()
+
+	// Same-line serialization. Processor transactions register in the
+	// pending table and bounce on conflicts. Controller-issued fetches and
+	// invalidations must not strobe in the middle of a LIVE same-line
+	// transfer (a supplier may already be invalidated with the requester
+	// not yet filled, or a concurrent local miss may be about to install a
+	// stale exclusive copy), so they bounce on non-parked conflicts.
+	// Transactions parked with the controller (deferredToCC) are waiting
+	// on the controller itself and are bypassed — the controller
+	// serializes per line above the bus.
+	if txn.Src != CCSrc {
+		if txn.Kind == WriteBack {
+			// Write-backs bounce only on LIVE same-line transfers. A parked
+			// transaction may be waiting on the home, and the home may be
+			// waiting on this very write-back (the evict-then-re-request
+			// pattern) — blocking here would livelock. Write-backs do not
+			// register in the pending table: they complete unconditionally
+			// and carry no fill to protect.
+			if prev, busy := b.pending[txn.Line]; busy && !prev.deferredToCC {
+				b.retries++
+				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				return
+			}
+		} else {
+			if prev, busy := b.pending[txn.Line]; busy && prev != txn {
+				b.retries++
+				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				return
+			}
+			b.pending[txn.Line] = txn
+		}
+	} else {
+		switch txn.Kind {
+		case Fetch, FetchEx, Inval:
+			if prev, busy := b.pending[txn.Line]; busy && !prev.deferredToCC {
+				b.retries++
+				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				return
+			}
+		}
+	}
+	if txn.Kind == supplyKind {
+		b.resolveSupply(txn, now)
+		return
+	}
+
+	// Snoop everyone but the issuer.
+	verdict := SnoopNone
+	sharedSeen := false
+	for i, s := range b.snoopers {
+		if i == txn.Src {
+			continue
+		}
+		switch s.Snoop(txn) {
+		case SnoopShared:
+			sharedSeen = true
+		case SnoopOwned:
+			if verdict == SnoopOwned {
+				panic(fmt.Sprintf("smpbus: two dirty owners for line %#x", txn.Line))
+			}
+			verdict = SnoopOwned
+		}
+	}
+	deferred := false
+	ccShared := false
+	if b.cc != nil && txn.Src != CCSrc {
+		switch b.cc.Snoop(txn) {
+		case SnoopDefer:
+			deferred = true
+		case SnoopShared:
+			// The bus-side directory reports remote sharers: memory may
+			// still respond, but the line must install Shared.
+			ccShared = true
+		}
+	}
+
+	switch txn.Kind {
+	case Read:
+		b.resolveRead(txn, now, verdict == SnoopOwned, sharedSeen, deferred, ccShared)
+	case ReadEx:
+		b.resolveReadEx(txn, now, verdict == SnoopOwned, deferred)
+	case Upgrade:
+		switch {
+		case txn.RequesterOwns:
+			// The requester holds the line Owned: node-level dirty
+			// ownership is already here; invalidating the snooped siblings
+			// suffices.
+			b.complete(txn, now+2, Outcome{Status: OK})
+		case verdict == SnoopOwned:
+			// A sibling held the line dirty (Owned): in-node ownership
+			// transfer, exactly like ReadEx — the home must not be asked,
+			// since node-level ownership does not change.
+			b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true, WithData: true})
+		case deferred:
+			txn.deferredToCC = true
+			b.cc.AcceptDeferred(txn)
+		default:
+			// Exclusivity granted on the spot: siblings invalidated at
+			// snoop.
+			b.complete(txn, now+2, Outcome{Status: OK})
+		}
+	case WriteBack:
+		b.resolveWriteBack(txn, now, sharedSeen)
+	case Inval:
+		b.complete(txn, now+2, Outcome{Status: OK})
+	case Fetch, FetchEx:
+		b.resolveFetch(txn, now, verdict == SnoopOwned, sharedSeen)
+	default:
+		panic(fmt.Sprintf("smpbus: unhandled kind %v", txn.Kind))
+	}
+}
+
+func (b *Bus) resolveRead(txn *Txn, now sim.Time, owned, sharedSeen, deferred, ccShared bool) {
+	switch {
+	case owned:
+		// Cache-to-cache transfer from the dirty owner. Ownership stays in
+		// the node (the supplier moved to Owned in its snoop handler), so
+		// no write-back to home is needed here.
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true, Dirty: true})
+	case sharedSeen:
+		// Clean cache-to-cache transfer from a sharer.
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true})
+	case deferred:
+		txn.deferredToCC = true
+		b.cc.AcceptDeferred(txn)
+	case txn.HomeLocal:
+		b.memoryRead(txn, now, Outcome{Status: OK, Shared: ccShared})
+	default:
+		panic(fmt.Sprintf("smpbus: read of remote line %#x with no responder (controller missing?)", txn.Line))
+	}
+}
+
+func (b *Bus) resolveReadEx(txn *Txn, now sim.Time, owned, deferred bool) {
+	switch {
+	case owned:
+		// Dirty copy moves cache-to-cache; the snoop invalidated it at the
+		// supplier. Home directory state is unchanged (the node as a whole
+		// still owns the line for remote homes; local homes track only
+		// remote sharers, of which there are none when a local M exists).
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true})
+	case deferred:
+		txn.deferredToCC = true
+		b.cc.AcceptDeferred(txn)
+	case txn.HomeLocal:
+		b.memoryRead(txn, now, Outcome{Status: OK})
+	default:
+		panic(fmt.Sprintf("smpbus: readex of remote line %#x with no responder", txn.Line))
+	}
+}
+
+func (b *Bus) resolveWriteBack(txn *Txn, now sim.Time, sharedLeft bool) {
+	// Data crosses the bus starting two cycles after the strobe.
+	b.data.AcquireAt(now+2, b.cfg.BusDataTime(), func(ds sim.Time) {
+		end := ds + b.cfg.BusDataTime()
+		if txn.HomeLocal {
+			// Memory bank absorbs the line.
+			b.bank(txn.Line).AcquireAt(ds, b.cfg.BankBusy, nil)
+			b.complete(txn, end, Outcome{Status: OK, Shared: sharedLeft})
+			return
+		}
+		// Direct data path: the controller's bus interface forwards the
+		// line to the network interface without dispatching a handler.
+		if b.cc == nil {
+			panic("smpbus: remote write-back with no controller")
+		}
+		line, shared := txn.Line, sharedLeft
+		b.eng.At(end, func() { b.cc.CaptureWriteBack(line, shared) })
+		b.complete(txn, end, Outcome{Status: OK, Shared: sharedLeft})
+	})
+}
+
+func (b *Bus) resolveFetch(txn *Txn, now sim.Time, owned, sharedSeen bool) {
+	switch {
+	case owned:
+		if txn.HomeLocal {
+			// The dirty local copy downgrades to clean Shared as its data
+			// leaves for the controller; home memory absorbs the line.
+			b.bank(txn.Line).AcquireAt(now+b.cfg.CacheToCache, b.cfg.BankBusy, nil)
+		}
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: sharedSeen, Dirty: true})
+	case sharedSeen && txn.Kind == Fetch:
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true})
+	case txn.HomeLocal:
+		b.memoryRead(txn, now, Outcome{Status: OK, Shared: sharedSeen})
+	case sharedSeen: // FetchEx on a remote-home line with only clean sharers
+		// The sharers were invalidated by the snoop; there is no data to
+		// collect locally and none is needed (the home supplies it).
+		b.complete(txn, now+2, Outcome{Status: OK, Shared: true})
+	default:
+		b.complete(txn, now+2, Outcome{Status: NoData})
+	}
+}
+
+// memoryRead models a line read from the interleaved memory: the bank is
+// busy for BankBusy cycles; data reaches the bus MemAccess cycles after the
+// bank accepts the access; the requester restarts on the critical quad
+// word.
+func (b *Bus) memoryRead(txn *Txn, now sim.Time, out Outcome) {
+	b.bank(txn.Line).AcquireAt(now, b.cfg.BankBusy, func(bankStart sim.Time) {
+		b.transferData(txn, bankStart+b.cfg.MemAccess, out)
+	})
+}
+
+// transferData moves a line over the data bus beginning no earlier than
+// ready, completing the transaction at the critical-quad-word arrival.
+func (b *Bus) transferData(txn *Txn, ready sim.Time, out Outcome) {
+	b.data.AcquireAt(ready, b.cfg.BusDataTime(), func(ds sim.Time) {
+		b.complete(txn, ds+b.cfg.CriticalQuad, out)
+	})
+}
+
+// complete removes the pending entry and fires Done at time t.
+func (b *Bus) complete(txn *Txn, t sim.Time, out Outcome) {
+	b.eng.At(t, func() {
+		if b.pending[txn.Line] == txn {
+			delete(b.pending, txn.Line)
+		}
+		txn.Done(out)
+	})
+}
+
+// Supply completes a previously deferred transaction. withData selects a
+// full data transfer (read/readex responses) versus a bare grant (upgrade
+// acknowledgements); shared tells a Read requester to install the line
+// Shared.
+func (b *Bus) Supply(parked *Txn, withData, shared bool) {
+	s := &Txn{
+		Kind:      supplyKind,
+		Line:      parked.Line,
+		Src:       CCSrc,
+		HomeLocal: parked.HomeLocal,
+		Done:      func(Outcome) {},
+		supplyFor: parked,
+		withData:  withData,
+		shared:    shared,
+	}
+	b.Issue(s)
+}
+
+func (b *Bus) resolveSupply(s *Txn, now sim.Time) {
+	parked := s.supplyFor
+	out := Outcome{Status: OK, Shared: s.shared, WithData: s.withData}
+	if s.withData {
+		b.data.AcquireAt(now+2, b.cfg.BusDataTime(), func(ds sim.Time) {
+			b.complete(parked, ds+b.cfg.CriticalQuad, out)
+		})
+		return
+	}
+	b.complete(parked, now+2, out)
+}
+
+// Abort bounces a deferred transaction back to its issuer with RetryNeeded
+// (used when the controller decides the request must be re-evaluated, e.g.
+// an upgrade whose line was invalidated while queued).
+func (b *Bus) Abort(parked *Txn) {
+	b.eng.After(2, func() {
+		if b.pending[parked.Line] == parked {
+			delete(b.pending, parked.Line)
+		}
+		parked.Done(Outcome{Status: RetryNeeded})
+	})
+}

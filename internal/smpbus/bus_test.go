@@ -1,0 +1,506 @@
+package smpbus
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+)
+
+// fakeSnooper returns a fixed verdict and records the transactions it saw.
+type fakeSnooper struct {
+	verdict SnoopResult
+	seen    []*Txn
+}
+
+func (f *fakeSnooper) Snoop(txn *Txn) SnoopResult {
+	f.seen = append(f.seen, txn)
+	return f.verdict
+}
+
+// fakeCC defers everything it is told to and records events.
+type fakeCC struct {
+	verdict  SnoopResult
+	deferred []*Txn
+	wbLines  []uint64
+	wbShared []bool
+}
+
+func (f *fakeCC) Snoop(*Txn) SnoopResult  { return f.verdict }
+func (f *fakeCC) AcceptDeferred(txn *Txn) { f.deferred = append(f.deferred, txn) }
+func (f *fakeCC) CaptureWriteBack(line uint64, shared bool) {
+	f.wbLines = append(f.wbLines, line)
+	f.wbShared = append(f.wbShared, shared)
+}
+
+func newBus(t *testing.T) (*sim.Engine, *Bus, *config.Config) {
+	t.Helper()
+	cfg := config.Base()
+	eng := sim.NewEngine()
+	return eng, New(eng, &cfg, 0), &cfg
+}
+
+func issue(eng *sim.Engine, b *Bus, txn *Txn) *Outcome {
+	var got *Outcome
+	txn.Done = func(o Outcome) { c := o; got = &c }
+	eng.At(eng.Now(), func() { b.Issue(txn) })
+	return got
+}
+
+func TestLocalReadFromMemoryTiming(t *testing.T) {
+	eng, b, cfg := newBus(t)
+	snp := &fakeSnooper{verdict: SnoopNone}
+	src := b.AttachSnooper(snp)
+	var doneAt sim.Time = -1
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src, HomeLocal: true, Done: func(o Outcome) {
+			doneAt = eng.Now()
+			out = o
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Grant at 0, strobe at +BusArb(4), bank grant at 4, data start at
+	// 4+MemAccess(20)=24, critical quad at +CriticalQuad(4)=28.
+	want := cfg.BusArb + cfg.MemAccess + cfg.CriticalQuad
+	if doneAt != want {
+		t.Fatalf("read completed at %d, want %d", doneAt, want)
+	}
+	if out.Status != OK || out.Shared {
+		t.Fatalf("outcome %+v, want OK exclusive", out)
+	}
+	if b.Count(Read) != 1 {
+		t.Fatalf("read count = %d", b.Count(Read))
+	}
+}
+
+func TestReadSharedWhenSiblingHolds(t *testing.T) {
+	eng, b, cfg := newBus(t)
+	b.AttachSnooper(&fakeSnooper{verdict: SnoopShared})
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	var out Outcome
+	var doneAt sim.Time
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src, HomeLocal: true, Done: func(o Outcome) {
+			out = o
+			doneAt = eng.Now()
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shared {
+		t.Fatal("read with sibling sharer should install Shared")
+	}
+	// Cache-to-cache: strobe(4) + CacheToCache(16) + CriticalQuad(4).
+	want := cfg.BusArb + cfg.CacheToCache + cfg.CriticalQuad
+	if doneAt != want {
+		t.Fatalf("c2c read completed at %d, want %d", doneAt, want)
+	}
+}
+
+func TestReadFromDirtyOwner(t *testing.T) {
+	eng, b, _ := newBus(t)
+	owner := &fakeSnooper{verdict: SnoopOwned}
+	b.AttachSnooper(owner)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: 0x2000, Src: src, HomeLocal: false, Done: func(o Outcome) { out = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dirty || !out.Shared || out.Status != OK {
+		t.Fatalf("outcome %+v, want dirty shared OK", out)
+	}
+	if len(owner.seen) != 1 || owner.seen[0].Kind != Read {
+		t.Fatal("owner was not snooped")
+	}
+}
+
+func TestRemoteReadDefersToController(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	completed := false
+	var parked *Txn
+	eng.At(0, func() {
+		txn := &Txn{Kind: Read, Line: 0x3000, Src: src, HomeLocal: false, Done: func(o Outcome) {
+			completed = true
+			if o.Status != OK || !o.Shared {
+				t.Errorf("outcome %+v", o)
+			}
+		}}
+		parked = txn
+		b.Issue(txn)
+	})
+	eng.At(100, func() {
+		if len(cc.deferred) != 1 || cc.deferred[0] != parked {
+			t.Fatal("controller did not receive the deferred transaction")
+		}
+		if completed {
+			t.Fatal("deferred transaction completed early")
+		}
+		b.Supply(parked, true, true)
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Fatal("deferred transaction never completed")
+	}
+}
+
+func TestSupplyWithoutData(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	var doneAt sim.Time = -1
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Upgrade, Line: 0x3000, Src: src, HomeLocal: true, Done: func(o Outcome) {
+			doneAt = eng.Now()
+		}})
+	})
+	eng.At(50, func() { b.Supply(cc.deferred[0], false, false) })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Supply issued at 50: grant 50, strobe 54, complete 56.
+	if doneAt != 56 {
+		t.Fatalf("grant arrived at %d, want 56", doneAt)
+	}
+}
+
+func TestUpgradeCompletesLocallyWithoutRemoteSharers(t *testing.T) {
+	eng, b, _ := newBus(t)
+	sib := &fakeSnooper{verdict: SnoopShared}
+	b.AttachSnooper(sib)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopNone}
+	b.AttachController(cc)
+	var doneAt sim.Time = -1
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Upgrade, Line: 0x1000, Src: src, HomeLocal: true, Done: func(o Outcome) {
+			doneAt = eng.Now()
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 6 { // strobe at 4 + 2
+		t.Fatalf("upgrade completed at %d, want 6", doneAt)
+	}
+	if len(cc.deferred) != 0 {
+		t.Fatal("upgrade should not have been deferred")
+	}
+	if len(sib.seen) != 1 {
+		t.Fatal("sibling must snoop the upgrade to invalidate its copy")
+	}
+}
+
+func TestWriteBackLocalGoesToMemory(t *testing.T) {
+	eng, b, cfg := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopNone}
+	b.AttachController(cc)
+	var doneAt sim.Time = -1
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: WriteBack, Line: 0x1000, Src: src, HomeLocal: true, Done: func(o Outcome) {
+			doneAt = eng.Now()
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// strobe 4, data starts 6, ends 6+16=22.
+	want := cfg.BusArb + 2 + cfg.BusDataTime()
+	if doneAt != want {
+		t.Fatalf("writeback completed at %d, want %d", doneAt, want)
+	}
+	if len(cc.wbLines) != 0 {
+		t.Fatal("local writeback must not use the direct data path")
+	}
+}
+
+func TestWriteBackRemoteUsesDirectDataPath(t *testing.T) {
+	eng, b, _ := newBus(t)
+	sib := &fakeSnooper{verdict: SnoopShared}
+	b.AttachSnooper(sib)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopNone}
+	b.AttachController(cc)
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: WriteBack, Line: 0x2000, Src: src, HomeLocal: false, Done: func(Outcome) {}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.wbLines) != 1 || cc.wbLines[0] != 0x2000 {
+		t.Fatalf("controller captured %v", cc.wbLines)
+	}
+	if !cc.wbShared[0] {
+		t.Fatal("sibling sharer should be reported to the controller")
+	}
+}
+
+func TestSameLineConflictRetries(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src0 := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	src1 := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	var second Outcome
+	secondDone := false
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src0, HomeLocal: false, Done: func(Outcome) {}})
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src1, HomeLocal: false, Done: func(o Outcome) {
+			second = o
+			secondDone = true
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondDone || second.Status != RetryNeeded {
+		t.Fatalf("second transaction outcome %+v, want RetryNeeded", second)
+	}
+	if b.Retries() != 1 {
+		t.Fatalf("retries = %d, want 1", b.Retries())
+	}
+}
+
+func TestFetchFromMemoryAndFromOwner(t *testing.T) {
+	eng, b, _ := newBus(t)
+	owner := &fakeSnooper{verdict: SnoopOwned}
+	b.AttachSnooper(owner)
+	var fromOwner, fromMem Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Fetch, Line: 0x1000, Src: CCSrc, HomeLocal: true, Done: func(o Outcome) { fromOwner = o }})
+	})
+	eng.At(200, func() {
+		owner.verdict = SnoopNone
+		b.Issue(&Txn{Kind: Fetch, Line: 0x2000, Src: CCSrc, HomeLocal: true, Done: func(o Outcome) { fromMem = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fromOwner.Dirty {
+		t.Fatalf("owner fetch outcome %+v, want dirty", fromOwner)
+	}
+	if fromMem.Dirty || fromMem.Status != OK {
+		t.Fatalf("memory fetch outcome %+v", fromMem)
+	}
+}
+
+func TestFetchRemoteNoCopyReturnsNoData(t *testing.T) {
+	eng, b, _ := newBus(t)
+	b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: FetchEx, Line: 0x2000, Src: CCSrc, HomeLocal: false, Done: func(o Outcome) { out = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != NoData {
+		t.Fatalf("outcome %+v, want NoData", out)
+	}
+}
+
+func TestAbortBouncesParkedTransaction(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Upgrade, Line: 0x1000, Src: src, HomeLocal: false, Done: func(o Outcome) { out = o }})
+	})
+	eng.At(100, func() { b.Abort(cc.deferred[0]) })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != RetryNeeded {
+		t.Fatalf("outcome %+v, want RetryNeeded", out)
+	}
+}
+
+func TestBankContentionSerializesSameBank(t *testing.T) {
+	eng, b, cfg := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	// Two lines in the same bank: stride = MemBanks * LineSize.
+	lineA := uint64(0x0000)
+	lineB := lineA + uint64(cfg.MemBanks*cfg.LineSize)
+	_ = lineB
+	var times []sim.Time
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: lineA, Src: src, HomeLocal: true, Done: func(Outcome) { times = append(times, eng.Now()) }})
+		b.Issue(&Txn{Kind: Read, Line: lineA + 4*uint64(cfg.LineSize), Src: src, HomeLocal: true, Done: func(Outcome) { times = append(times, eng.Now()) }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("completions: %v", times)
+	}
+	// Second access to the same bank waits for BankBusy(40) from the first
+	// bank grant (4): data at 44+20, done at 68.
+	if times[1]-times[0] < cfg.BankBusy-cfg.AddrStrobe {
+		t.Fatalf("same-bank accesses not serialized: %v", times)
+	}
+}
+
+func TestUnalignedLinePanics(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned line did not panic")
+		}
+	}()
+	b.Issue(&Txn{Kind: Read, Line: 0x1001, Src: src, HomeLocal: true, Done: func(Outcome) {}})
+	_, _ = eng.Run()
+}
+
+func TestMissingDoneCallbackPanics(t *testing.T) {
+	_, b, _ := newBus(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("missing Done did not panic")
+		}
+	}()
+	b.Issue(&Txn{Kind: Read, Line: 0x1000})
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func TestUpgradeOwnedSiblingTransfersInNode(t *testing.T) {
+	eng, b, _ := newBus(t)
+	owner := &fakeSnooper{verdict: SnoopOwned}
+	b.AttachSnooper(owner)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer} // the CC would defer, but ownership wins
+	b.AttachController(cc)
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Upgrade, Line: 0x1000, Src: src, HomeLocal: false, Done: func(o Outcome) { out = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != OK || !out.WithData || !out.Dirty {
+		t.Fatalf("outcome %+v, want in-node dirty transfer with data", out)
+	}
+	if len(cc.deferred) != 0 {
+		t.Fatal("upgrade with an Owned sibling must not reach the home")
+	}
+}
+
+func TestUpgradeRequesterOwnsCompletesLocally(t *testing.T) {
+	eng, b, _ := newBus(t)
+	sib := &fakeSnooper{verdict: SnoopShared}
+	b.AttachSnooper(sib)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Upgrade, Line: 0x2000, Src: src, HomeLocal: false,
+			RequesterOwns: true, Done: func(o Outcome) { out = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != OK || out.WithData {
+		t.Fatalf("outcome %+v, want bare local grant", out)
+	}
+	if len(cc.deferred) != 0 {
+		t.Fatal("dirty-owner upgrade must not consult the home")
+	}
+	if len(sib.seen) != 1 {
+		t.Fatal("siblings must be snooped (invalidated)")
+	}
+}
+
+func TestLocalReadInstallsSharedWhenDirectoryReportsSharers(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopShared} // bus-side directory: remote sharers exist
+	b.AttachController(cc)
+	var out Outcome
+	eng.At(0, func() {
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src, HomeLocal: true, Done: func(o Outcome) { out = o }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != OK || !out.Shared {
+		t.Fatalf("outcome %+v: memory served the line but it must install Shared", out)
+	}
+}
+
+func TestWriteBackPassesParkedTransaction(t *testing.T) {
+	eng, b, _ := newBus(t)
+	src0 := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	src1 := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	cc := &fakeCC{verdict: SnoopDefer}
+	b.AttachController(cc)
+	wbDone := false
+	eng.At(0, func() {
+		// First a read that gets parked with the controller.
+		b.Issue(&Txn{Kind: Read, Line: 0x2000, Src: src0, HomeLocal: false, Done: func(Outcome) {}})
+	})
+	eng.At(50, func() {
+		// Then a write-back of the same line from the sibling: it must NOT
+		// bounce on the parked read (livelock otherwise).
+		b.Issue(&Txn{Kind: WriteBack, Line: 0x2000, Src: src1, HomeLocal: false, Done: func(o Outcome) {
+			wbDone = o.Status == OK
+		}})
+	})
+	eng.At(500, func() {
+		if len(cc.deferred) == 1 {
+			b.Supply(cc.deferred[0], true, true)
+		}
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !wbDone {
+		t.Fatal("write-back blocked behind a parked transaction")
+	}
+	if len(cc.wbLines) != 1 {
+		t.Fatal("write-back never captured by the direct data path")
+	}
+}
+
+func TestCCInterventionBouncesOnLiveTransfer(t *testing.T) {
+	eng, b, cfg := newBus(t)
+	src := b.AttachSnooper(&fakeSnooper{verdict: SnoopNone})
+	var outcomes []Status
+	eng.At(0, func() {
+		// Live local read occupies the line (memory path, done ~28 cycles).
+		b.Issue(&Txn{Kind: Read, Line: 0x1000, Src: src, HomeLocal: true, Done: func(Outcome) {}})
+		// CC fetch for the same line strobes mid-flight: must bounce.
+		b.Issue(&Txn{Kind: Fetch, Line: 0x1000, Src: CCSrc, HomeLocal: true, Done: func(o Outcome) {
+			outcomes = append(outcomes, o.Status)
+		}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 || outcomes[0] != RetryNeeded {
+		t.Fatalf("outcomes %v, want one RetryNeeded", outcomes)
+	}
+	_ = cfg
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnuma/internal/sim"
+)
+
+// histBuckets is the number of power-of-two latency buckets (bucket i
+// holds values in [2^i, 2^(i+1)), bucket 0 holds 0 and 1).
+const histBuckets = 20
+
+// Histogram accumulates a latency distribution in power-of-two buckets;
+// ccsim reports it for cache-miss service times.
+type Histogram struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     int64
+	MaxVal  int64
+}
+
+// Add records one sample (negative samples are clamped to zero).
+func (h *Histogram) Add(v sim.Time) {
+	x := int64(v)
+	if x < 0 {
+		x = 0
+	}
+	b := 0
+	for s := x; s > 1 && b < histBuckets-1; s >>= 1 {
+		b++
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += x
+	if x > h.MaxVal {
+		h.MaxVal = x
+	}
+}
+
+// Merge adds another histogram's contents.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.MaxVal > h.MaxVal {
+		h.MaxVal = o.MaxVal
+	}
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100])
+// at bucket resolution.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > target {
+			return (int64(1) << uint(i+1)) - 1
+		}
+	}
+	return h.MaxVal
+}
+
+// Render draws a compact text distribution.
+func (h *Histogram) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.0f p50<=%d p90<=%d p99<=%d max=%d\n",
+		title, h.Count, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.MaxVal)
+	if h.Count == 0 {
+		return b.String()
+	}
+	var peak uint64
+	for _, c := range h.Buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  [%6d, %6d) %-40s %d\n",
+			int64(1)<<uint(i)&^1, int64(1)<<uint(i+1), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+// Package stats accumulates and reduces the measurements the paper reports:
+// execution time, instruction counts, requests to the coherence controllers
+// (RCCPI), protocol-engine occupancy and utilization, queueing delays,
+// request inter-arrival rates, and the derived PP penalty. Model components
+// update the raw counters; the reduction methods implement the exact
+// definitions of Section 3.3 of the paper.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"ccnuma/internal/sim"
+)
+
+// EngineStats holds the per-protocol-engine measurements. In one-engine
+// controllers only engine 0 is used; in two-engine controllers engine 0 is
+// the LPE (local addresses) and engine 1 the RPE (remote addresses) under
+// the paper's split policy.
+type EngineStats struct {
+	Busy       sim.Time // cycles the engine was occupied by handlers
+	Dispatches uint64   // handlers dispatched
+	QueueDelay sim.Time // total arrival-to-dispatch delay of its requests
+}
+
+// MeanQueueDelay returns the average queueing delay per dispatch in cycles.
+func (e *EngineStats) MeanQueueDelay() float64 {
+	if e.Dispatches == 0 {
+		return 0
+	}
+	return float64(e.QueueDelay) / float64(e.Dispatches)
+}
+
+// ControllerStats holds per-coherence-controller measurements.
+type ControllerStats struct {
+	// Arrivals counts protocol requests entering the controller's queues
+	// (bus-side requests, network-side requests, network-side responses).
+	Arrivals uint64
+	// arrival inter-gap tracking for the paper's arrival-rate metric.
+	GapSum      sim.Time
+	GapN        uint64
+	lastArrival sim.Time
+	seenArrival bool
+
+	Engines []EngineStats
+}
+
+// NoteArrival records a request arrival at time t.
+func (c *ControllerStats) NoteArrival(t sim.Time) {
+	c.Arrivals++
+	if c.seenArrival {
+		c.GapSum += t - c.lastArrival
+		c.GapN++
+	}
+	c.seenArrival = true
+	c.lastArrival = t
+}
+
+// Busy returns the controller's total engine occupancy.
+func (c *ControllerStats) Busy() sim.Time {
+	var t sim.Time
+	for i := range c.Engines {
+		t += c.Engines[i].Busy
+	}
+	return t
+}
+
+// Dispatches returns total handlers dispatched on the controller.
+func (c *ControllerStats) Dispatches() uint64 {
+	var n uint64
+	for i := range c.Engines {
+		n += c.Engines[i].Dispatches
+	}
+	return n
+}
+
+// QueueDelay returns the total queueing delay across all engines.
+func (c *ControllerStats) QueueDelay() sim.Time {
+	var t sim.Time
+	for i := range c.Engines {
+		t += c.Engines[i].QueueDelay
+	}
+	return t
+}
+
+// MeanInterArrival returns the mean request inter-arrival gap in cycles
+// (0 when fewer than two arrivals occurred).
+func (c *ControllerStats) MeanInterArrival() float64 {
+	if c.GapN == 0 {
+		return 0
+	}
+	return float64(c.GapSum) / float64(c.GapN)
+}
+
+// Run aggregates the results of one simulation.
+type Run struct {
+	Arch     string   // HWC / PPC / 2HWC / 2PPC
+	App      string   // workload name
+	ExecTime sim.Time // parallel-phase execution time
+
+	Instructions uint64 // total instructions over all processors
+
+	Controllers []ControllerStats
+
+	// MissLatency is the distribution of cache-miss service times (from
+	// bus issue to processor restart) over all processors.
+	MissLatency Histogram
+
+	// Extra named counters (bus transactions, network messages, cache
+	// hits/misses, ...) for validation and the example programs.
+	Counters map[string]uint64
+}
+
+// NewRun creates an empty Run for n controllers with enginesPer engines
+// each.
+func NewRun(arch, app string, controllers, enginesPer int) *Run {
+	if enginesPer < 1 {
+		enginesPer = 1
+	}
+	r := &Run{
+		Arch:        arch,
+		App:         app,
+		Controllers: make([]ControllerStats, controllers),
+		Counters:    make(map[string]uint64),
+	}
+	for i := range r.Controllers {
+		r.Controllers[i].Engines = make([]EngineStats, enginesPer)
+	}
+	return r
+}
+
+// Add increments a named counter.
+func (r *Run) Add(name string, delta uint64) { r.Counters[name] += delta }
+
+// Counter returns a named counter's value (0 when absent).
+func (r *Run) Counter(name string) uint64 { return r.Counters[name] }
+
+// CounterNames returns the sorted names of all non-zero counters.
+func (r *Run) CounterNames() []string {
+	names := make([]string, 0, len(r.Counters))
+	for n := range r.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalArrivals returns requests to all coherence controllers.
+func (r *Run) TotalArrivals() uint64 {
+	var n uint64
+	for i := range r.Controllers {
+		n += r.Controllers[i].Arrivals
+	}
+	return n
+}
+
+// TotalOccupancy returns the summed engine occupancy of all controllers,
+// the quantity whose PPC/HWC ratio the paper reports as ~2.5.
+func (r *Run) TotalOccupancy() sim.Time {
+	var t sim.Time
+	for i := range r.Controllers {
+		t += r.Controllers[i].Busy()
+	}
+	return t
+}
+
+// RCCPI returns requests to coherence controllers per instruction. The
+// paper's tables report 1000×RCCPI.
+func (r *Run) RCCPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.TotalArrivals()) / float64(r.Instructions)
+}
+
+// AvgUtilization returns the average controller occupancy divided by
+// execution time (the paper's "average HWC/PPC utilization"). For
+// two-engine controllers pass an engine index of -1 to aggregate both, or
+// 0/1 for the LPE/RPE columns of Table 7.
+func (r *Run) AvgUtilization(engine int) float64 {
+	if r.ExecTime == 0 || len(r.Controllers) == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for i := range r.Controllers {
+		if engine < 0 {
+			busy += r.Controllers[i].Busy()
+		} else if engine < len(r.Controllers[i].Engines) {
+			busy += r.Controllers[i].Engines[engine].Busy
+		}
+	}
+	return float64(busy) / float64(len(r.Controllers)) / float64(r.ExecTime)
+}
+
+// AvgQueueDelay returns the mean queueing delay per dispatched request in
+// cycles, over all controllers (engine = -1) or one engine index.
+func (r *Run) AvgQueueDelay(engine int) float64 {
+	var delay sim.Time
+	var n uint64
+	for i := range r.Controllers {
+		if engine < 0 {
+			delay += r.Controllers[i].QueueDelay()
+			n += r.Controllers[i].Dispatches()
+		} else if engine < len(r.Controllers[i].Engines) {
+			delay += r.Controllers[i].Engines[engine].QueueDelay
+			n += r.Controllers[i].Engines[engine].Dispatches
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(delay) / float64(n)
+}
+
+// AvgQueueDelayNs returns AvgQueueDelay converted to nanoseconds, the unit
+// of Tables 6 and 7.
+func (r *Run) AvgQueueDelayNs(engine int) float64 {
+	return r.AvgQueueDelay(engine) * 5.0
+}
+
+// ArrivalRatePerMicrosecond returns the paper's arrival-rate metric: the
+// reciprocal of the mean inter-arrival time of requests to each controller
+// (averaged over controllers), scaled to requests per microsecond (200 CPU
+// cycles).
+func (r *Run) ArrivalRatePerMicrosecond() float64 {
+	if len(r.Controllers) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := range r.Controllers {
+		gap := r.Controllers[i].MeanInterArrival()
+		if gap > 0 {
+			sum += 200.0 / gap
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// EngineShare returns the fraction of dispatched requests handled by the
+// given engine index (Table 7's request-distribution columns).
+func (r *Run) EngineShare(engine int) float64 {
+	var mine, all uint64
+	for i := range r.Controllers {
+		if engine < len(r.Controllers[i].Engines) {
+			mine += r.Controllers[i].Engines[engine].Dispatches
+		}
+		all += r.Controllers[i].Dispatches()
+	}
+	if all == 0 {
+		return 0
+	}
+	return float64(mine) / float64(all)
+}
+
+// Penalty returns the PP performance penalty of run r relative to baseline
+// b: the relative increase in execution time (e.g. 0.93 for Ocean in the
+// paper's base configuration).
+func Penalty(b, r *Run) float64 {
+	if b == nil || r == nil || b.ExecTime == 0 {
+		return 0
+	}
+	return float64(r.ExecTime)/float64(b.ExecTime) - 1.0
+}
+
+// OccupancyRatio returns r's total controller occupancy divided by b's
+// (the paper's "PPC/HWC occupancy" column, ~2.5).
+func OccupancyRatio(b, r *Run) float64 {
+	if b == nil || r == nil || b.TotalOccupancy() == 0 {
+		return 0
+	}
+	return float64(r.TotalOccupancy()) / float64(b.TotalOccupancy())
+}
+
+// String summarizes the run for logs.
+func (r *Run) String() string {
+	return fmt.Sprintf("%s/%s: %d cycles, %d instr, 1000*RCCPI=%.2f, util=%.2f%%",
+		r.App, r.Arch, r.ExecTime, r.Instructions, 1000*r.RCCPI(), 100*r.AvgUtilization(-1))
+}
+
+// CurvePoint is one (x, y) sample of a measured curve (e.g. the
+// penalty-versus-RCCPI calibration of the paper's Section 3.3).
+type CurvePoint struct {
+	X, Y float64
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ccnuma/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNoteArrivalGaps(t *testing.T) {
+	var c ControllerStats
+	for _, at := range []sim.Time{100, 150, 250} {
+		c.NoteArrival(at)
+	}
+	if c.Arrivals != 3 {
+		t.Fatalf("arrivals = %d", c.Arrivals)
+	}
+	// Gaps: 50, 100 -> mean 75.
+	if got := c.MeanInterArrival(); !almost(got, 75) {
+		t.Fatalf("mean inter-arrival = %v, want 75", got)
+	}
+}
+
+func TestRunReductions(t *testing.T) {
+	r := NewRun("PPC", "ocean", 2, 1)
+	r.ExecTime = 1000
+	r.Instructions = 10000
+	r.Controllers[0].Engines[0] = EngineStats{Busy: 500, Dispatches: 50, QueueDelay: 1000}
+	r.Controllers[1].Engines[0] = EngineStats{Busy: 300, Dispatches: 30, QueueDelay: 200}
+	r.Controllers[0].Arrivals = 50
+	r.Controllers[1].Arrivals = 30
+
+	if got := r.TotalArrivals(); got != 80 {
+		t.Errorf("TotalArrivals = %d", got)
+	}
+	if got := r.TotalOccupancy(); got != 800 {
+		t.Errorf("TotalOccupancy = %d", got)
+	}
+	if got := r.RCCPI(); !almost(got, 0.008) {
+		t.Errorf("RCCPI = %v", got)
+	}
+	// Average utilization = mean(500/1000, 300/1000) = 0.4.
+	if got := r.AvgUtilization(-1); !almost(got, 0.4) {
+		t.Errorf("AvgUtilization = %v", got)
+	}
+	// Queue delay = 1200 cycles over 80 dispatches = 15 cycles = 75 ns.
+	if got := r.AvgQueueDelay(-1); !almost(got, 15) {
+		t.Errorf("AvgQueueDelay = %v", got)
+	}
+	if got := r.AvgQueueDelayNs(-1); !almost(got, 75) {
+		t.Errorf("AvgQueueDelayNs = %v", got)
+	}
+}
+
+func TestTwoEngineReductions(t *testing.T) {
+	r := NewRun("2HWC", "fft", 1, 2)
+	r.ExecTime = 1000
+	r.Controllers[0].Engines[0] = EngineStats{Busy: 400, Dispatches: 40, QueueDelay: 400}
+	r.Controllers[0].Engines[1] = EngineStats{Busy: 100, Dispatches: 60, QueueDelay: 60}
+	if got := r.AvgUtilization(0); !almost(got, 0.4) {
+		t.Errorf("LPE utilization = %v", got)
+	}
+	if got := r.AvgUtilization(1); !almost(got, 0.1) {
+		t.Errorf("RPE utilization = %v", got)
+	}
+	if got := r.EngineShare(0); !almost(got, 0.4) {
+		t.Errorf("LPE share = %v", got)
+	}
+	if got := r.EngineShare(1); !almost(got, 0.6) {
+		t.Errorf("RPE share = %v", got)
+	}
+	if got := r.AvgQueueDelay(0); !almost(got, 10) {
+		t.Errorf("LPE queue delay = %v", got)
+	}
+	if got := r.AvgQueueDelay(1); !almost(got, 1) {
+		t.Errorf("RPE queue delay = %v", got)
+	}
+}
+
+func TestPenaltyAndOccupancyRatio(t *testing.T) {
+	hwc := NewRun("HWC", "ocean", 1, 1)
+	hwc.ExecTime = 1000
+	hwc.Controllers[0].Engines[0].Busy = 400
+	ppc := NewRun("PPC", "ocean", 1, 1)
+	ppc.ExecTime = 1930
+	ppc.Controllers[0].Engines[0].Busy = 1000
+	if got := Penalty(hwc, ppc); !almost(got, 0.93) {
+		t.Errorf("penalty = %v, want 0.93", got)
+	}
+	if got := OccupancyRatio(hwc, ppc); !almost(got, 2.5) {
+		t.Errorf("occupancy ratio = %v, want 2.5", got)
+	}
+	if got := Penalty(nil, ppc); got != 0 {
+		t.Errorf("nil baseline penalty = %v", got)
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	r := NewRun("HWC", "x", 2, 1)
+	// Controller 0: arrivals every 100 cycles -> 2 per microsecond.
+	for i := 0; i < 5; i++ {
+		r.Controllers[0].NoteArrival(sim.Time(i * 100))
+	}
+	// Controller 1: arrivals every 400 cycles -> 0.5 per microsecond.
+	for i := 0; i < 5; i++ {
+		r.Controllers[1].NoteArrival(sim.Time(i * 400))
+	}
+	if got := r.ArrivalRatePerMicrosecond(); !almost(got, 1.25) {
+		t.Errorf("arrival rate = %v, want 1.25", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRun("HWC", "x", 1, 1)
+	r.Add("busReads", 3)
+	r.Add("busReads", 2)
+	r.Add("netMsgs", 7)
+	if r.Counter("busReads") != 5 || r.Counter("netMsgs") != 7 {
+		t.Fatal("counter accumulation broken")
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "busReads" || names[1] != "netMsgs" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+	if r.Counter("absent") != 0 {
+		t.Fatal("absent counter should be 0")
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	r := NewRun("HWC", "x", 0, 1)
+	if r.RCCPI() != 0 || r.AvgUtilization(-1) != 0 || r.AvgQueueDelay(-1) != 0 ||
+		r.ArrivalRatePerMicrosecond() != 0 || r.EngineShare(0) != 0 {
+		t.Fatal("zero-valued run should reduce to zeros")
+	}
+	var e EngineStats
+	if e.MeanQueueDelay() != 0 {
+		t.Fatal("empty engine mean queue delay should be 0")
+	}
+	var c ControllerStats
+	if c.MeanInterArrival() != 0 {
+		t.Fatal("empty controller inter-arrival should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Time{0, 1, 2, 3, 100, 150, 1000} {
+		h.Add(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.MaxVal != 1000 {
+		t.Fatalf("max = %d", h.MaxVal)
+	}
+	if m := h.Mean(); m < 170 || m > 185 {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := h.Percentile(50); p < 3 || p > 127 {
+		t.Fatalf("p50 bound = %d", p)
+	}
+	if p := h.Percentile(100); p < 1000 {
+		t.Fatalf("p100 bound = %d below max", p)
+	}
+	var h2 Histogram
+	h2.Add(5000)
+	h.Merge(&h2)
+	if h.Count != 8 || h.MaxVal != 5000 {
+		t.Fatalf("merge broken: %+v", h)
+	}
+	if h.Render("x") == "" {
+		t.Fatal("empty render")
+	}
+	var empty Histogram
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 {
+		t.Fatal("empty histogram should reduce to zeros")
+	}
+	if empty.Render("e") == "" {
+		t.Fatal("empty render should still print the header")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.MaxVal != 0 || h.Count != 1 {
+		t.Fatalf("negative clamp broken: %+v", h)
+	}
+}
