@@ -1,0 +1,40 @@
+# Development workflow for the ccnuma simulator. `make check` is the
+# pre-PR gate: formatting, vet, and the full test suite under the race
+# detector at the small problem sizes the tests use.
+
+GO ?= go
+
+.PHONY: all build check fmt vet test race bench tables clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the pre-PR gate: gofmt must report nothing, vet must be clean,
+# and every test must pass with the race detector on.
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate every paper table/figure at smoke sizes.
+tables:
+	$(GO) run ./cmd/cctables -size test
+
+clean:
+	$(GO) clean
+	rm -f ccsim ccsweep cctables cctrace

@@ -16,6 +16,7 @@ import (
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/workload"
 )
@@ -35,6 +36,11 @@ func main() {
 	directPath := flag.Bool("directpath", true, "enable the direct bus/network data path for write-backs")
 	dirCache := flag.Int("dircache", 8192, "directory cache entries (0 disables)")
 	counters := flag.Bool("counters", false, "dump all raw counters")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto) to this file")
+	traceBuf := flag.Int("tracebuf", 1<<18, "trace ring-buffer capacity in events")
+	sampleEvery := flag.Int64("sample", 0, "sample machine state every N simulated cycles (0 = off)")
+	sampleOut := flag.String("sample-out", "", "time-series output file (.json = JSON, else CSV; default samples.csv)")
+	jsonPath := flag.String("json", "", "write the machine-readable run artifact to this file")
 	flag.Parse()
 
 	cfg := config.Base()
@@ -90,9 +96,18 @@ func main() {
 		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
 	}
 
-	m, err := machine.New(cfg, *app)
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer(obs.WithBuffer(*traceBuf))
+	}
+	m, err := machine.NewTraced(cfg, *app, tr)
 	if err != nil {
 		fatal(err)
+	}
+	var sampler *obs.Sampler
+	if *sampleEvery > 0 {
+		sampler = obs.NewSampler(sim.Time(*sampleEvery))
+		m.AttachSampler(sampler)
 	}
 	w, err := workload.New(*app, size, m.NProcs())
 	if err != nil {
@@ -107,6 +122,30 @@ func main() {
 	}
 	if err := w.Verify(); err != nil {
 		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+	if tr != nil {
+		if err := obs.WriteChromeTraceFile(*tracePath, tr.Events()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (%d events, %d dropped by ring wraparound)\n",
+			*tracePath, tr.Recorded(), tr.Dropped())
+	}
+	if sampler != nil {
+		out := *sampleOut
+		if out == "" {
+			out = "samples.csv"
+		}
+		if err := sampler.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "samples: %s (%d rows every %d cycles)\n",
+			out, len(sampler.Samples()), sampler.Interval)
+	}
+	if *jsonPath != "" {
+		if err := obs.NewArtifact("ccsim", *sizeFlag, &cfg, r).WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "artifact: %s\n", *jsonPath)
 	}
 
 	fmt.Printf("application:        %s (%s)\n", *app, *sizeFlag)
@@ -126,9 +165,12 @@ func main() {
 	fmt.Printf("arrival rate:       %.2f requests/us per controller\n", r.ArrivalRatePerMicrosecond())
 	fmt.Printf("requests to CCs:    %d\n", r.TotalArrivals())
 
-	fmt.Printf("miss latency:       mean %.0f cycles, p50<=%d p90<=%d p99<=%d max=%d (n=%d)\n",
+	fmt.Printf("miss latency:       mean %.0f cycles, p50=%.0f p90=%.0f p99=%.0f max=%d (n=%d)\n",
 		r.MissLatency.Mean(), r.MissLatency.Percentile(50), r.MissLatency.Percentile(90),
 		r.MissLatency.Percentile(99), r.MissLatency.MaxVal, r.MissLatency.Count)
+	qd := r.QueueDelayHistogram()
+	fmt.Printf("queueing delay dist: p50=%.0f p95=%.0f p99=%.0f max=%d cycles (n=%d)\n",
+		qd.Percentile(50), qd.Percentile(95), qd.Percentile(99), qd.MaxVal, qd.Count)
 
 	if *counters {
 		fmt.Println("\ncounters:")

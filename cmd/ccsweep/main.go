@@ -19,6 +19,7 @@ import (
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
 	nodes := flag.Int("nodes", 4, "SMP nodes (ignored by -param ppn, which fixes total processors)")
 	ppn := flag.Int("ppn", 2, "processors per node")
+	jsonPath := flag.String("json", "", "also write an array of run-artifact documents to this file")
 	flag.Parse()
 
 	var size workload.SizeClass
@@ -46,6 +48,7 @@ func main() {
 		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
 	}
 
+	var artifacts []*obs.Artifact
 	fmt.Println("app,param,value,arch,exec_cycles,rccpi_x1000,util_pct,queue_ns,penalty_vs_first_arch_pct")
 	for _, vs := range strings.Split(*values, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(vs))
@@ -72,11 +75,23 @@ func main() {
 			if baseline == nil {
 				baseline = r
 			}
+			penalty := 100 * stats.Penalty(baseline, r)
 			fmt.Printf("%s,%s,%d,%s,%d,%.3f,%.2f,%.0f,%.1f\n",
 				*app, *param, v, arch, r.ExecTime, 1000*r.RCCPI(),
-				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1),
-				100*stats.Penalty(baseline, r))
+				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1), penalty)
+			if *jsonPath != "" {
+				a := obs.NewArtifact("ccsweep", *sizeFlag, &cfg, r)
+				p := penalty
+				a.PenaltyVsBaselinePct = &p
+				artifacts = append(artifacts, a)
+			}
 		}
+	}
+	if *jsonPath != "" {
+		if err := obs.WriteArtifactsFile(*jsonPath, artifacts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts: %s (%d runs)\n", *jsonPath, len(artifacts))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"ccnuma/internal/exp"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/workload"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	size := flag.String("size", "base", "problem size class: test or base")
 	only := flag.String("only", "", "regenerate one artifact: table1,table2,table3,table4,table6,table7,fig6,fig7,fig8,fig9,fig10,fig11,fig12,ext,placement,predict")
 	verbose := flag.Bool("v", false, "print per-simulation progress")
+	jsonPath := flag.String("json", "", "write one run-artifact document per simulation to this file (JSON array)")
 	flag.Parse()
 
 	var sc workload.SizeClass
@@ -39,6 +41,7 @@ func main() {
 	if *verbose {
 		s.Progress = os.Stderr
 	}
+	s.CollectArtifacts = *jsonPath != ""
 
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
@@ -147,5 +150,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(f.Render())
+	}
+	if *jsonPath != "" {
+		if err := obs.WriteArtifactsFile(*jsonPath, s.Artifacts()); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts: %s (%d simulations)\n", *jsonPath, len(s.Artifacts()))
 	}
 }

@@ -1,13 +1,18 @@
-// Command cctrace runs a simulation with the protocol event trace enabled
-// and prints every controller dispatch and message send — optionally
-// filtered to one cache line — plus the cache-state transitions of that
-// line. It is the tool that found this repository's protocol races; it is
-// equally useful for studying handler interleavings.
+// Command cctrace runs a simulation with the typed event trace enabled and
+// prints every controller dispatch, queue movement, bus strobe, network
+// send/receive, directory access, and cache-state transition — optionally
+// filtered to one cache line. It is the tool that found this repository's
+// protocol races; it is equally useful for studying handler interleavings.
+//
+// The filter compares the parsed line-address field of each structured
+// event, so -line 0x3200 matches exactly that line (and not 0x32000, as the
+// old substring filter did).
 //
 // Usage:
 //
 //	cctrace -app ocean -arch PPC -size test                 # full trace
 //	cctrace -app radix -line 0x3200 -max 200                # one line
+//	cctrace -app fft -chrome trace.json                     # Perfetto trace
 package main
 
 import (
@@ -19,30 +24,10 @@ import (
 	"strings"
 
 	"ccnuma/internal/config"
-	"ccnuma/internal/core"
-	"ccnuma/internal/cpu"
 	"ccnuma/internal/machine"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/workload"
 )
-
-// lineFilter passes through only trace lines mentioning the wanted line.
-type lineFilter struct {
-	out  *bufio.Writer
-	want string // "" = everything
-	kept int
-	max  int
-}
-
-func (f *lineFilter) Write(p []byte) (int, error) {
-	s := string(p)
-	if f.want == "" || strings.Contains(s, f.want) {
-		if f.max == 0 || f.kept < f.max {
-			f.out.WriteString(s)
-			f.kept++
-		}
-	}
-	return len(p), nil
-}
 
 func main() {
 	app := flag.String("app", "ocean", fmt.Sprintf("application: %v", workload.Names()))
@@ -52,6 +37,7 @@ func main() {
 	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
 	lineHex := flag.String("line", "", "only trace this cache line (hex, e.g. 0x3200)")
 	maxLines := flag.Int("max", 0, "stop printing after this many trace lines (0 = unlimited)")
+	chromePath := flag.String("chrome", "", "also write Chrome trace_event JSON (Perfetto) to this file")
 	flag.Parse()
 
 	cfg := config.Base()
@@ -74,21 +60,36 @@ func main() {
 		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
 	}
 
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	filter := &lineFilter{out: out, max: *maxLines}
+	var wantLine uint64
+	filtered := false
 	if *lineHex != "" {
 		v, err := strconv.ParseUint(strings.TrimPrefix(*lineHex, "0x"), 16, 64)
 		if err != nil {
 			fatal(fmt.Errorf("bad -line %q: %w", *lineHex, err))
 		}
-		filter.want = fmt.Sprintf("%#x", v)
-		cpu.DebugLine = v
+		wantLine, filtered = v, true
 	}
-	core.Debug = filter
-	defer func() { core.Debug = nil; cpu.DebugLine = 0 }()
 
-	m, err := machine.New(cfg, *app)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	kept := 0
+	opts := []obs.Option{obs.WithSink(func(ev *obs.Event) {
+		if filtered && ev.Line != wantLine {
+			return
+		}
+		if *maxLines == 0 || kept < *maxLines {
+			out.WriteString(ev.Text())
+			out.WriteByte('\n')
+			kept++
+		}
+	})}
+	if *chromePath == "" {
+		opts = append(opts, obs.WithBuffer(0)) // stream-only: no ring needed
+	}
+	tr := obs.NewTracer(opts...)
+
+	m, err := machine.NewTraced(cfg, *app, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,8 +106,15 @@ func main() {
 		fatal(err)
 	}
 	out.Flush()
-	fmt.Fprintf(os.Stderr, "\n%s/%s: %d cycles, %d protocol events traced\n",
-		*app, cfg.ArchName(), r.ExecTime, filter.kept)
+	if *chromePath != "" {
+		if err := obs.WriteChromeTraceFile(*chromePath, tr.Events()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace: %s (%d events buffered, %d dropped)\n",
+			*chromePath, tr.Recorded(), tr.Dropped())
+	}
+	fmt.Fprintf(os.Stderr, "\n%s/%s: %d cycles, %d events printed\n",
+		*app, cfg.ArchName(), r.ExecTime, kept)
 }
 
 func fatal(err error) {

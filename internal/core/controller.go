@@ -21,13 +21,13 @@ package core
 
 import (
 	"fmt"
-	"io"
 	"strings"
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/directory"
 	"ccnuma/internal/interconnect"
 	"ccnuma/internal/memaddr"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/protocol"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/smpbus"
@@ -40,6 +40,14 @@ type work struct {
 	arrival sim.Time
 	txn     *smpbus.Txn
 	msg     *protocol.Msg
+}
+
+// label names the queued request for tracing (a constant-table string).
+func (w *work) label() string {
+	if w.txn != nil {
+		return w.txn.Kind.String()
+	}
+	return w.msg.Type.String()
 }
 
 // homeOp is a transient home-node operation on a local line.
@@ -92,6 +100,7 @@ type Controller struct {
 	dir   *directory.Directory
 	space *memaddr.Space
 	st    *stats.ControllerStats
+	tr    *obs.Tracer // nil when tracing is disabled
 
 	engines []*engine
 	rr      int
@@ -115,23 +124,12 @@ type engine struct {
 	netStreak int // consecutive network-request dispatches while bus waits
 }
 
-// Debug, when non-nil, receives a line per protocol event (message sends,
-// handler dispatches, directory writes). For tests and diagnostics only.
-var Debug io.Writer
-
-func (cc *Controller) tracef(format string, args ...interface{}) {
-	if Debug != nil {
-		fmt.Fprintf(Debug, "[%8d n%d] ", cc.eng.Now(), cc.node)
-		fmt.Fprintf(Debug, format+"\n", args...)
-	}
-}
-
 // New creates a controller, attaching it to the node's bus and to the
 // network. st receives the controller's measurements (may be a throwaway
-// for unit tests).
+// for unit tests); tr may be nil to disable tracing.
 func New(eng *sim.Engine, cfg *config.Config, node int, bus *smpbus.Bus,
 	net *interconnect.Network, dir *directory.Directory, space *memaddr.Space,
-	st *stats.ControllerStats) *Controller {
+	st *stats.ControllerStats, tr *obs.Tracer) *Controller {
 
 	cc := &Controller{
 		eng:     eng,
@@ -142,6 +140,7 @@ func New(eng *sim.Engine, cfg *config.Config, node int, bus *smpbus.Bus,
 		dir:     dir,
 		space:   space,
 		st:      st,
+		tr:      tr,
 		homeOps: make(map[uint64]*homeOp),
 		mshr:    make(map[uint64]*mshrEntry),
 	}
@@ -165,6 +164,16 @@ func (cc *Controller) HandlerBusy(h protocol.Handler) sim.Time {
 
 // PendingOps reports outstanding transient state (for end-of-run checks).
 func (cc *Controller) PendingOps() int { return len(cc.homeOps) + len(cc.mshr) }
+
+// QueueDepths returns engine i's input-queue depths (for the sampler and
+// stall snapshots).
+func (cc *Controller) QueueDepths(i int) (resp, req, bus int) {
+	e := cc.engines[i]
+	return len(e.respQ), len(e.reqQ), len(e.busQ)
+}
+
+// EngineBusy reports whether engine i is executing a handler right now.
+func (cc *Controller) EngineBusy(i int) bool { return cc.engines[i].busy }
 
 // DumpPending describes outstanding transient state for deadlock
 // diagnostics.
@@ -270,6 +279,7 @@ func (cc *Controller) AcceptDeferred(txn *smpbus.Txn) {
 	cc.st.NoteArrival(w.arrival)
 	e := cc.engineFor(txn.Line)
 	e.busQ = append(e.busQ, w)
+	cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QBus, len(e.busQ), txn.Kind.String(), txn.Line)
 	e.kick()
 }
 
@@ -305,8 +315,10 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 			}
 		}
 		e.respQ = append(e.respQ, w)
+		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QResp, len(e.respQ), msg.Type.String(), msg.Line)
 	} else {
 		e.reqQ = append(e.reqQ, w)
+		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QReq, len(e.reqQ), msg.Type.String(), msg.Line)
 	}
 	e.kick()
 }
@@ -318,8 +330,6 @@ func (cc *Controller) send(at sim.Time, dst int, msg *protocol.Msg) {
 	if dst < 0 {
 		panic(fmt.Sprintf("core: message %v to unmapped home %d (line %#x)", msg.Type, dst, msg.Line))
 	}
-	cc.tracef("send %v line=%#x -> n%d (req=%d excl=%v dirty=%v sharedLeft=%v)",
-		msg.Type, msg.Line, dst, msg.Requester, msg.Excl, msg.Dirty, msg.SharedLeft)
 	cc.eng.At(at, func() {
 		cc.net.Send(cc.node, dst, msg.Flits(cc.cfg), msg)
 	})
@@ -349,6 +359,30 @@ func (e *engine) kick() {
 	e.dispatch(w)
 }
 
+// takeResp removes the head of the response queue, tracing the removal.
+func (e *engine) takeResp() *work {
+	w := e.respQ[0]
+	e.respQ = e.respQ[1:]
+	e.cc.tr.Dequeue(e.cc.eng.Now(), e.cc.node, e.idx, obs.QResp, len(e.respQ), e.cc.lineOf(w))
+	return w
+}
+
+// takeReq removes the head of the network-request queue.
+func (e *engine) takeReq() *work {
+	w := e.reqQ[0]
+	e.reqQ = e.reqQ[1:]
+	e.cc.tr.Dequeue(e.cc.eng.Now(), e.cc.node, e.idx, obs.QReq, len(e.reqQ), e.cc.lineOf(w))
+	return w
+}
+
+// takeBus removes the head of the bus-request queue.
+func (e *engine) takeBus() *work {
+	w := e.busQ[0]
+	e.busQ = e.busQ[1:]
+	e.cc.tr.Dequeue(e.cc.eng.Now(), e.cc.node, e.idx, obs.QBus, len(e.busQ), e.cc.lineOf(w))
+	return w
+}
+
 // pick removes and returns the next work item per the arbitration policy.
 func (e *engine) pick() *work {
 	if e.cc.cfg.Arbitration == config.ArbFIFO {
@@ -357,29 +391,21 @@ func (e *engine) pick() *work {
 	// Paper policy: responses, then network requests, then bus requests —
 	// with the anti-livelock exception for long-waiting bus requests.
 	if len(e.respQ) > 0 {
-		w := e.respQ[0]
-		e.respQ = e.respQ[1:]
-		return w
+		return e.takeResp()
 	}
 	if len(e.busQ) > 0 && len(e.reqQ) > 0 && e.netStreak >= e.cc.cfg.LivelockLimit {
-		w := e.busQ[0]
-		e.busQ = e.busQ[1:]
 		e.netStreak = 0
-		return w
+		return e.takeBus()
 	}
 	if len(e.reqQ) > 0 {
-		w := e.reqQ[0]
-		e.reqQ = e.reqQ[1:]
 		if len(e.busQ) > 0 {
 			e.netStreak++
 		}
-		return w
+		return e.takeReq()
 	}
 	if len(e.busQ) > 0 {
-		w := e.busQ[0]
-		e.busQ = e.busQ[1:]
 		e.netStreak = 0
-		return w
+		return e.takeBus()
 	}
 	return nil
 }
@@ -398,17 +424,11 @@ func (e *engine) pickFIFO() *work {
 	}
 	switch best {
 	case 0:
-		w := e.respQ[0]
-		e.respQ = e.respQ[1:]
-		return w
+		return e.takeResp()
 	case 1:
-		w := e.reqQ[0]
-		e.reqQ = e.reqQ[1:]
-		return w
+		return e.takeReq()
 	case 2:
-		w := e.busQ[0]
-		e.busQ = e.busQ[1:]
-		return w
+		return e.takeBus()
 	}
 	return nil
 }
@@ -421,6 +441,7 @@ func (e *engine) dispatch(w *work) {
 	est := &cc.st.Engines[e.idx]
 	est.Dispatches++
 	est.QueueDelay += now - w.arrival
+	est.QueueDelayHist.Add(now - w.arrival)
 
 	e.busy = true
 	var occ sim.Time
@@ -433,6 +454,9 @@ func (e *engine) dispatch(w *work) {
 		panic("core: handler with non-positive occupancy")
 	}
 	est.Busy += occ
+	if cc.tr != nil {
+		cc.tr.Dispatch(now, cc.node, e.idx, w.label(), cc.lineOf(w), occ, now-w.arrival)
+	}
 	cc.eng.At(now+occ, func() {
 		e.busy = false
 		e.kick()
@@ -489,10 +513,13 @@ func (cc *Controller) replay(ws []*work) {
 		e := cc.engineFor(cc.lineOf(w))
 		if w.txn != nil {
 			e.busQ = append(e.busQ, w)
+			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QBus, len(e.busQ), w.label(), w.txn.Line)
 		} else if w.msg.IsResponse() {
 			e.respQ = append(e.respQ, w)
+			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QResp, len(e.respQ), w.label(), w.msg.Line)
 		} else {
 			e.reqQ = append(e.reqQ, w)
+			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QReq, len(e.reqQ), w.label(), w.msg.Line)
 		}
 		e.kick()
 	}

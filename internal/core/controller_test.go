@@ -39,12 +39,12 @@ func newRig(t *testing.T, mutate func(*config.Config)) *rig {
 	}
 	r := &rig{eng: sim.NewEngine(), cfg: cfg}
 	r.space = memaddr.NewSpace(&r.cfg)
-	r.net = interconnect.New(r.eng, &r.cfg)
+	r.net = interconnect.New(r.eng, &r.cfg, nil)
 	r.runs = stats.NewRun(cfg.ArchName(), "rig", cfg.Nodes, cfg.EngineCount())
 	for n := 0; n < cfg.Nodes; n++ {
-		bus := smpbus.New(r.eng, &r.cfg, n)
-		dir := directory.New(r.eng, &r.cfg, n)
-		cc := New(r.eng, &r.cfg, n, bus, r.net, dir, r.space, &r.runs.Controllers[n])
+		bus := smpbus.New(r.eng, &r.cfg, n, nil)
+		dir := directory.New(r.eng, &r.cfg, n, nil)
+		cc := New(r.eng, &r.cfg, n, bus, r.net, dir, r.space, &r.runs.Controllers[n], nil)
 		r.buses = append(r.buses, bus)
 		r.ccs = append(r.ccs, cc)
 	}

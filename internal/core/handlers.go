@@ -13,8 +13,6 @@ import (
 // engine occupancy.
 func (cc *Controller) handleBusTxn(w *work) sim.Time {
 	txn := w.txn
-	cc.tracef("dispatch bus %v line=%#x src=%d local=%v dir=%v",
-		txn.Kind, txn.Line, txn.Src, txn.HomeLocal, cc.dir.Lookup(txn.Line))
 	if txn.HomeLocal {
 		return cc.handleLocalBus(w)
 	}
@@ -259,8 +257,6 @@ func (cc *Controller) retireOp(op *homeOp) {
 
 func (cc *Controller) handleMsg(w *work) sim.Time {
 	msg := w.msg
-	cc.tracef("dispatch %v line=%#x from n%d (req=%d excl=%v dirty=%v) dir=%v",
-		msg.Type, msg.Line, msg.Src, msg.Requester, msg.Excl, msg.Dirty, cc.dir.Lookup(msg.Line))
 	switch msg.Type {
 	case protocol.MsgReadReq:
 		return cc.homeRead(w)

@@ -14,20 +14,12 @@ import (
 	"ccnuma/internal/cache"
 	"ccnuma/internal/config"
 	"ccnuma/internal/memaddr"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/prog"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/smpbus"
 	"ccnuma/internal/stats"
 )
-
-// DebugLine, when non-zero, prints every cache-state transition touching
-// that line (diagnostics only).
-var DebugLine uint64
-
-func (p *Proc) dbg(format string, args ...interface{}) {
-	fmt.Printf("[cpu %8d p%d] "+format+"\n",
-		append([]interface{}{int64(p.eng.Now()), p.id}, args...)...)
-}
 
 type opKind int
 
@@ -66,6 +58,7 @@ type Proc struct {
 	src   int // snooper index on the bus
 	space *memaddr.Space
 	sync  SyncHandler
+	tr    *obs.Tracer // nil when tracing is disabled
 
 	l1 *cache.Cache
 	l2 *cache.Cache
@@ -95,9 +88,9 @@ type Proc struct {
 	missActive   bool
 }
 
-// New creates a processor attached to its node's bus.
+// New creates a processor attached to its node's bus. tr may be nil.
 func New(eng *sim.Engine, cfg *config.Config, id, node int, bus *smpbus.Bus,
-	space *memaddr.Space, sync SyncHandler) *Proc {
+	space *memaddr.Space, sync SyncHandler, tr *obs.Tracer) *Proc {
 	p := &Proc{
 		eng:   eng,
 		cfg:   cfg,
@@ -106,6 +99,7 @@ func New(eng *sim.Engine, cfg *config.Config, id, node int, bus *smpbus.Bus,
 		bus:   bus,
 		space: space,
 		sync:  sync,
+		tr:    tr,
 		l1:    cache.New(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
 		l2:    cache.New(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
 		start: make(chan struct{}),
@@ -301,9 +295,7 @@ func (p *Proc) issueMiss(line uint64, kind smpbus.Kind) {
 }
 
 func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outcome) {
-	if DebugLine != 0 && line == DebugLine {
-		p.dbg("missDone %v owned=%v %+v", kind, owned, o)
-	}
+	p.tr.Cache(p.eng.Now(), p.node, p.src, line, "missDone", kind.String())
 	switch o.Status {
 	case smpbus.RetryNeeded:
 		p.retries++
@@ -387,13 +379,9 @@ func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
 // L1 inclusive.
 func (p *Proc) installL2(line uint64, st cache.State) {
 	victim, vstate := p.l2.Insert(line, st)
-	if DebugLine != 0 && line == DebugLine {
-		p.dbg("install %v", st)
-	}
+	p.tr.Cache(p.eng.Now(), p.node, p.src, line, "install", st.String())
 	if vstate != cache.Invalid {
-		if DebugLine != 0 && victim == DebugLine {
-			p.dbg("evict %v", vstate)
-		}
+		p.tr.Cache(p.eng.Now(), p.node, p.src, victim, "evict", vstate.String())
 		p.l1.Invalidate(victim)
 		if vstate.Dirty() {
 			p.writeBack(victim)
@@ -409,18 +397,13 @@ func (p *Proc) installL1(line uint64) {
 // writeBack issues an eviction write-back (fire and forget; the write-back
 // buffer is not a modelled resource beyond the bus itself).
 func (p *Proc) writeBack(line uint64) {
-	if DebugLine != 0 && line == DebugLine {
-		p.dbg("writeBack issue")
-	}
+	p.tr.Cache(p.eng.Now(), p.node, p.src, line, "writeback", "")
 	txn := &smpbus.Txn{
 		Kind:      smpbus.WriteBack,
 		Line:      line,
 		Src:       p.src,
 		HomeLocal: p.space.Home(line) == p.node,
 		Done: func(o smpbus.Outcome) {
-			if DebugLine != 0 && line == DebugLine {
-				p.dbg("writeBack done %+v", o)
-			}
 			if o.Status == smpbus.RetryNeeded {
 				p.eng.After(p.cfg.BusRetry, func() { p.writeBack(line) })
 			}
@@ -452,12 +435,10 @@ func (p *Proc) finishAccess(extra sim.Time) {
 func (p *Proc) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
 	line := txn.Line
 	st := p.l2.Lookup(line)
-	if DebugLine != 0 && line == DebugLine && st != cache.Invalid {
-		p.dbg("snoop %v while %v", txn.Kind, st)
-	}
 	if st == cache.Invalid {
 		return smpbus.SnoopNone
 	}
+	p.tr.Cache(p.eng.Now(), p.node, p.src, line, "snoop", st.String())
 	switch txn.Kind {
 	case smpbus.Read:
 		// In-node read: a dirty owner supplies and keeps ownership

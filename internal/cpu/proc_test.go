@@ -33,10 +33,10 @@ func testRig(t *testing.T, procs int) (*sim.Engine, *config.Config, *memaddr.Spa
 	eng := sim.NewEngine()
 	eng.Limit = 10_000_000
 	space := memaddr.NewSpace(&cfg)
-	bus := smpbus.New(eng, &cfg, 0)
+	bus := smpbus.New(eng, &cfg, 0, nil)
 	var ps []*Proc
 	for i := 0; i < procs; i++ {
-		ps = append(ps, New(eng, &cfg, i, 0, bus, space, noSync{}))
+		ps = append(ps, New(eng, &cfg, i, 0, bus, space, noSync{}, nil))
 	}
 	return eng, &cfg, space, bus, ps
 }

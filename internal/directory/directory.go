@@ -15,6 +15,7 @@ import (
 
 	"ccnuma/internal/cache"
 	"ccnuma/internal/config"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 )
 
@@ -79,6 +80,7 @@ type Entry struct {
 type Directory struct {
 	cfg  *config.Config
 	node int
+	tr   *obs.Tracer // nil when tracing is disabled
 
 	entries map[uint64]Entry
 	// dirCache models the 8K-entry write-through directory cache. Only
@@ -90,11 +92,12 @@ type Directory struct {
 	hits, misses uint64
 }
 
-// New creates the directory for a home node.
-func New(eng *sim.Engine, cfg *config.Config, node int) *Directory {
+// New creates the directory for a home node. tr may be nil.
+func New(eng *sim.Engine, cfg *config.Config, node int, tr *obs.Tracer) *Directory {
 	d := &Directory{
 		cfg:     cfg,
 		node:    node,
+		tr:      tr,
 		entries: make(map[uint64]Entry),
 		dram:    sim.NewResource(eng, fmt.Sprintf("dir-dram-%d", node)),
 	}
@@ -118,14 +121,17 @@ func (d *Directory) Lookup(line uint64) Entry {
 func (d *Directory) Read(now sim.Time, line uint64) (Entry, sim.Time) {
 	e := d.entries[line]
 	if d.dirCache == nil {
+		d.tr.DirAccess(now, d.node, line, false, false, e.State.String())
 		start := d.dram.AcquireAt(now, d.cfg.DirDRAMRead, nil)
 		return e, start - now + d.cfg.DirDRAMRead
 	}
 	if d.dirCache.Touch(line) != cache.Invalid {
 		d.hits++
+		d.tr.DirAccess(now, d.node, line, false, true, e.State.String())
 		return e, 0
 	}
 	d.misses++
+	d.tr.DirAccess(now, d.node, line, false, false, e.State.String())
 	start := d.dram.AcquireAt(now, d.cfg.DirDRAMRead, nil)
 	d.dirCache.Insert(line, cache.Shared)
 	return e, start - now + d.cfg.DirDRAMRead
@@ -136,6 +142,7 @@ func (d *Directory) Read(now sim.Time, line uint64) (Entry, sim.Time) {
 // the background without stalling the engine (the paper postpones directory
 // updates until after responses are issued).
 func (d *Directory) Write(now sim.Time, line uint64, e Entry) {
+	d.tr.DirAccess(now, d.node, line, true, false, e.State.String())
 	if e.State == NoRemote {
 		delete(d.entries, line)
 	} else {

@@ -15,7 +15,7 @@ func newDir(t *testing.T, mutate func(*config.Config)) (*Directory, *config.Conf
 		mutate(&cfg)
 	}
 	eng := sim.NewEngine()
-	return New(eng, &cfg, 0), &cfg
+	return New(eng, &cfg, 0, nil), &cfg
 }
 
 func TestBitmapOperations(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
@@ -27,9 +28,16 @@ type Suite struct {
 	Size workload.SizeClass
 	// Progress, when non-nil, receives one line per completed simulation.
 	Progress io.Writer
+	// CollectArtifacts, when true, retains one machine-readable run
+	// artifact per unique simulation (memoized reruns do not duplicate).
+	CollectArtifacts bool
 
-	cache map[string]*stats.Run
+	cache     map[string]*stats.Run
+	artifacts []*obs.Artifact
 }
+
+// Artifacts returns the run documents collected so far, in simulation order.
+func (s *Suite) Artifacts() []*obs.Artifact { return s.artifacts }
 
 // NewSuite creates a suite at the given size class.
 func NewSuite(size workload.SizeClass) *Suite {
@@ -143,6 +151,9 @@ func (s *Suite) simulateAt(cfg config.Config, app string, size workload.SizeClas
 	}
 	if err := w.Verify(); err != nil {
 		return nil, err
+	}
+	if s.CollectArtifacts {
+		s.artifacts = append(s.artifacts, obs.NewArtifact("cctables", size.String(), &cfg, r))
 	}
 	return r, nil
 }

@@ -155,6 +155,10 @@ type Table6Row struct {
 	PPCQueueNs     float64
 	HWCArrivalUs   float64 // requests per microsecond per controller
 	PPCArrivalUs   float64
+	// Queue-delay distribution percentiles (cycles), interpolated from the
+	// merged per-engine histograms.
+	HWCQueueP50, HWCQueueP95, HWCQueueP99 float64
+	PPCQueueP50, PPCQueueP95, PPCQueueP99 float64
 }
 
 // Table6 computes the communication statistics from the base runs.
@@ -169,6 +173,8 @@ func (s *Suite) Table6() ([]Table6Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		hq := hwc.QueueDelayHistogram()
+		pq := ppc.QueueDelayHistogram()
 		rows = append(rows, Table6Row{
 			App:            AppLabel(app),
 			Penalty:        stats.Penalty(hwc, ppc),
@@ -180,6 +186,12 @@ func (s *Suite) Table6() ([]Table6Row, error) {
 			PPCQueueNs:     ppc.AvgQueueDelayNs(-1),
 			HWCArrivalUs:   hwc.ArrivalRatePerMicrosecond(),
 			PPCArrivalUs:   ppc.ArrivalRatePerMicrosecond(),
+			HWCQueueP50:    hq.Percentile(50),
+			HWCQueueP95:    hq.Percentile(95),
+			HWCQueueP99:    hq.Percentile(99),
+			PPCQueueP50:    pq.Percentile(50),
+			PPCQueueP95:    pq.Percentile(95),
+			PPCQueueP99:    pq.Percentile(99),
 		})
 	}
 	return rows, nil
@@ -198,6 +210,8 @@ func RenderTable6(rows []Table6Row) string {
 			fmt.Sprintf("%.2f%%", 100*r.PPCUtil),
 			fmt.Sprintf("%.0f", r.HWCQueueNs),
 			fmt.Sprintf("%.0f", r.PPCQueueNs),
+			fmt.Sprintf("%.0f/%.0f/%.0f", r.HWCQueueP50, r.HWCQueueP95, r.HWCQueueP99),
+			fmt.Sprintf("%.0f/%.0f/%.0f", r.PPCQueueP50, r.PPCQueueP95, r.PPCQueueP99),
 			fmt.Sprintf("%.2f", r.HWCArrivalUs),
 			fmt.Sprintf("%.2f", r.PPCArrivalUs),
 		})
@@ -205,6 +219,7 @@ func RenderTable6(rows []Table6Row) string {
 	return renderTable("Table 6: communication statistics on the base system configuration",
 		[]string{"Application", "PP penalty", "1000xRCCPI", "PPC/HWC occ",
 			"HWC util", "PPC util", "HWC queue (ns)", "PPC queue (ns)",
+			"HWC q p50/95/99 (cyc)", "PPC q p50/95/99 (cyc)",
 			"HWC req/us", "PPC req/us"}, out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ccnuma/internal/config"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 )
 
@@ -19,6 +20,7 @@ type Handler func(src int, payload interface{})
 type Network struct {
 	eng   *sim.Engine
 	cfg   *config.Config
+	tr    *obs.Tracer     // nil when tracing is disabled
 	out   []*sim.Resource // per-node NI output ports
 	in    []*sim.Resource // per-node NI input ports
 	sinks []Handler
@@ -28,11 +30,12 @@ type Network struct {
 	flits uint64
 }
 
-// New creates the network for the configured node count.
-func New(eng *sim.Engine, cfg *config.Config) *Network {
+// New creates the network for the configured node count. tr may be nil.
+func New(eng *sim.Engine, cfg *config.Config, tr *obs.Tracer) *Network {
 	n := &Network{
 		eng:   eng,
 		cfg:   cfg,
+		tr:    tr,
 		out:   make([]*sim.Resource, cfg.Nodes),
 		in:    make([]*sim.Resource, cfg.Nodes),
 		sinks: make([]Handler, cfg.Nodes),
@@ -81,6 +84,10 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	}
 	n.msgs++
 	n.flits += uint64(flitCount)
+	if n.tr != nil {
+		name, line := obs.DescribePayload(payload)
+		n.tr.NetSend(n.eng.Now(), src, dst, name, line, flitCount)
+	}
 	ser := sim.Time(flitCount) * n.cfg.NetFlitTime
 	n.out[src].Acquire(ser, func(start sim.Time) {
 		if n.mesh != nil && src != dst {
@@ -119,6 +126,10 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 			sink := n.sinks[dst]
 			if sink == nil {
 				panic(fmt.Sprintf("interconnect: no sink on node %d", dst))
+			}
+			if n.tr != nil {
+				name, line := obs.DescribePayload(payload)
+				n.tr.NetRecv(n.eng.Now(), src, dst, name, line)
 			}
 			sink(src, payload)
 		})

@@ -11,7 +11,7 @@ func setup(t *testing.T) (*sim.Engine, *Network, *config.Config) {
 	t.Helper()
 	cfg := config.Base()
 	eng := sim.NewEngine()
-	net := New(eng, &cfg)
+	net := New(eng, &cfg, nil)
 	return eng, net, &cfg
 }
 
@@ -93,7 +93,7 @@ func TestSlowNetworkParameter(t *testing.T) {
 	cfg := config.Base()
 	cfg.NetLatency = 200 // 1 microsecond
 	eng := sim.NewEngine()
-	net := New(eng, &cfg)
+	net := New(eng, &cfg, nil)
 	var at sim.Time
 	net.Attach(1, func(int, interface{}) { at = eng.Now() })
 	eng.At(0, func() { net.Send(0, 1, 1, nil) })
@@ -152,7 +152,7 @@ func TestMeshGeometry(t *testing.T) {
 	cfg := config.Base()
 	cfg.Topology = config.TopoMesh2D
 	eng := sim.NewEngine()
-	net := New(eng, &cfg) // 16 nodes -> 4x4 mesh
+	net := New(eng, &cfg, nil) // 16 nodes -> 4x4 mesh
 	// Corner to corner: Manhattan distance 6.
 	if got := net.Hops(0, 15); got != 6 {
 		t.Fatalf("hops(0,15) = %d, want 6", got)
@@ -169,7 +169,7 @@ func TestMeshLatencyScalesWithDistance(t *testing.T) {
 	cfg := config.Base()
 	cfg.Topology = config.TopoMesh2D
 	eng := sim.NewEngine()
-	net := New(eng, &cfg)
+	net := New(eng, &cfg, nil)
 	var near, far sim.Time
 	net.Attach(1, func(int, interface{}) { near = eng.Now() })
 	net.Attach(15, func(int, interface{}) { far = eng.Now() })
@@ -194,7 +194,7 @@ func TestMeshLinkContention(t *testing.T) {
 	cfg.Nodes = 4 // 2x2 mesh
 	cfg.Topology = config.TopoMesh2D
 	eng := sim.NewEngine()
-	net := New(eng, &cfg)
+	net := New(eng, &cfg, nil)
 	var times []sim.Time
 	net.Attach(1, func(int, interface{}) { times = append(times, eng.Now()) })
 	eng.At(0, func() {
@@ -221,7 +221,7 @@ func TestMeshEndToEndMachine(t *testing.T) {
 		cfg.Nodes = 4
 		cfg.Topology = topo
 		eng := sim.NewEngine()
-		net := New(eng, &cfg)
+		net := New(eng, &cfg, nil)
 		got := 0
 		net.Attach(3, func(int, interface{}) { got++ })
 		eng.At(0, func() { net.Send(0, 3, cfg.LineDataFlits(), nil) })

@@ -16,6 +16,7 @@ import (
 	"ccnuma/internal/directory"
 	"ccnuma/internal/interconnect"
 	"ccnuma/internal/memaddr"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/prog"
 	"ccnuma/internal/protocol"
 	"ccnuma/internal/sim"
@@ -34,7 +35,12 @@ type Machine struct {
 	CCs   []*core.Controller
 	Procs []*cpu.Proc
 
-	run *stats.Run
+	// Tracer is the structured-event tracer every component records into
+	// (nil when tracing is disabled).
+	Tracer *obs.Tracer
+
+	run     *stats.Run
+	sampler *obs.Sampler
 
 	// Barrier state (single global sense-counting barrier).
 	barrierParked []*cpu.Proc
@@ -51,8 +57,15 @@ type lockState struct {
 	waiters []*cpu.Proc
 }
 
-// New builds a machine for cfg. The app name labels the statistics run.
+// New builds a machine for cfg with tracing disabled. The app name labels
+// the statistics run.
 func New(cfg config.Config, app string) (*Machine, error) {
+	return NewTraced(cfg, app, nil)
+}
+
+// NewTraced builds a machine whose components record typed events into tr
+// (nil disables tracing at zero cost).
+func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,27 +74,33 @@ func New(cfg config.Config, app string) (*Machine, error) {
 	m := &Machine{
 		Eng:       eng,
 		Cfg:       cfg,
+		Tracer:    tr,
 		locks:     make(map[int]*lockState),
 		lockAddrs: make(map[int]uint64),
 		run:       stats.NewRun(cfg.ArchName(), app, cfg.Nodes, cfg.EngineCount()),
 	}
 	m.Space = memaddr.NewSpace(&m.Cfg)
-	m.Net = interconnect.New(eng, &m.Cfg)
+	m.Net = interconnect.New(eng, &m.Cfg, tr)
 	for n := 0; n < cfg.Nodes; n++ {
-		bus := smpbus.New(eng, &m.Cfg, n)
-		dir := directory.New(eng, &m.Cfg, n)
-		cc := core.New(eng, &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n])
+		bus := smpbus.New(eng, &m.Cfg, n, tr)
+		dir := directory.New(eng, &m.Cfg, n, tr)
+		cc := core.New(eng, &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n], tr)
 		m.Buses = append(m.Buses, bus)
 		m.Dirs = append(m.Dirs, dir)
 		m.CCs = append(m.CCs, cc)
 		for i := 0; i < cfg.ProcsPerNode; i++ {
 			id := n*cfg.ProcsPerNode + i
-			p := cpu.New(eng, &m.Cfg, id, n, bus, m.Space, m)
+			p := cpu.New(eng, &m.Cfg, id, n, bus, m.Space, m, tr)
 			m.Procs = append(m.Procs, p)
 		}
 	}
 	return m, nil
 }
+
+// AttachSampler registers a time-series sampler; the machine probes engine
+// utilization, queue depths, bus/bank/directory occupancy, and NI backlog
+// every sampler interval of simulated time during Run.
+func (m *Machine) AttachSampler(s *obs.Sampler) { m.sampler = s }
 
 // NProcs returns the machine's processor count.
 func (m *Machine) NProcs() int { return len(m.Procs) }
@@ -93,19 +112,18 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 	for _, p := range m.Procs {
 		p.Run(program)
 	}
-	if _, err := m.Eng.Run(); err != nil {
+	if m.sampler != nil {
+		m.startSampler()
+	}
+	if err := m.runEngine(); err != nil {
 		return nil, err
 	}
 	var execTime sim.Time
 	for _, p := range m.Procs {
 		done, at := p.Finished()
 		if !done {
-			var dump strings.Builder
-			for _, cc := range m.CCs {
-				dump.WriteString(cc.DumpPending())
-			}
 			return nil, fmt.Errorf("machine: processor %d never finished (deadlock: %d events executed, %d parked at barrier)\n%s",
-				p.ID(), m.Eng.Executed(), len(m.barrierParked), dump.String())
+				p.ID(), m.Eng.Executed(), len(m.barrierParked), m.Snapshot())
 		}
 		if at > execTime {
 			execTime = at
@@ -121,6 +139,119 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 	}
 	m.collect(execTime)
 	return m.run, nil
+}
+
+// watchdogChunk bounds how many events may execute at a single simulated
+// cycle before the stall watchdog declares livelock. Real same-cycle bursts
+// are a few events per component; millions means time has stopped advancing.
+const watchdogChunk = 2_000_000
+
+// runEngine drives the event loop in chunks, watching for simulated-time
+// stalls: if a full chunk of events executes without the clock moving, the
+// run is aborted with a state snapshot instead of spinning forever.
+func (m *Machine) runEngine() error {
+	for {
+		last := m.Eng.Now()
+		n := 0
+		for n < watchdogChunk && m.Eng.Step() {
+			n++
+		}
+		if n < watchdogChunk {
+			break // queue drained, Stop called, or time limit hit
+		}
+		if m.Eng.Now() == last {
+			return fmt.Errorf("machine: watchdog: simulated time stalled at t=%d (%d events without progress)\n%s",
+				m.Eng.Now(), watchdogChunk, m.Snapshot())
+		}
+	}
+	if m.Eng.LimitHit() {
+		return fmt.Errorf("machine: time limit %d exceeded at t=%d with %d events pending\n%s",
+			m.Eng.Limit, m.Eng.Now(), m.Eng.Pending(), m.Snapshot())
+	}
+	return nil
+}
+
+// Snapshot renders the machine's live state for stall and deadlock reports:
+// engine occupancy and queue depths, outstanding transient protocol state,
+// and network-interface port backlogs.
+func (m *Machine) Snapshot() string {
+	var b strings.Builder
+	now := m.Eng.Now()
+	fmt.Fprintf(&b, "t=%d executed=%d pending=%d\n", now, m.Eng.Executed(), m.Eng.Pending())
+	for n, cc := range m.CCs {
+		b.WriteString(cc.DumpPending())
+		out := m.Net.OutPort(n).FreeAt() - now
+		in := m.Net.InPort(n).FreeAt() - now
+		if out < 0 {
+			out = 0
+		}
+		if in < 0 {
+			in = 0
+		}
+		if out > 0 || in > 0 {
+			fmt.Fprintf(&b, "node %d ni-out backlog=%d ni-in backlog=%d\n", n, out, in)
+		}
+	}
+	return b.String()
+}
+
+// startSampler schedules the periodic probe that feeds the attached
+// sampler. The probe re-arms itself only while other events are pending, so
+// it never keeps a finished simulation alive.
+func (m *Machine) startSampler() {
+	s := m.sampler
+	nodes := m.Cfg.Nodes
+	nEng := m.Cfg.EngineCount()
+	prevEng := make([]sim.Time, nodes*nEng)
+	prevAddr := make([]sim.Time, nodes)
+	prevData := make([]sim.Time, nodes)
+	prevBank := make([]sim.Time, nodes)
+	prevDir := make([]sim.Time, nodes)
+	var tick func()
+	tick = func() {
+		now := m.Eng.Now()
+		for n := 0; n < nodes; n++ {
+			bus := m.Buses[n]
+			addr := bus.AddrResource().Busy()
+			data := bus.DataResource().Busy()
+			bank := bus.BanksBusy()
+			dram := m.Dirs[n].DRAM().Busy()
+			outBacklog := int64(m.Net.OutPort(n).FreeAt() - now)
+			inBacklog := int64(m.Net.InPort(n).FreeAt() - now)
+			if outBacklog < 0 {
+				outBacklog = 0
+			}
+			if inBacklog < 0 {
+				inBacklog = 0
+			}
+			for i := 0; i < nEng; i++ {
+				busy := m.run.Controllers[n].Engines[i].Busy
+				resp, req, busQ := m.CCs[n].QueueDepths(i)
+				s.Add(obs.Sample{
+					At:             int64(now),
+					Node:           n,
+					Engine:         i,
+					EngineUtilPct:  s.UtilPct(busy - prevEng[n*nEng+i]),
+					EngineBusy:     m.CCs[n].EngineBusy(i),
+					RespQ:          resp,
+					ReqQ:           req,
+					BusQ:           busQ,
+					BusAddrUtilPct: s.UtilPct(addr - prevAddr[n]),
+					BusDataUtilPct: s.UtilPct(data - prevData[n]),
+					BankUtilPct:    s.UtilPct((bank - prevBank[n]) / sim.Time(bus.NumBanks())),
+					DirDRAMUtilPct: s.UtilPct(dram - prevDir[n]),
+					NIOutBacklog:   outBacklog,
+					NIInBacklog:    inBacklog,
+				})
+				prevEng[n*nEng+i] = busy
+			}
+			prevAddr[n], prevData[n], prevBank[n], prevDir[n] = addr, data, bank, dram
+		}
+		if m.Eng.Pending() > 0 {
+			m.Eng.After(s.Interval, tick)
+		}
+	}
+	m.Eng.After(s.Interval, tick)
 }
 
 func (m *Machine) collect(execTime sim.Time) {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/stats"
+)
+
+// ArtifactSchema is the version tag of the run-artifact document. Bump it
+// whenever a field changes meaning; trajectory tooling keys on it.
+const ArtifactSchema = "ccnuma-run/v1"
+
+// Artifact is the versioned, machine-readable record of one simulation run:
+// the knobs that produced it, the headline metrics of the paper's tables,
+// and the latency distributions with percentiles. It is the document behind
+// ccsim/ccsweep/cctables -json and BENCH_*.json trajectory tracking.
+type Artifact struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	App    string `json:"app"`
+	Arch   string `json:"arch"`
+	Size   string `json:"size,omitempty"`
+
+	Config  ArtifactConfig  `json:"config"`
+	Metrics ArtifactMetrics `json:"metrics"`
+
+	// MissLatency is the cache-miss service-time distribution over all
+	// processors; QueueDelay the arrival-to-dispatch delay distribution over
+	// all controller engines.
+	MissLatency HistogramDoc `json:"missLatency"`
+	QueueDelay  HistogramDoc `json:"queueDelay"`
+
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
+	// PenaltyVsBaselinePct is the PP penalty against a baseline run when the
+	// producing tool had one (ccsweep's first architecture), else absent.
+	PenaltyVsBaselinePct *float64 `json:"penaltyVsBaselinePct,omitempty"`
+}
+
+// ArtifactConfig echoes the architectural parameters that shaped the run.
+type ArtifactConfig struct {
+	Nodes           int    `json:"nodes"`
+	ProcsPerNode    int    `json:"procsPerNode"`
+	Engines         int    `json:"engines"`
+	Split           string `json:"split"`
+	Arbitration     string `json:"arbitration"`
+	LineSize        int    `json:"lineSize"`
+	NetLatency      int64  `json:"netLatencyCycles"`
+	Topology        string `json:"topology"`
+	DirCacheEntries int    `json:"dirCacheEntries"`
+	DirectDataPath  bool   `json:"directDataPath"`
+}
+
+// ArtifactMetrics carries the headline quantities of Tables 6 and 7.
+type ArtifactMetrics struct {
+	ExecCycles     int64   `json:"execCycles"`
+	ExecNs         float64 `json:"execNs"`
+	Instructions   uint64  `json:"instructions"`
+	Requests       uint64  `json:"requests"` // requests to coherence controllers
+	RCCPIx1000     float64 `json:"rccpiX1000"`
+	UtilizationPct float64 `json:"utilizationPct"`
+	QueueDelayNs   float64 `json:"queueDelayNs"`
+	ArrivalPerUs   float64 `json:"arrivalPerUs"`
+}
+
+// HistogramDoc is a latency distribution with interpolated percentiles and
+// the raw power-of-two buckets (only non-empty buckets are listed).
+type HistogramDoc struct {
+	Count      uint64      `json:"count"`
+	MeanCycles float64     `json:"meanCycles"`
+	P50        float64     `json:"p50Cycles"`
+	P90        float64     `json:"p90Cycles"`
+	P95        float64     `json:"p95Cycles"`
+	P99        float64     `json:"p99Cycles"`
+	MaxCycles  int64       `json:"maxCycles"`
+	Buckets    []BucketDoc `json:"buckets,omitempty"`
+}
+
+// BucketDoc is one histogram bucket: values in [Lo, Hi).
+type BucketDoc struct {
+	Lo    int64  `json:"loCycles"`
+	Hi    int64  `json:"hiCycles"`
+	Count uint64 `json:"count"`
+}
+
+// NewHistogramDoc reduces a stats.Histogram to its document form.
+func NewHistogramDoc(h *stats.Histogram) HistogramDoc {
+	doc := HistogramDoc{
+		Count:      h.Count,
+		MeanCycles: h.Mean(),
+		P50:        h.Percentile(50),
+		P90:        h.Percentile(90),
+		P95:        h.Percentile(95),
+		P99:        h.Percentile(99),
+		MaxCycles:  h.MaxVal,
+	}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := stats.BucketBounds(i)
+		doc.Buckets = append(doc.Buckets, BucketDoc{Lo: lo, Hi: hi, Count: c})
+	}
+	return doc
+}
+
+// NewArtifact builds the run document from a finished run and its
+// configuration. size may be empty when the tool has no size classes.
+func NewArtifact(tool, size string, cfg *config.Config, r *stats.Run) *Artifact {
+	qd := r.QueueDelayHistogram()
+	return &Artifact{
+		Schema: ArtifactSchema,
+		Tool:   tool,
+		App:    r.App,
+		Arch:   r.Arch,
+		Size:   size,
+		Config: ArtifactConfig{
+			Nodes:           cfg.Nodes,
+			ProcsPerNode:    cfg.ProcsPerNode,
+			Engines:         cfg.EngineCount(),
+			Split:           cfg.Split.String(),
+			Arbitration:     cfg.Arbitration.String(),
+			LineSize:        cfg.LineSize,
+			NetLatency:      int64(cfg.NetLatency),
+			Topology:        cfg.Topology.String(),
+			DirCacheEntries: cfg.DirCacheEntries,
+			DirectDataPath:  cfg.DirectDataPath,
+		},
+		Metrics: ArtifactMetrics{
+			ExecCycles:     int64(r.ExecTime),
+			ExecNs:         r.ExecTime.Nanoseconds(),
+			Instructions:   r.Instructions,
+			Requests:       r.TotalArrivals(),
+			RCCPIx1000:     1000 * r.RCCPI(),
+			UtilizationPct: 100 * r.AvgUtilization(-1),
+			QueueDelayNs:   r.AvgQueueDelayNs(-1),
+			ArrivalPerUs:   r.ArrivalRatePerMicrosecond(),
+		},
+		MissLatency: NewHistogramDoc(&r.MissLatency),
+		QueueDelay:  NewHistogramDoc(&qd),
+		Counters:    r.Counters,
+	}
+}
+
+// WriteJSON emits the artifact as indented JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact document to path.
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = a.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteArtifactsFile writes several artifacts (e.g. one per sweep point) as
+// a JSON array document.
+func WriteArtifactsFile(path string, arts []*Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(arts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

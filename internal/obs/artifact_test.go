@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticRun builds a deterministic Run so the artifact document is
+// byte-stable for golden comparison.
+func syntheticRun() (*config.Config, *stats.Run) {
+	cfg := config.Base()
+	cfg, _ = cfg.WithArch("PPC")
+	cfg.Nodes, cfg.ProcsPerNode = 4, 2
+
+	r := stats.NewRun(cfg.ArchName(), "ocean", cfg.Nodes, cfg.EngineCount())
+	r.ExecTime = 47083
+	r.Instructions = 64704
+	for n := range r.Controllers {
+		c := &r.Controllers[n]
+		c.Arrivals = 400 - uint64(n)
+		e := &c.Engines[0]
+		e.Busy = 15000
+		e.Dispatches = c.Arrivals
+		e.QueueDelay = 8000
+		for i := 0; i < 100; i++ {
+			e.QueueDelayHist.Add(sim.Time(i * (n + 1)))
+		}
+		c.NoteArrival(100)
+		c.NoteArrival(300)
+	}
+	for i := 0; i < 400; i++ {
+		r.MissLatency.Add(sim.Time(120 + i))
+	}
+	r.Add("bus.txns", 1234)
+	r.Add("net.msgs", 987)
+	return &cfg, r
+}
+
+func TestArtifactGolden(t *testing.T) {
+	cfg, r := syntheticRun()
+	a := NewArtifact("ccsim", "test", cfg, r)
+
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "artifact_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("artifact JSON drifted from golden file (re-run with -update if intentional)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	cfg, r := syntheticRun()
+	a := NewArtifact("ccsim", "test", cfg, r)
+	p := 36.9
+	a.PenaltyVsBaselinePct = &p
+
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip through encoding/json: %v", err)
+	}
+	if !reflect.DeepEqual(a, &back) {
+		t.Errorf("round-trip mismatch:\nout:  %+v\nback: %+v", a, &back)
+	}
+	if back.Schema != ArtifactSchema {
+		t.Errorf("schema = %q, want %q", back.Schema, ArtifactSchema)
+	}
+	if back.QueueDelay.Count != 400 {
+		t.Errorf("queue-delay count = %d, want 400", back.QueueDelay.Count)
+	}
+	if back.MissLatency.P50 <= 0 || back.MissLatency.P99 < back.MissLatency.P50 {
+		t.Errorf("percentiles not ordered: p50=%v p99=%v", back.MissLatency.P50, back.MissLatency.P99)
+	}
+	if got := *back.PenaltyVsBaselinePct; got != 36.9 {
+		t.Errorf("penalty = %v", got)
+	}
+}
+
+func TestHistogramDocBucketsTile(t *testing.T) {
+	var h stats.Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Time(i))
+	}
+	doc := NewHistogramDoc(&h)
+	if doc.Count != 1000 || doc.MaxCycles != 1000 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	var total uint64
+	for i, b := range doc.Buckets {
+		total += b.Count
+		if b.Lo >= b.Hi {
+			t.Errorf("bucket %d: lo %d >= hi %d", i, b.Lo, b.Hi)
+		}
+		if i > 0 && b.Lo != doc.Buckets[i-1].Hi {
+			t.Errorf("bucket %d not contiguous: lo %d after hi %d", i, b.Lo, doc.Buckets[i-1].Hi)
+		}
+	}
+	if total != 1000 {
+		t.Errorf("bucket counts sum to %d, want 1000", total)
+	}
+}

@@ -1,0 +1,207 @@
+// Chrome trace_event export: buffered events become a JSON document loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each node is a process;
+// within a node, each protocol engine, the SMP bus, the NI ports, the
+// directory, and each processor get their own named track. Handler
+// executions are complete ("X") spans; everything else is an instant;
+// queue insertions additionally drive counter tracks so input-queue depth
+// plots over time.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Thread-track ids within a node's process. Engines occupy tidEngineBase+k
+// and processors tidCPUBase+k, so fixed tracks sit between the two bases.
+const (
+	tidEngineBase = 0
+	tidBus        = 32
+	tidNIOut      = 33
+	tidNIIn       = 34
+	tidDir        = 35
+	tidCPUBase    = 40
+)
+
+// chromeEvent is one trace_event entry. Ph "X" spans carry Dur; "i" are
+// instants; "C" counters; "M" metadata.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Ph    string                 `json:"ph"`
+	Ts    float64                `json:"ts"` // microseconds
+	Dur   *float64               `json:"dur,omitempty"`
+	Pid   int32                  `json:"pid"`
+	Tid   int32                  `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace_event JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts simulated cycles (5 ns) to trace microseconds.
+func usec(t int64) float64 { return float64(t) * 0.005 }
+
+// trackOf maps an event to its thread track within the node's process.
+func trackOf(ev *Event) int32 {
+	switch ev.Kind {
+	case EvDispatch, EvEnqueue, EvDequeue:
+		return tidEngineBase + ev.Track
+	case EvBusStrobe:
+		return tidBus
+	case EvNetSend:
+		return tidNIOut
+	case EvNetRecv:
+		return tidNIIn
+	case EvDirRead, EvDirWrite:
+		return tidDir
+	case EvCache:
+		return tidCPUBase + ev.Track
+	default:
+		return tidBus
+	}
+}
+
+func trackName(tid int32) string {
+	switch {
+	case tid >= tidCPUBase:
+		return fmt.Sprintf("cpu %d", tid-tidCPUBase)
+	case tid == tidBus:
+		return "smp bus"
+	case tid == tidNIOut:
+		return "ni out"
+	case tid == tidNIIn:
+		return "ni in"
+	case tid == tidDir:
+		return "directory"
+	default:
+		return fmt.Sprintf("engine %d", tid-tidEngineBase)
+	}
+}
+
+// WriteChromeTrace emits the events as a Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	doc := chromeDoc{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events)+64)}
+
+	// Metadata: name each process and every track that appears.
+	seenProc := map[int32]bool{}
+	seenTrack := map[[2]int32]bool{}
+	for i := range events {
+		ev := &events[i]
+		if !seenProc[ev.Node] {
+			seenProc[ev.Node] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Node,
+				Args: map[string]interface{}{"name": fmt.Sprintf("node %d", ev.Node)},
+			})
+		}
+		tid := trackOf(ev)
+		key := [2]int32{ev.Node, tid}
+		if !seenTrack[key] {
+			seenTrack[key] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: ev.Node, Tid: tid,
+				Args: map[string]interface{}{"name": trackName(tid)},
+			})
+		}
+	}
+
+	for i := range events {
+		ev := &events[i]
+		ce := chromeEvent{
+			Name: ev.Name,
+			Ts:   usec(int64(ev.At)),
+			Pid:  ev.Node,
+			Tid:  trackOf(ev),
+			Args: map[string]interface{}{},
+		}
+		if ev.Line != 0 || ev.Kind != EvNetSend {
+			ce.Args["line"] = fmt.Sprintf("%#x", ev.Line)
+		}
+		switch ev.Kind {
+		case EvDispatch:
+			ce.Ph = "X"
+			d := usec(int64(ev.Dur))
+			ce.Dur = &d
+			ce.Args["queueDelayCycles"] = ev.A
+		case EvEnqueue, EvDequeue:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			qn := QueueName(int(ev.A))
+			ce.Name = ev.Kind.String() + " " + qn
+			if ev.Kind == EvEnqueue {
+				ce.Name = ce.Name + " " + ev.Name
+			}
+			ce.Args["depth"] = ev.B
+			// Counter track: queue depth over time.
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("e%d %s depth", ev.Track, qn),
+				Ph:   "C", Ts: ce.Ts, Pid: ev.Node, Tid: ce.Tid,
+				Args: map[string]interface{}{"depth": ev.B},
+			})
+		case EvBusStrobe:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Args["src"] = ev.A
+		case EvNetSend:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Args["dst"] = ev.A
+			ce.Args["flits"] = ev.B
+			ce.Args["line"] = fmt.Sprintf("%#x", ev.Line)
+		case EvNetRecv:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Args["src"] = ev.A
+		case EvDirRead:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Name = "dir read " + ev.Name
+			ce.Args["hit"] = ev.A == 1
+		case EvDirWrite:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Name = "dir write " + ev.Name
+		case EvCache:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Name = ev.Name
+			if ev.Aux != "" {
+				ce.Args["state"] = ev.Aux
+			}
+		default:
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		if ce.Name == "" {
+			ce.Name = ev.Kind.String()
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFile writes the trace to path (see WriteChromeTrace).
+func WriteChromeTraceFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "fmt"
+
+// Text renders the event in the classic cctrace line format: a timestamp
+// and node prefix followed by a kind-specific description. cctrace is a
+// thin view over structured events via this renderer.
+func (ev *Event) Text() string {
+	prefix := fmt.Sprintf("[%8d n%d] ", int64(ev.At), ev.Node)
+	switch ev.Kind {
+	case EvDispatch:
+		return prefix + fmt.Sprintf("dispatch e%d %s line=%#x occ=%d qdelay=%d",
+			ev.Track, ev.Name, ev.Line, int64(ev.Dur), ev.A)
+	case EvEnqueue:
+		return prefix + fmt.Sprintf("enqueue e%d %s %s line=%#x depth=%d",
+			ev.Track, QueueName(int(ev.A)), ev.Name, ev.Line, ev.B)
+	case EvDequeue:
+		return prefix + fmt.Sprintf("dequeue e%d %s line=%#x depth=%d",
+			ev.Track, QueueName(int(ev.A)), ev.Line, ev.B)
+	case EvBusStrobe:
+		return prefix + fmt.Sprintf("bus %s line=%#x src=%d", ev.Name, ev.Line, ev.A)
+	case EvNetSend:
+		return prefix + fmt.Sprintf("send %s line=%#x -> n%d (%d flits)",
+			ev.Name, ev.Line, ev.A, ev.B)
+	case EvNetRecv:
+		return prefix + fmt.Sprintf("recv %s line=%#x <- n%d", ev.Name, ev.Line, ev.A)
+	case EvDirRead:
+		hm := "miss"
+		if ev.A == 1 {
+			hm = "hit"
+		}
+		return prefix + fmt.Sprintf("dir read line=%#x %s (%s)", ev.Line, ev.Name, hm)
+	case EvDirWrite:
+		return prefix + fmt.Sprintf("dir write line=%#x %s", ev.Line, ev.Name)
+	case EvCache:
+		return prefix + fmt.Sprintf("cpu%d %s line=%#x %s", ev.Track, ev.Name, ev.Line, ev.Aux)
+	default:
+		return prefix + fmt.Sprintf("%s line=%#x", ev.Kind, ev.Line)
+	}
+}

@@ -120,6 +120,12 @@ func (m *Msg) IsResponse() bool {
 	return false
 }
 
+// TraceName lets the network's tracer label this payload (obs.TraceDescriber).
+func (m *Msg) TraceName() string { return m.Type.String() }
+
+// TraceLine reports the cache line for tracing (obs.TraceDescriber).
+func (m *Msg) TraceLine() uint64 { return m.Line }
+
 // Flits returns the network occupancy of the message under cfg.
 func (m *Msg) Flits(cfg *config.Config) int {
 	if m.CarriesData() {

@@ -131,3 +131,7 @@ func (e *Engine) Run() (Time, error) {
 
 // Pending reports the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// LimitHit reports whether stepping stopped because the time limit was
+// exceeded (for callers driving Step directly instead of Run).
+func (e *Engine) LimitHit() bool { return e.limitHit }

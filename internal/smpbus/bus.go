@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ccnuma/internal/config"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 )
 
@@ -165,6 +166,7 @@ type Bus struct {
 	eng  *sim.Engine
 	cfg  *config.Config
 	node int
+	tr   *obs.Tracer // nil when tracing is disabled
 
 	addr  *sim.Resource
 	data  *sim.Resource
@@ -181,12 +183,13 @@ type Bus struct {
 }
 
 // New creates a bus for the given node with the configured number of
-// interleaved memory banks.
-func New(eng *sim.Engine, cfg *config.Config, node int) *Bus {
+// interleaved memory banks. tr may be nil.
+func New(eng *sim.Engine, cfg *config.Config, node int, tr *obs.Tracer) *Bus {
 	b := &Bus{
 		eng:     eng,
 		cfg:     cfg,
 		node:    node,
+		tr:      tr,
 		addr:    sim.NewResource(eng, fmt.Sprintf("bus-addr-%d", node)),
 		data:    sim.NewResource(eng, fmt.Sprintf("bus-data-%d", node)),
 		pending: make(map[uint64]*Txn),
@@ -221,6 +224,19 @@ func (b *Bus) AddrResource() *sim.Resource { return b.addr }
 // DataResource exposes the data-bus resource.
 func (b *Bus) DataResource() *sim.Resource { return b.data }
 
+// NumBanks returns the interleaved memory bank count.
+func (b *Bus) NumBanks() int { return len(b.banks) }
+
+// BanksBusy returns the summed busy time of all memory banks (for mean
+// bank-occupancy sampling).
+func (b *Bus) BanksBusy() sim.Time {
+	var t sim.Time
+	for _, bk := range b.banks {
+		t += bk.Busy()
+	}
+	return t
+}
+
 // Count returns how many transactions of kind k reached the address strobe.
 func (b *Bus) Count(k Kind) uint64 { return b.counts[k] }
 
@@ -253,6 +269,7 @@ func (b *Bus) Issue(txn *Txn) {
 func (b *Bus) strobe(txn *Txn) {
 	b.counts[txn.Kind]++
 	now := b.eng.Now()
+	b.tr.BusStrobe(now, b.node, txn.Kind.String(), txn.Line, txn.Src)
 
 	// Same-line serialization. Processor transactions register in the
 	// pending table and bounce on conflicts. Controller-issued fetches and

@@ -37,7 +37,7 @@ func newBus(t *testing.T) (*sim.Engine, *Bus, *config.Config) {
 	t.Helper()
 	cfg := config.Base()
 	eng := sim.NewEngine()
-	return eng, New(eng, &cfg, 0), &cfg
+	return eng, New(eng, &cfg, 0, nil), &cfg
 }
 
 func issue(eng *sim.Engine, b *Bus, txn *Txn) *Outcome {

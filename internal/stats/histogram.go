@@ -58,30 +58,59 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Percentile returns an upper bound for the p-th percentile (p in [0,100])
-// at bucket resolution.
-func (h *Histogram) Percentile(p float64) int64 {
+// BucketBounds returns the value range [lo, hi) of bucket i. The last
+// bucket additionally absorbs every sample >= its lo bound.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 2
+	}
+	return int64(1) << uint(i), int64(1) << uint(i+1)
+}
+
+// NumBuckets is the bucket count of every Histogram.
+const NumBuckets = histBuckets
+
+// Percentile returns the p-th percentile (p in [0,100]) with linear
+// interpolation inside the containing power-of-two bucket: the percentile
+// rank's fractional position among the bucket's samples maps linearly onto
+// the bucket's value range. The result never exceeds the observed maximum.
+func (h *Histogram) Percentile(p float64) float64 {
 	if h.Count == 0 {
 		return 0
 	}
-	target := uint64(p / 100 * float64(h.Count))
-	if target >= h.Count {
-		target = h.Count - 1
+	if p < 0 {
+		p = 0
 	}
-	var seen uint64
+	if p > 100 {
+		p = 100
+	}
+	target := p / 100 * float64(h.Count)
+	if target < 1 {
+		target = 1 // the percentile of a non-empty histogram covers >= 1 sample
+	}
+	var cum float64
 	for i, c := range h.Buckets {
-		seen += c
-		if seen > target {
-			return (int64(1) << uint(i+1)) - 1
+		if c == 0 {
+			continue
 		}
+		fc := float64(c)
+		if cum+fc >= target {
+			lo, hi := BucketBounds(i)
+			v := float64(lo) + (target-cum)/fc*float64(hi-lo)
+			if v > float64(h.MaxVal) {
+				v = float64(h.MaxVal)
+			}
+			return v
+		}
+		cum += fc
 	}
-	return h.MaxVal
+	return float64(h.MaxVal)
 }
 
 // Render draws a compact text distribution.
 func (h *Histogram) Render(title string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: n=%d mean=%.0f p50<=%d p90<=%d p99<=%d max=%d\n",
+	fmt.Fprintf(&b, "%s: n=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f max=%d\n",
 		title, h.Count, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.MaxVal)
 	if h.Count == 0 {
 		return b.String()

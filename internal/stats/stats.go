@@ -21,6 +21,9 @@ type EngineStats struct {
 	Busy       sim.Time // cycles the engine was occupied by handlers
 	Dispatches uint64   // handlers dispatched
 	QueueDelay sim.Time // total arrival-to-dispatch delay of its requests
+	// QueueDelayHist is the distribution of those per-dispatch delays, so
+	// percentiles (not just the mean) of Table 6's queueing column exist.
+	QueueDelayHist Histogram
 }
 
 // MeanQueueDelay returns the average queueing delay per dispatch in cycles.
@@ -162,6 +165,18 @@ func (r *Run) TotalOccupancy() sim.Time {
 		t += r.Controllers[i].Busy()
 	}
 	return t
+}
+
+// QueueDelayHistogram merges the arrival-to-dispatch delay distributions of
+// every engine of every controller into one histogram.
+func (r *Run) QueueDelayHistogram() Histogram {
+	var h Histogram
+	for i := range r.Controllers {
+		for j := range r.Controllers[i].Engines {
+			h.Merge(&r.Controllers[i].Engines[j].QueueDelayHist)
+		}
+	}
+	return h
 }
 
 // RCCPI returns requests to coherence controllers per instruction. The

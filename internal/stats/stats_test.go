@@ -160,10 +160,10 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("mean = %v", m)
 	}
 	if p := h.Percentile(50); p < 3 || p > 127 {
-		t.Fatalf("p50 bound = %d", p)
+		t.Fatalf("p50 bound = %v", p)
 	}
 	if p := h.Percentile(100); p < 1000 {
-		t.Fatalf("p100 bound = %d below max", p)
+		t.Fatalf("p100 bound = %v below max", p)
 	}
 	var h2 Histogram
 	h2.Add(5000)
@@ -180,6 +180,94 @@ func TestHistogram(t *testing.T) {
 	}
 	if empty.Render("e") == "" {
 		t.Fatal("empty render should still print the header")
+	}
+}
+
+// TestPercentileInterpolation checks the within-bucket interpolation against
+// distributions whose percentiles are known in closed form.
+func TestPercentileInterpolation(t *testing.T) {
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d > -1e-9 && d < 1e-9
+	}
+
+	// 100 identical samples of 10 land in bucket [8, 16): interpolation
+	// within the bucket is capped at the observed maximum, so a constant
+	// distribution reports the constant at every percentile past the cap.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(10)
+	}
+	if p := h.Percentile(50); !approx(p, 10) {
+		t.Fatalf("constant p50 = %v, want 10 (clamped at observed max)", p)
+	}
+	if p := h.Percentile(99); !approx(p, 10) {
+		t.Fatalf("constant p99 = %v, want 10", p)
+	}
+
+	// Bimodal: 50 samples of 4 (bucket [4,8)) and 50 of 64 (bucket [64,128)).
+	var bi Histogram
+	for i := 0; i < 50; i++ {
+		bi.Add(4)
+		bi.Add(64)
+	}
+	if p := bi.Percentile(25); !approx(p, 6) {
+		t.Fatalf("bimodal p25 = %v, want 6", p) // rank 25 of 50 in [4,8)
+	}
+	if p := bi.Percentile(75); !approx(p, 64) {
+		// rank 25 of 50 in [64,128) interpolates to 96, then clamps at the
+		// observed maximum of 64.
+		t.Fatalf("bimodal p75 = %v, want 64 (clamped at observed max)", p)
+	}
+
+	// Uniform 1..1024: the interpolated median must land next to 512.
+	var u Histogram
+	for v := sim.Time(1); v <= 1024; v++ {
+		u.Add(v)
+	}
+	if p := u.Percentile(50); p < 511 || p > 514 {
+		t.Fatalf("uniform p50 = %v, want ~512", p)
+	}
+
+	// Percentiles must be monotone in p and clamp out-of-range inputs.
+	prev := -1.0
+	for _, p := range []float64{-5, 0, 10, 50, 90, 95, 99, 100, 140} {
+		v := u.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone: p%v = %v after %v", p, v, prev)
+		}
+		prev = v
+	}
+	if u.Percentile(200) != u.Percentile(100) {
+		t.Fatal("p>100 should clamp to p100")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 2 {
+		t.Fatalf("bucket 0 = [%d,%d)", lo, hi)
+	}
+	if lo, hi := BucketBounds(5); lo != 32 || hi != 64 {
+		t.Fatalf("bucket 5 = [%d,%d)", lo, hi)
+	}
+	// Adjacent buckets must tile the value line.
+	for i := 0; i < NumBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d and %d: hi=%d lo=%d", i, i+1, hi, lo)
+		}
+	}
+}
+
+func TestQueueDelayHistogramMerge(t *testing.T) {
+	r := NewRun("HWC", "unit", 2, 2)
+	r.Controllers[0].Engines[0].QueueDelayHist.Add(4)
+	r.Controllers[0].Engines[1].QueueDelayHist.Add(8)
+	r.Controllers[1].Engines[0].QueueDelayHist.Add(16)
+	h := r.QueueDelayHistogram()
+	if h.Count != 3 || h.Sum != 28 || h.MaxVal != 16 {
+		t.Fatalf("merged queue-delay histogram = %+v", h)
 	}
 }
 
