@@ -4,16 +4,31 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench tables clean
+.PHONY: all build check fmt vet test race bench tables lint verify clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the pre-PR gate: gofmt must report nothing, vet must be clean,
-# and every test must pass with the race detector on.
-check: fmt vet race
+# check is the pre-PR gate: gofmt must report nothing, vet and cclint must
+# be clean (cclint also rejects //nolint and //cclint:ignore directives
+# that carry no reason), every test must pass with the race detector on,
+# and the model checker must close the 2-node state space with zero
+# violations.
+check: fmt vet lint race verify
+
+# lint runs the repo's own analyzer suite (internal/lint): exhaustive
+# switches over protocol/cache/directory enums, no wall-clock or global
+# rand in simulated-time packages, no no-op scheduled callbacks, and
+# reasons on every suppression.
+lint:
+	$(GO) run ./cmd/cclint ./...
+
+# verify model-checks the real protocol stack on the smallest interesting
+# machine. Must reach a fixpoint with zero invariant violations.
+verify:
+	$(GO) run ./cmd/ccverify -nodes 2 -procs 1 -q
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

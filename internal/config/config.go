@@ -450,8 +450,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Nodes must be positive, got %d", c.Nodes)
 	case c.ProcsPerNode <= 0:
 		return fmt.Errorf("config: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
-	case c.Nodes&(c.Nodes-1) != 0:
-		return fmt.Errorf("config: Nodes must be a power of two, got %d", c.Nodes)
+	case c.Nodes&(c.Nodes-1) != 0 && c.Topology != TopoCrossbar:
+		return fmt.Errorf("config: Nodes must be a power of two for topology %v, got %d", c.Topology, c.Nodes)
 	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
 		return fmt.Errorf("config: LineSize must be a positive power of two, got %d", c.LineSize)
 	case c.PageSize < c.LineSize || c.PageSize&(c.PageSize-1) != 0:

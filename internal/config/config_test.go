@@ -76,7 +76,7 @@ func TestValidateRejectsBadGeometry(t *testing.T) {
 		frag   string
 	}{
 		{"zero nodes", func(c *Config) { c.Nodes = 0 }, "Nodes"},
-		{"non-pow2 nodes", func(c *Config) { c.Nodes = 12 }, "power of two"},
+		{"non-pow2 nodes", func(c *Config) { c.Nodes = 12; c.Topology = TopoMesh2D }, "power of two"},
 		{"zero procs", func(c *Config) { c.ProcsPerNode = 0 }, "ProcsPerNode"},
 		{"bad line", func(c *Config) { c.LineSize = 96 }, "LineSize"},
 		{"page < line", func(c *Config) { c.PageSize = 64 }, "PageSize"},

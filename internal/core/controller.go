@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ccnuma/internal/config"
@@ -65,6 +66,9 @@ type homeOp struct {
 	waitWB       bool // intervention missed; waiting for the eviction WB
 	wbArrived    bool
 	finishing    bool // response issued; retirement pending on the bus reply
+	// data is the shadow line value collected for the response (from the
+	// home fetch, the owner's data message, or an in-flight write-back).
+	data uint64
 	// finalDir is written to the directory when the op completes.
 	finalDir directory.Entry
 
@@ -87,7 +91,9 @@ type mshrEntry struct {
 	// otherwise be dispatched by the other engine ahead of the response.
 	responseArrived bool
 	filling         bool // response dispatched, bus supply in flight
-	waiters         []*work
+	// data is the shadow line value delivered by the data response.
+	data    uint64
+	waiters []*work
 }
 
 // Controller is one node's coherence controller.
@@ -110,6 +116,13 @@ type Controller struct {
 
 	handlerCounts [protocol.NumHandlers]uint64
 	handlerBusy   [protocol.NumHandlers]sim.Time
+
+	// FaultInject, when non-nil, intercepts every network message delivered
+	// to this controller before dispatch. Returning nil drops the message;
+	// returning a (possibly mutated) message delivers it. It exists so the
+	// ccverify model checker can seed protocol mutations and prove the
+	// invariant suite catches them. Production runs leave it nil.
+	FaultInject func(*protocol.Msg) *protocol.Msg
 }
 
 // engine is one protocol engine (FSM or protocol processor) with its input
@@ -195,6 +208,51 @@ func (cc *Controller) DumpPending() string {
 	return b.String()
 }
 
+// StateSnapshot renders the controller's complete transient state as a
+// deterministic string (map iteration is sorted by line). Two controllers
+// with equal snapshots will behave identically given identical future
+// inputs; the ccverify model checker folds snapshots into its abstract
+// state hash.
+func (cc *Controller) StateSnapshot() string {
+	var b strings.Builder
+	lines := make([]uint64, 0, len(cc.homeOps))
+	for line := range cc.homeOps {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		op := cc.homeOps[line]
+		fmt.Fprintf(&b, "h%#x:e%vr%da%dn%vd%vi%vw%vb%vf%vu%vq%d;",
+			line, op.excl, op.requester, op.acksLeft, op.needData, op.haveData,
+			op.intervention, op.waitWB, op.wbArrived, op.finishing, op.upgrade,
+			len(op.waiters))
+	}
+	lines = lines[:0]
+	for line := range cc.mshr {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		m := cc.mshr[line]
+		fmt.Fprintf(&b, "m%#x:e%vr%vf%vq%d;", line, m.excl, m.responseArrived,
+			m.filling, len(m.waiters))
+	}
+	for i, e := range cc.engines {
+		fmt.Fprintf(&b, "e%d:b%vs%d", i, e.busy, e.netStreak)
+		for _, w := range e.respQ {
+			fmt.Fprintf(&b, "R%s@%#x", w.label(), cc.lineOf(w))
+		}
+		for _, w := range e.reqQ {
+			fmt.Fprintf(&b, "Q%s@%#x", w.label(), cc.lineOf(w))
+		}
+		for _, w := range e.busQ {
+			fmt.Fprintf(&b, "B%s@%#x", w.label(), cc.lineOf(w))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 func (cc *Controller) costs() *config.CostTable { return &cc.cfg.Costs }
 
 func (cc *Controller) cost(op config.SubOp) sim.Time {
@@ -265,12 +323,17 @@ func (cc *Controller) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
 			// remote nodes hold copies.
 			return smpbus.SnoopShared
 		}
+		return smpbus.SnoopNone
 	case smpbus.ReadEx, smpbus.Upgrade:
 		if e.State != directory.NoRemote {
 			return smpbus.SnoopDefer
 		}
+		return smpbus.SnoopNone
+	default:
+		// Controller-issued kinds (Inval/Fetch/FetchEx) and deferred
+		// replies never snoop their own controller.
+		panic(fmt.Sprintf("core: controller snooped unexpected kind %v line %#x", txn.Kind, txn.Line))
 	}
-	return smpbus.SnoopNone
 }
 
 // AcceptDeferred receives a bus transaction the snoop claimed.
@@ -286,14 +349,14 @@ func (cc *Controller) AcceptDeferred(txn *smpbus.Txn) {
 // CaptureWriteBack implements the direct data path: a dirty-remote
 // write-back is forwarded to the home node without dispatching a protocol
 // handler.
-func (cc *Controller) CaptureWriteBack(line uint64, sharedLeft bool) {
+func (cc *Controller) CaptureWriteBack(line uint64, sharedLeft bool, data uint64) {
 	home := cc.space.Home(line)
 	if home == cc.node {
 		panic("core: direct data path invoked for a local line")
 	}
 	cc.send(cc.eng.Now(), home, &protocol.Msg{
 		Type: protocol.MsgWriteBack, Line: line, Src: cc.node,
-		Dirty: true, SharedLeft: sharedLeft,
+		Dirty: true, SharedLeft: sharedLeft, Data: data,
 	})
 }
 
@@ -304,12 +367,19 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 	if !ok {
 		panic(fmt.Sprintf("core: unexpected payload %T", payload))
 	}
+	if cc.FaultInject != nil {
+		msg = cc.FaultInject(msg)
+		if msg == nil {
+			return
+		}
+	}
 	w := &work{arrival: cc.eng.Now(), msg: msg}
 	cc.st.NoteArrival(w.arrival)
 	e := cc.engineFor(msg.Line)
 	if msg.IsResponse() {
-		switch msg.Type {
-		case protocol.MsgDataShared, protocol.MsgDataExcl, protocol.MsgOwnerData:
+		isData := msg.Type == protocol.MsgDataShared ||
+			msg.Type == protocol.MsgDataExcl || msg.Type == protocol.MsgOwnerData
+		if isData {
 			if m := cc.mshr[msg.Line]; m != nil {
 				m.responseArrived = true
 			}

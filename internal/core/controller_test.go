@@ -168,7 +168,7 @@ func TestWriteBackClearsDirectory(t *testing.T) {
 	r := newRig(t, nil)
 	line := r.space.AllocOnNode(4096, 0)
 	r.ccs[0].dir.Write(0, line, directory.Entry{State: directory.DirtyRemote, Owner: 1})
-	r.eng.At(0, func() { r.ccs[1].CaptureWriteBack(line, false) })
+	r.eng.At(0, func() { r.ccs[1].CaptureWriteBack(line, false, 0) })
 	if _, err := r.eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestWriteBackSharedLeftKeepsSharer(t *testing.T) {
 	r := newRig(t, nil)
 	line := r.space.AllocOnNode(4096, 0)
 	r.ccs[0].dir.Write(0, line, directory.Entry{State: directory.DirtyRemote, Owner: 1})
-	r.eng.At(0, func() { r.ccs[1].CaptureWriteBack(line, true) })
+	r.eng.At(0, func() { r.ccs[1].CaptureWriteBack(line, true, 0) })
 	if _, err := r.eng.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -59,7 +59,7 @@ func (cc *Controller) mshrFill(m *mshrEntry, shared bool) {
 			cc.replay(m.waiters)
 		}
 	}
-	cc.bus.Supply(m.parked, true, shared)
+	cc.bus.Supply(m.parked, true, shared, m.data)
 }
 
 // ---- home side: local-home lines -------------------------------------------
@@ -99,7 +99,7 @@ func (cc *Controller) homeLocalRead(w *work) sim.Time {
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: cc.node,
 		})
-	default:
+	case directory.NoRemote, directory.SharedRemote:
 		// The directory changed while the request was queued: the line is
 		// now clean at home (or shared remotely). Fetch from memory and
 		// supply.
@@ -107,6 +107,8 @@ func (cc *Controller) homeLocalRead(w *work) sim.Time {
 		op.needData = true
 		op.finalDir = entry
 		cc.fetchForOp(act, op, false)
+	default:
+		panic(fmt.Sprintf("core: local read of line %#x in unknown directory state %v", line, entry.State))
 	}
 	return occ
 }
@@ -147,7 +149,7 @@ func (cc *Controller) homeLocalReadEx(w *work) sim.Time {
 			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: cc.node,
 		})
 		return occ
-	default: // NoRemote: state changed while queued
+	case directory.NoRemote: // state changed while queued
 		occ, act := cc.charge(protocol.HBusReadExLocalCachedRemote, dirExtra, 0)
 		cc.homeOps[line] = op
 		if upgrade {
@@ -158,6 +160,8 @@ func (cc *Controller) homeLocalReadEx(w *work) sim.Time {
 			cc.fetchForOp(act, op, true)
 		}
 		return occ
+	default:
+		panic(fmt.Sprintf("core: local readex of line %#x in unknown directory state %v", line, entry.State))
 	}
 }
 
@@ -193,6 +197,7 @@ func (cc *Controller) fetchForOp(at sim.Time, op *homeOp, exclusive bool) {
 				cc.eng.After(cc.cfg.BusRetry, func() { cc.bus.Issue(txn) })
 			case smpbus.OK:
 				op.haveData = true
+				op.data = o.Data
 				cc.finishIfReady(op)
 			default:
 				panic(fmt.Sprintf("core: home fetch of local line %#x failed: %+v", op.line, o))
@@ -230,6 +235,7 @@ func (cc *Controller) finishOp(op *homeOp) {
 		}
 		cc.send(now, op.requester, &protocol.Msg{
 			Type: mt, Line: op.line, Src: cc.node, Requester: op.requester,
+			Data: op.data,
 		})
 	} else if op.parked != nil {
 		orig := op.parked.Done
@@ -237,7 +243,7 @@ func (cc *Controller) finishOp(op *homeOp) {
 			orig(o)
 			cc.retireOp(op)
 		}
-		cc.bus.Supply(op.parked, !op.upgrade, !op.excl)
+		cc.bus.Supply(op.parked, !op.upgrade, !op.excl, op.data)
 		return
 	}
 	cc.retireOp(op)
@@ -318,7 +324,7 @@ func (cc *Controller) homeRead(w *work) sim.Time {
 			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: r,
 		})
 		return occ
-	default: // NoRemote or SharedRemote: clean at home
+	case directory.NoRemote, directory.SharedRemote: // clean at home
 		occ, act := cc.charge(protocol.HRemoteReadHomeClean, dirExtra, 0)
 		op := &homeOp{line: line, requester: r, needData: true}
 		op.finalDir = directory.Entry{State: directory.SharedRemote,
@@ -326,6 +332,8 @@ func (cc *Controller) homeRead(w *work) sim.Time {
 		cc.homeOps[line] = op
 		cc.fetchForOp(act, op, false)
 		return occ
+	default:
+		panic(fmt.Sprintf("core: remote read of line %#x in unknown directory state %v", line, entry.State))
 	}
 }
 
@@ -362,7 +370,7 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 		cc.sendInvals(act, toInval, line)
 		cc.fetchForOp(act, op, true)
 		return occ
-	default: // DirtyRemote
+	case directory.DirtyRemote:
 		if entry.Owner == r {
 			occ, _ := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
 			cc.homeOps[line] = op
@@ -376,6 +384,8 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: r,
 		})
 		return occ
+	default:
+		panic(fmt.Sprintf("core: remote readex of line %#x in unknown directory state %v", line, entry.State))
 	}
 }
 
@@ -426,13 +436,13 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 				if fromHome {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
 						Type: protocol.MsgFetchDataHome, Line: line, Src: cc.node,
-						Dirty: o.Dirty, Excl: exclusive,
+						Dirty: o.Dirty, Excl: exclusive, Data: o.Data,
 					})
 					return
 				}
 				cc.send(cc.eng.Now(), requester, &protocol.Msg{
 					Type: protocol.MsgOwnerData, Line: line, Src: cc.node,
-					Requester: requester, Excl: exclusive,
+					Requester: requester, Excl: exclusive, Data: o.Data,
 				})
 				if exclusive {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
@@ -441,7 +451,7 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 				} else {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
 						Type: protocol.MsgFetchDone, Line: line, Src: cc.node,
-						Dirty: o.Dirty,
+						Dirty: o.Dirty, Data: o.Data,
 					})
 				}
 			default:
@@ -519,6 +529,7 @@ func (cc *Controller) requesterData(w *work) sim.Time {
 		h = protocol.HDataRespReadEx
 	}
 	occ, act := cc.charge(h, 0, 0)
+	m.data = msg.Data
 	cc.eng.At(act, func() { cc.mshrFill(m, shared) })
 	return occ
 }
@@ -533,7 +544,7 @@ func (cc *Controller) homeFetchDone(w *work) sim.Time {
 	}
 	occ, act := cc.charge(protocol.HOwnerWBAtHomeRead, 0, 0)
 	if msg.Dirty {
-		cc.memoryWrite(act, msg.Line)
+		cc.memoryWrite(act, msg.Line, msg.Data)
 	}
 	op.intervention = false
 	cc.eng.At(act, func() { cc.finishIfReadyNoResponse(op) })
@@ -568,10 +579,11 @@ func (cc *Controller) homeFetchData(w *work) sim.Time {
 	occ, act := cc.charge(h, 0, 0)
 	if msg.Dirty && !msg.Excl {
 		// The line stays shared: home memory must absorb the dirty data.
-		cc.memoryWrite(act, msg.Line)
+		cc.memoryWrite(act, msg.Line, msg.Data)
 	}
 	op.intervention = false
 	op.haveData = true
+	op.data = msg.Data
 	cc.eng.At(act, func() { cc.finishIfReady(op) })
 	return occ
 }
@@ -596,11 +608,19 @@ func (cc *Controller) homeWriteBack(w *work) sim.Time {
 	msg := w.msg
 	line := msg.Line
 	occ, act := cc.charge(protocol.HWriteBackAtHome, 0, 0)
-	cc.memoryWrite(act, line)
+	// The arriving data is visible to reads immediately (the home's
+	// write-back buffer is snooped); the bus transaction below only
+	// models the bandwidth of the actual memory update. Committing the
+	// shadow value here closes the window between the directory update
+	// and the write-back txn reaching the bus, where a read could
+	// otherwise sample stale memory.
+	cc.bus.SetMemValue(line, msg.Data)
+	cc.memoryWrite(act, line, msg.Data)
 
 	if op := cc.homeOps[line]; op != nil {
 		op.wbArrived = true
 		op.haveData = true
+		op.data = msg.Data
 		cc.eng.At(act, func() { cc.finishIfReady(op) })
 		return occ
 	}
@@ -635,9 +655,10 @@ func (cc *Controller) finishIfReadyNoResponse(op *homeOp) {
 // memoryWrite updates home memory through a controller-issued bus
 // write-back (contends for the bus and the banks, occupies no engine time
 // beyond what the handler already charged).
-func (cc *Controller) memoryWrite(at sim.Time, line uint64) {
+func (cc *Controller) memoryWrite(at sim.Time, line uint64, data uint64) {
 	txn := &smpbus.Txn{
 		Kind: smpbus.WriteBack, Line: line, Src: smpbus.CCSrc, HomeLocal: true,
+		Data: data,
 		Done: func(smpbus.Outcome) {},
 	}
 	cc.eng.At(at, func() { cc.bus.Issue(txn) })

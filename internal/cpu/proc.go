@@ -63,6 +63,18 @@ type Proc struct {
 	l1 *cache.Cache
 	l2 *cache.Cache
 
+	// vals shadows the value of every line this processor has ever held or
+	// written (one uint64 per line). Entries are deliberately kept after
+	// invalidation: the bus reads a supplier's value at snoop time, after
+	// the snoop itself may have invalidated the copy.
+	vals   map[uint64]uint64
+	valSeq uint64
+	// lastRead and lastWrite record the shadow value observed by the most
+	// recent completed load and produced by the most recent completed
+	// store (read by the ccverify model checker between operations).
+	lastRead  uint64
+	lastWrite uint64
+
 	start chan struct{}
 	ops   chan op
 
@@ -102,6 +114,7 @@ func New(eng *sim.Engine, cfg *config.Config, id, node int, bus *smpbus.Bus,
 		tr:    tr,
 		l1:    cache.New(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
 		l2:    cache.New(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+		vals:  make(map[uint64]uint64),
 		start: make(chan struct{}),
 		ops:   make(chan op),
 	}
@@ -130,6 +143,43 @@ func (p *Proc) ForEachL2Line(fn func(line uint64, st cache.State)) {
 		return true
 	})
 }
+
+// ForEachL1Line visits every valid line in the processor's L1 cache (the
+// model checker folds L1 presence into its abstract state hash).
+func (p *Proc) ForEachL1Line(fn func(line uint64, st cache.State)) {
+	p.l1.Lines(func(line uint64, st cache.State) bool {
+		fn(line, st)
+		return true
+	})
+}
+
+// L2State returns the L2 state of a line without touching LRU.
+func (p *Proc) L2State(line uint64) cache.State { return p.l2.Lookup(line) }
+
+// LineValue returns the processor's shadow value for a line (zero if the
+// processor never held it).
+func (p *Proc) LineValue(line uint64) uint64 { return p.vals[line] }
+
+// LastReadValue returns the shadow value observed by the most recently
+// completed load.
+func (p *Proc) LastReadValue() uint64 { return p.lastRead }
+
+// LastWriteValue returns the shadow value produced by the most recently
+// completed store.
+func (p *Proc) LastWriteValue() uint64 { return p.lastWrite }
+
+// writeValue mints a globally unique shadow value for a completed store to
+// line: the processor index in the high word and a per-processor sequence
+// number in the low word (no shared counter, so replays stay deterministic).
+func (p *Proc) writeValue(line uint64) {
+	p.valSeq++
+	v := uint64(p.id+1)<<32 | p.valSeq
+	p.vals[line] = v
+	p.lastWrite = v
+}
+
+// readValue records the value a completed load observed from the local copy.
+func (p *Proc) readValue(line uint64) { p.lastRead = p.vals[line] }
 
 // MissLatencies returns the processor's miss service-time distribution.
 func (p *Proc) MissLatencies() *stats.Histogram { return &p.missLat }
@@ -236,11 +286,13 @@ func (p *Proc) access(addr uint64, write bool) {
 			p.l1.Invalidate(line)
 		} else if !write {
 			p.l1Hits++
+			p.readValue(line)
 			p.finishAccess(p.cfg.L1HitTime)
 			return
 		} else if st == cache.Modified || st == cache.Exclusive {
 			p.l1Hits++
 			p.l2.SetState(line, cache.Modified)
+			p.writeValue(line)
 			p.finishAccess(p.cfg.L1HitTime)
 			return
 		}
@@ -260,11 +312,13 @@ func (p *Proc) access(addr uint64, write bool) {
 		p.eng.After(p.cfg.L2MissDetect, func() { p.issueMiss(line, kind) })
 	case !write:
 		p.l2Hits++
+		p.readValue(line)
 		p.installL1(line)
 		p.finishAccess(p.cfg.L2HitTime)
 	case st == cache.Modified || st == cache.Exclusive:
 		p.l2Hits++
 		p.l2.SetState(line, cache.Modified)
+		p.writeValue(line)
 		p.installL1(line)
 		p.finishAccess(p.cfg.L2HitTime)
 	default: // write to Shared or Owned: upgrade
@@ -312,14 +366,20 @@ func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outc
 			st = cache.Shared
 		}
 		p.installL2(line, st)
+		p.vals[line] = o.Data
+		p.readValue(line)
 	case smpbus.ReadEx:
 		p.installL2(line, cache.Modified)
+		p.vals[line] = o.Data
+		p.writeValue(line)
 	case smpbus.Upgrade:
 		if o.WithData {
 			// The reply carried the full line (deferred upgrades convert
 			// to read-exclusive at the home, and in-node ownership
 			// transfers move the line cache-to-cache).
 			p.installL2(line, cache.Modified)
+			p.vals[line] = o.Data
+			p.writeValue(line)
 			break
 		}
 		if owned {
@@ -332,6 +392,7 @@ func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outc
 				return
 			}
 			p.l2.SetState(line, cache.Modified)
+			p.writeValue(line)
 			p.installL1(line)
 			break
 		}
@@ -342,7 +403,12 @@ func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outc
 			return
 		}
 		p.l2.SetState(line, cache.Modified)
+		p.writeValue(line)
 		p.installL1(line)
+	case smpbus.WriteBack, smpbus.Inval, smpbus.Fetch, smpbus.FetchEx:
+		panic(fmt.Sprintf("cpu: miss completion for non-processor kind %v line %#x", kind, line))
+	default:
+		panic(fmt.Sprintf("cpu: miss completion for unknown kind %v line %#x", kind, line))
 	}
 	p.finishMiss()
 	p.finishAccess(p.cfg.FillRestart)
@@ -355,6 +421,7 @@ func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
 	switch kind {
 	case smpbus.Read:
 		if st != cache.Invalid {
+			p.readValue(line)
 			p.installL1(line)
 			p.finishAccess(p.cfg.L2HitTime)
 			return
@@ -363,6 +430,7 @@ func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
 		switch st {
 		case cache.Modified, cache.Exclusive:
 			p.l2.SetState(line, cache.Modified)
+			p.writeValue(line)
 			p.installL1(line)
 			p.finishAccess(p.cfg.L2HitTime)
 			return
@@ -370,7 +438,13 @@ func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
 			kind = smpbus.Upgrade
 		case cache.Invalid:
 			kind = smpbus.ReadEx
+		default:
+			panic(fmt.Sprintf("cpu: unknown cache state %v retrying line %#x", st, line))
 		}
+	case smpbus.WriteBack, smpbus.Inval, smpbus.Fetch, smpbus.FetchEx:
+		panic(fmt.Sprintf("cpu: retry of non-processor kind %v line %#x", kind, line))
+	default:
+		panic(fmt.Sprintf("cpu: retry of unknown kind %v line %#x", kind, line))
 	}
 	p.issueMiss(line, kind)
 }
@@ -403,6 +477,7 @@ func (p *Proc) writeBack(line uint64) {
 		Line:      line,
 		Src:       p.src,
 		HomeLocal: p.space.Home(line) == p.node,
+		Data:      p.vals[line],
 		Done: func(o smpbus.Outcome) {
 			if o.Status == smpbus.RetryNeeded {
 				p.eng.After(p.cfg.BusRetry, func() { p.writeBack(line) })
@@ -474,9 +549,15 @@ func (p *Proc) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
 		// report continued sharing.
 		return smpbus.SnoopShared
 	default:
-		return smpbus.SnoopNone
+		// Deferred-reply (supply) strobes resolve before snooping, so no
+		// other kind can reach a processor snooper.
+		panic(fmt.Sprintf("cpu: snoop of unexpected kind %v line %#x", txn.Kind, line))
 	}
 }
+
+// LineData implements smpbus.DataSupplier: the shadow value this processor
+// would put on the bus when supplying the line cache-to-cache.
+func (p *Proc) LineData(line uint64) uint64 { return p.vals[line] }
 
 // ---- program-facing API -----------------------------------------------------
 

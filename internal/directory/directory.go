@@ -12,6 +12,8 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 
 	"ccnuma/internal/cache"
 	"ccnuma/internal/config"
@@ -152,6 +154,39 @@ func (d *Directory) Write(now sim.Time, line uint64, e Entry) {
 		d.dirCache.Insert(line, cache.Shared)
 	}
 	d.dram.AcquireAt(now, d.cfg.DirDRAMWrite, nil)
+}
+
+// ForEachEntry visits every non-NoRemote entry in ascending line order
+// (deterministic regardless of map iteration order).
+func (d *Directory) ForEachEntry(fn func(line uint64, e Entry)) {
+	lines := make([]uint64, 0, len(d.entries))
+	for line := range d.entries {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		fn(line, d.entries[line])
+	}
+}
+
+// StateSnapshot renders the directory's stable state as a deterministic
+// string (sorted by line) for the ccverify model checker's abstract state
+// hash. Directory-cache presence and DRAM timing are deliberately excluded:
+// they affect latency, never protocol behaviour.
+func (d *Directory) StateSnapshot() string {
+	var b strings.Builder
+	d.ForEachEntry(func(line uint64, e Entry) {
+		switch e.State {
+		case NoRemote:
+		case SharedRemote:
+			fmt.Fprintf(&b, "%#x:S%x;", line, uint64(e.Sharers))
+		case DirtyRemote:
+			fmt.Fprintf(&b, "%#x:D%d;", line, e.Owner)
+		default:
+			panic(fmt.Sprintf("directory: unknown state %v for line %#x", e.State, line))
+		}
+	})
+	return b.String()
 }
 
 // CacheHits returns directory-cache hits observed by Read.

@@ -28,6 +28,10 @@ type Network struct {
 
 	msgs  uint64
 	flits uint64
+	// inFlight counts messages accepted by Send whose sink has not fired
+	// yet (the ccverify model checker uses it to detect quiescence and to
+	// bound its in-flight message multiset).
+	inFlight int
 }
 
 // New creates the network for the configured node count. tr may be nil.
@@ -84,6 +88,7 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	}
 	n.msgs++
 	n.flits += uint64(flitCount)
+	n.inFlight++
 	if n.tr != nil {
 		name, line := obs.DescribePayload(payload)
 		n.tr.NetSend(n.eng.Now(), src, dst, name, line, flitCount)
@@ -131,6 +136,7 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 				name, line := obs.DescribePayload(payload)
 				n.tr.NetRecv(n.eng.Now(), src, dst, name, line)
 			}
+			n.inFlight--
 			sink(src, payload)
 		})
 	})
@@ -138,6 +144,10 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 
 // Messages returns the number of messages sent so far.
 func (n *Network) Messages() uint64 { return n.msgs }
+
+// InFlight returns the number of messages currently traversing the network
+// (sent but not yet delivered to a sink).
+func (n *Network) InFlight() int { return n.inFlight }
 
 // Flits returns the number of flits sent so far.
 func (n *Network) Flits() uint64 { return n.flits }

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Pos     string `json:"pos"` // file:line:col
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Check, f.Message)
+}
+
+// enumTargets lists the protocol-state enums whose switches must be
+// exhaustive or fail loudly, keyed by defining package import path.
+var enumTargets = map[string][]string{
+	"ccnuma/internal/protocol":  {"MsgType", "Handler", "StallKind"},
+	"ccnuma/internal/cache":     {"State"},
+	"ccnuma/internal/directory": {"State"},
+	"ccnuma/internal/smpbus":    {"Kind", "Status", "SnoopResult"},
+}
+
+// simPackages are the simulated-time packages where wall-clock time and
+// global randomness are forbidden (they would make runs irreproducible).
+var simPackages = map[string]bool{
+	"ccnuma/internal/sim":          true,
+	"ccnuma/internal/smpbus":       true,
+	"ccnuma/internal/core":         true,
+	"ccnuma/internal/cpu":          true,
+	"ccnuma/internal/directory":    true,
+	"ccnuma/internal/interconnect": true,
+	"ccnuma/internal/machine":      true,
+	"ccnuma/internal/protocol":     true,
+	"ccnuma/internal/memaddr":      true,
+	"ccnuma/internal/verify":       true,
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// Check runs every analysis over the loaded packages and returns the
+// surviving findings (suppressions with a reason are honored; suppressions
+// without one become findings themselves).
+func Check(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		var raw []Finding
+		raw = append(raw, checkEnumSwitches(pkg)...)
+		raw = append(raw, checkSimDeterminism(pkg)...)
+		raw = append(raw, checkSchedNoop(pkg)...)
+		raw = append(raw, checkEnumStrings(pkg)...)
+		for _, f := range raw {
+			if !sup.covers(f) {
+				out = append(out, f)
+			}
+		}
+		out = append(out, checkCommentHygiene(pkg, sup)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+func (p *Package) finding(pos token.Pos, check, format string, args ...interface{}) Finding {
+	return Finding{
+		Pos:     p.Fset.Position(pos).String(),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// targetEnum resolves a type to (named enum type, true) when it is one of
+// the lint-target enums.
+func targetEnum(t types.Type) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	for _, name := range enumTargets[named.Obj().Pkg().Path()] {
+		if named.Obj().Name() == name {
+			return named, true
+		}
+	}
+	return nil, false
+}
+
+// enumMembers returns the constants of the enum declared in its defining
+// package, keyed by exact constant value. Unexported members are included
+// only when the switch lives in the defining package (other packages
+// cannot name them). Members sharing a value collapse to one entry.
+func enumMembers(named *types.Named, fromPkg *types.Package) map[string][]string {
+	defPkg := named.Obj().Pkg()
+	members := map[string][]string{}
+	scope := defPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() && defPkg != fromPkg {
+			continue
+		}
+		key := c.Val().ExactString()
+		members[key] = append(members[key], c.Name())
+	}
+	return members
+}
+
+// checkEnumSwitches enforces the exhaustiveness rule: every switch over a
+// lint-target enum either covers all members or has a default that panics.
+// String methods are the one shape where a returning default is legal (it
+// is the formatter's fallback for corrupt values), but they still may not
+// silently omit members without a default.
+func checkEnumSwitches(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		// Ranges of String methods: their default clauses may return a
+		// formatted fallback instead of panicking.
+		type posRange struct{ lo, hi token.Pos }
+		var stringFns []posRange
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "String" && fd.Body != nil {
+				stringFns = append(stringFns, posRange{fd.Body.Lbrace, fd.Body.Rbrace})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			node, ok := n.(*ast.SwitchStmt)
+			if !ok || node.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[node.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := targetEnum(tv.Type)
+			if !ok {
+				return true
+			}
+			inString := false
+			for _, r := range stringFns {
+				if node.Switch > r.lo && node.Switch < r.hi {
+					inString = true
+				}
+			}
+			out = append(out, auditEnumSwitch(pkg, node, named, inString)...)
+			return true
+		})
+	}
+	return out
+}
+
+// auditEnumSwitch inspects one switch over a target enum.
+func auditEnumSwitch(pkg *Package, sw *ast.SwitchStmt, named *types.Named, inString bool) []Finding {
+	members := enumMembers(named, pkg.Types)
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pkg.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				// Non-constant case (e.g. a variable): treat the switch as
+				// dynamic and give up on coverage, requiring a default.
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, names := range members {
+		if !covered[val] {
+			missing = append(missing, names[0])
+		}
+	}
+	sort.Strings(missing)
+	enum := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	var out []Finding
+	switch {
+	case defaultClause == nil && len(missing) > 0:
+		out = append(out, pkg.finding(sw.Switch, "switch-enum",
+			"switch over %s silently ignores %s; enumerate them or add a panicking default",
+			enum, strings.Join(missing, ", ")))
+	case defaultClause != nil && !inString && !bodyPanics(defaultClause.Body):
+		out = append(out, pkg.finding(defaultClause.Case, "switch-enum",
+			"default clause of a %s switch must panic (silent fallthroughs hide unhandled protocol states)",
+			enum))
+	}
+	return out
+}
+
+// bodyPanics reports whether the statement list (recursively) contains a
+// call to the builtin panic.
+func bodyPanics(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// checkSimDeterminism flags wall-clock and global-randomness use inside
+// simulated-time packages.
+func checkSimDeterminism(pkg *Package) []Finding {
+	if !simPackages[pkg.ImportPath] {
+		return nil
+	}
+	var out []Finding
+	for ident, obj := range pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				out = append(out, pkg.finding(ident.Pos(), "sim-time",
+					"time.%s reads the wall clock; simulated-time code must use sim.Engine time", fn.Name()))
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewPCG" &&
+				fn.Type().(*types.Signature).Recv() == nil {
+				out = append(out, pkg.finding(ident.Pos(), "sim-rand",
+					"rand.%s uses the global, non-reproducible source; construct a seeded *rand.Rand", fn.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// checkSchedNoop flags closures handed to the event engine that can never
+// advance the simulation: a callback containing no call, send, or go
+// statement burns an event without enqueuing work.
+func checkSchedNoop(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "At" && sel.Sel.Name != "After") {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[sel]
+			if !ok {
+				return true
+			}
+			recv := selection.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			named, isNamed := recv.(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != "ccnuma/internal/sim" || named.Obj().Name() != "Engine" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !doesWork(lit.Body) {
+				out = append(out, pkg.finding(lit.Pos(), "sched-noop",
+					"callback scheduled on the sim engine performs no call/send; it consumes an event without advancing work"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// doesWork reports whether a callback body contains at least one call,
+// channel send, or go statement.
+func doesWork(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.SendStmt, *ast.GoStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEnumStrings requires every lint-target enum declared in the package
+// to be printable: diagnostics, traces, and stats reports all format these
+// values, and a missing String method degrades them to bare integers.
+func checkEnumStrings(pkg *Package) []Finding {
+	names := enumTargets[pkg.ImportPath]
+	if len(names) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, name := range names {
+		obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			out = append(out, Finding{
+				Pos:   pkg.ImportPath,
+				Check: "enum-string",
+				Message: fmt.Sprintf("expected enum type %s is not declared (update the lint target list)",
+					name),
+			})
+			continue
+		}
+		named := obj.Type().(*types.Named)
+		if m, _, _ := types.LookupFieldOrMethod(named, true, pkg.Types, "String"); m == nil {
+			out = append(out, pkg.finding(obj.Pos(), "enum-string",
+				"enum %s has no String method; handlers/traces/stats print it as a bare integer", name))
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks the deliberately broken fixture package.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/badswitch")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 fixture package, got %d", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestFixtureFindings pins the complete set of diagnostics produced for
+// the fixture, including that the justified suppression silences its
+// switch and the reasonless directives are themselves flagged.
+func TestFixtureFindings(t *testing.T) {
+	findings := Check(loadFixture(t))
+	byCheck := map[string][]Finding{}
+	for _, f := range findings {
+		byCheck[f.Check] = append(byCheck[f.Check], f)
+	}
+
+	swEnum := byCheck["switch-enum"]
+	if len(swEnum) != 2 {
+		t.Errorf("switch-enum findings = %d, want 2 (NonExhaustive + SilentDefault): %v", len(swEnum), swEnum)
+	}
+	foundMissing, foundDefault := false, false
+	for _, f := range swEnum {
+		if strings.Contains(f.Message, "protocol.MsgType") && strings.Contains(f.Message, "silently ignores") {
+			foundMissing = true
+		}
+		if strings.Contains(f.Message, "protocol.Handler") && strings.Contains(f.Message, "must panic") {
+			foundDefault = true
+		}
+	}
+	if !foundMissing {
+		t.Error("non-exhaustive MsgType switch was not flagged")
+	}
+	if !foundDefault {
+		t.Error("silent Handler default was not flagged")
+	}
+
+	if n := len(byCheck["sched-noop"]); n != 1 {
+		t.Errorf("sched-noop findings = %d, want 1", n)
+	}
+	if n := len(byCheck["nolint-reason"]); n != 1 {
+		t.Errorf("nolint-reason findings = %d, want 1", n)
+	}
+	if n := len(byCheck["ignore-reason"]); n != 1 {
+		t.Errorf("ignore-reason findings = %d, want 1", n)
+	}
+
+	// Exactly the findings above and nothing else — in particular the
+	// justified suppression in Suppressed must not surface.
+	total := len(swEnum) + len(byCheck["sched-noop"]) + len(byCheck["nolint-reason"]) + len(byCheck["ignore-reason"])
+	if total != len(findings) {
+		t.Errorf("unexpected extra findings: %v", findings)
+	}
+}
+
+// TestRepoIsClean runs the full analyzer suite over the entire module and
+// requires zero findings — the same gate make lint enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	for _, f := range Check(pkgs) {
+		t.Errorf("finding: %s", f.String())
+	}
+}
+
+// TestSuppressionRequiresReason covers the suppression matcher directly.
+func TestSuppressionRequiresReason(t *testing.T) {
+	set := &suppressionSet{byLoc: map[string][]*suppression{}}
+	s := &suppression{file: "f.go", line: 10, check: "switch-enum"}
+	set.byLoc[locKey("f.go", 10)] = []*suppression{s}
+	f := Finding{Pos: "f.go:10:3", Check: "switch-enum"}
+	if set.covers(f) {
+		t.Error("reasonless suppression must not cover a finding")
+	}
+	s.reason = "justified"
+	if !set.covers(f) {
+		t.Error("complete suppression should cover the finding")
+	}
+	if set.covers(Finding{Pos: "f.go:11:1", Check: "switch-enum"}) {
+		t.Error("suppression leaked to an unrelated line")
+	}
+}

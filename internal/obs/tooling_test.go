@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestParseLintReport decodes a document with the exact shape cclint -json
+// emits (it builds obs.LintReport directly, so these field names are the
+// wire format).
+func TestParseLintReport(t *testing.T) {
+	data := []byte(`{
+  "packages": 29,
+  "findings": [
+    {"pos": "internal/core/handlers.go:12:2", "check": "switch-enum",
+     "message": "switch over protocol.MsgType silently ignores MsgInvalAck"}
+  ]
+}`)
+	r, err := ParseLintReport(data)
+	if err != nil {
+		t.Fatalf("ParseLintReport: %v", err)
+	}
+	if r.Packages != 29 || len(r.Findings) != 1 {
+		t.Fatalf("got %d packages, %d findings", r.Packages, len(r.Findings))
+	}
+	if r.Findings[0].Check != "switch-enum" {
+		t.Errorf("finding check = %q", r.Findings[0].Check)
+	}
+}
+
+// TestParseVerifyReport decodes a document with the shape ccverify -json
+// emits (verify.Result's JSON tags).
+func TestParseVerifyReport(t *testing.T) {
+	data := []byte(`{
+  "states": 203, "edges": 1624, "races": 2000, "truncated": false,
+  "violations": [
+    {"kind": "lost-writeback", "detail": "line 0x1000 lost 0x200000001",
+     "path": "p1:WriteT p1:ReadV"}
+  ]
+}`)
+	r, err := ParseVerifyReport(data)
+	if err != nil {
+		t.Fatalf("ParseVerifyReport: %v", err)
+	}
+	if r.States != 203 || r.Edges != 1624 || r.Races != 2000 {
+		t.Fatalf("unexpected sizes: %+v", r)
+	}
+	if len(r.Violations) != 1 || r.Violations[0].Kind != "lost-writeback" {
+		t.Fatalf("unexpected violations: %+v", r.Violations)
+	}
+}
+
+// TestArtifactToolingRoundTrip attaches a tooling section and checks it
+// survives the artifact's own JSON encoding, and that artifacts without
+// one omit the key entirely (backwards compatibility of ccnuma-run/v1).
+func TestArtifactToolingRoundTrip(t *testing.T) {
+	a := &Artifact{Schema: ArtifactSchema, Tool: "ccsim"}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"tooling"`)) {
+		t.Error("artifact without tooling must omit the tooling key")
+	}
+
+	a.Tooling = &ToolingDoc{
+		Lint:   &LintReport{Packages: 29, Findings: []LintFindingDoc{}},
+		Verify: &VerifyReport{States: 203, Edges: 1624, Races: 2000},
+	}
+	buf.Reset()
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decoding artifact: %v", err)
+	}
+	if back.Tooling == nil || back.Tooling.Lint == nil || back.Tooling.Verify == nil {
+		t.Fatalf("tooling section lost in round-trip: %+v", back.Tooling)
+	}
+	if back.Tooling.Lint.Packages != 29 || back.Tooling.Verify.States != 203 {
+		t.Errorf("tooling contents corrupted: %+v", back.Tooling)
+	}
+}

@@ -240,11 +240,14 @@ func (s *Sim) siblingHas(p *proc, line uint64) (present, dirty bool) {
 		if i == p.id {
 			continue
 		}
-		switch s.procs[i].l2.Lookup(line) {
+		switch st := s.procs[i].l2.Lookup(line); st {
 		case cache.Shared, cache.Exclusive:
 			present = true
 		case cache.Modified, cache.Owned:
 			return true, true
+		case cache.Invalid:
+		default:
+			panic(fmt.Sprintf("pram: line %#x in unknown cache state %v", line, st))
 		}
 	}
 	return present, false

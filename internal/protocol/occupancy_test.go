@@ -1,0 +1,131 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+)
+
+// TestTable2SubOpCosts pins the paper's Table 2 sub-operation occupancies
+// exactly (compute-processor cycles; PPCA is the Section 5 extension
+// column). Any drift here silently rescales every occupancy figure in the
+// paper reproduction, so the values are asserted literally.
+func TestTable2SubOpCosts(t *testing.T) {
+	costs := config.DefaultCosts()
+	cases := []struct {
+		op             config.SubOp
+		hwc, ppc, ppca sim.Time
+	}{
+		{config.OpDispatch, 2, 14, 6},
+		{config.OpReadBusReg, 2, 8, 8},
+		{config.OpWriteBusReg, 2, 4, 4},
+		{config.OpReadNIReg, 2, 8, 8},
+		{config.OpWriteNIReg, 2, 4, 4},
+		{config.OpLatchHeader, 2, 2, 2},
+		{config.OpAssocSearch, 2, 6, 4},
+		{config.OpDirCacheRead, 2, 2, 2},
+		{config.OpDirCacheWrite, 2, 2, 2},
+		{config.OpSendHeader, 2, 8, 4},
+		{config.OpStartDataXfer, 2, 4, 2},
+		{config.OpBitField, 0, 2, 0},
+		{config.OpCondition, 0, 2, 2},
+		{config.OpCompute, 0, 2, 2},
+	}
+	if len(cases) != config.NumSubOps {
+		t.Fatalf("test covers %d sub-ops, table defines %d", len(cases), config.NumSubOps)
+	}
+	for _, c := range cases {
+		if got := costs.Cost(config.HWC, c.op); got != c.hwc {
+			t.Errorf("%v HWC cost = %d, want %d", c.op, got, c.hwc)
+		}
+		if got := costs.Cost(config.PPC, c.op); got != c.ppc {
+			t.Errorf("%v PPC cost = %d, want %d", c.op, got, c.ppc)
+		}
+		if got := costs.Cost(config.PPCA, c.op); got != c.ppca {
+			t.Errorf("%v PPCA cost = %d, want %d", c.op, got, c.ppca)
+		}
+	}
+}
+
+// TestHandlerOccupancies pins the no-contention occupancy of every
+// protocol handler under the default cost table, for all three engine
+// kinds. These are the per-handler sums of Table 2 costs that the
+// end-to-end figures (occupancy ratios, PP penalty) are built from;
+// until now they were only exercised indirectly through those figures.
+func TestHandlerOccupancies(t *testing.T) {
+	costs := config.DefaultCosts()
+	cases := []struct {
+		h              protocol.Handler
+		hwc, ppc, ppca sim.Time
+	}{
+		{protocol.HBusReadRemote, 6, 18, 10},
+		{protocol.HBusReadExRemote, 6, 18, 10},
+		{protocol.HBusReadLocalDirtyRemote, 8, 18, 12},
+		{protocol.HBusReadExLocalCachedRemote, 8, 14, 12},
+		{protocol.HBusReadExLocalDirtyRemote, 8, 18, 12},
+		{protocol.HRemoteReadHomeClean, 10, 18, 14},
+		{protocol.HRemoteReadHomeDirty, 8, 18, 12},
+		{protocol.HRemoteReadExHomeUncached, 10, 18, 14},
+		{protocol.HRemoteReadExHomeShared, 8, 14, 12},
+		{protocol.HRemoteReadExHomeDirty, 8, 18, 12},
+		{protocol.HFetchOwnerFromHome, 6, 12, 10},
+		{protocol.HFetchOwnerRemoteReq, 8, 20, 14},
+		{protocol.HFetchExOwnerFromHome, 6, 12, 10},
+		{protocol.HFetchExOwnerRemoteReq, 8, 20, 14},
+		{protocol.HOwnerDataAtHomeRead, 10, 20, 14},
+		{protocol.HOwnerWBAtHomeRead, 8, 18, 14},
+		{protocol.HOwnerDataAtHomeReadEx, 10, 20, 14},
+		{protocol.HOwnerAckAtHome, 6, 14, 10},
+		{protocol.HInvalAtSharer, 6, 16, 12},
+		{protocol.HInvalAckMore, 4, 12, 8},
+		{protocol.HInvalAckLastLocal, 8, 18, 14},
+		{protocol.HInvalAckLastRemote, 8, 18, 12},
+		{protocol.HDataRespRead, 8, 16, 12},
+		{protocol.HDataRespReadEx, 8, 16, 12},
+		{protocol.HWriteBackAtHome, 6, 12, 10},
+		{protocol.HInterventionMissAtHome, 4, 12, 8},
+		{protocol.HBusyRequeue, 2, 6, 4},
+	}
+	if len(cases) != protocol.NumHandlers {
+		t.Fatalf("test covers %d handlers, protocol defines %d", len(cases), protocol.NumHandlers)
+	}
+	seen := map[protocol.Handler]bool{}
+	for _, c := range cases {
+		if seen[c.h] {
+			t.Errorf("handler %v listed twice", c.h)
+		}
+		seen[c.h] = true
+		if got := protocol.Occupancy(&costs, config.HWC, c.h, 0); got != c.hwc {
+			t.Errorf("%v HWC occupancy = %d, want %d", c.h, got, c.hwc)
+		}
+		if got := protocol.Occupancy(&costs, config.PPC, c.h, 0); got != c.ppc {
+			t.Errorf("%v PPC occupancy = %d, want %d", c.h, got, c.ppc)
+		}
+		if got := protocol.Occupancy(&costs, config.PPCA, c.h, 0); got != c.ppca {
+			t.Errorf("%v PPCA occupancy = %d, want %d", c.h, got, c.ppca)
+		}
+	}
+}
+
+// TestPerInvalidationIncrement pins the marginal cost of each additional
+// invalidation beyond a handler's base sequence (one bit-field extraction
+// plus one header send per sharer).
+func TestPerInvalidationIncrement(t *testing.T) {
+	costs := config.DefaultCosts()
+	for _, c := range []struct {
+		kind config.EngineKind
+		inc  sim.Time
+	}{
+		{config.HWC, 2},
+		{config.PPC, 10},
+		{config.PPCA, 4},
+	} {
+		base := protocol.Occupancy(&costs, c.kind, protocol.HRemoteReadExHomeShared, 0)
+		plus2 := protocol.Occupancy(&costs, c.kind, protocol.HRemoteReadExHomeShared, 2)
+		if got := plus2 - base; got != 2*c.inc {
+			t.Errorf("%v: 2 extra invals add %d cycles, want %d", c.kind, got, 2*c.inc)
+		}
+	}
+}

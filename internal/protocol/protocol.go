@@ -94,6 +94,11 @@ type Msg struct {
 	Dirty bool
 	// SharedLeft on WriteBack: the evicting node retains clean copies.
 	SharedLeft bool
+	// Data is the cache-line value carried by data-bearing messages. The
+	// simulator models one shadow word per line (enough to detect stale
+	// reads and lost write-backs); it rides along with the timing model at
+	// zero cost and is checked by the ccverify model checker.
+	Data uint64
 }
 
 // CarriesData reports whether the message includes a full cache line (and
@@ -104,8 +109,12 @@ func (m *Msg) CarriesData() bool {
 		return true
 	case MsgFetchDone:
 		return m.Dirty
+	case MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq, MsgInval,
+		MsgInvalAck, MsgFetchExDone, MsgInterventionMiss:
+		return false
+	default:
+		panic(fmt.Sprintf("protocol: CarriesData on unknown message %v", m.Type))
 	}
-	return false
 }
 
 // IsResponse reports whether the message belongs in the controller's
@@ -116,8 +125,12 @@ func (m *Msg) IsResponse() bool {
 	case MsgDataShared, MsgDataExcl, MsgOwnerData, MsgFetchDone,
 		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss:
 		return true
+	case MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq, MsgInval,
+		MsgWriteBack:
+		return false
+	default:
+		panic(fmt.Sprintf("protocol: IsResponse on unknown message %v", m.Type))
 	}
-	return false
 }
 
 // TraceName lets the network's tracer label this payload (obs.TraceDescriber).
@@ -444,6 +457,20 @@ const (
 	StallOwnerFetch
 )
 
+// String names the stall class.
+func (k StallKind) String() string {
+	switch k {
+	case StallNone:
+		return "none"
+	case StallHomeFetch:
+		return "home-fetch"
+	case StallOwnerFetch:
+		return "owner-fetch"
+	default:
+		panic(fmt.Sprintf("protocol: unknown stall kind %d", int(k)))
+	}
+}
+
 // Stall returns the bus/memory stall class of handler h (for the common
 // case; state-dependent fallback paths charge their own).
 func Stall(h Handler) StallKind {
@@ -452,8 +479,17 @@ func Stall(h Handler) StallKind {
 		return StallHomeFetch
 	case HFetchOwnerFromHome, HFetchOwnerRemoteReq, HFetchExOwnerFromHome, HFetchExOwnerRemoteReq:
 		return StallOwnerFetch
+	case HBusReadRemote, HBusReadExRemote, HBusReadLocalDirtyRemote,
+		HBusReadExLocalCachedRemote, HBusReadExLocalDirtyRemote,
+		HRemoteReadHomeDirty, HRemoteReadExHomeDirty,
+		HOwnerDataAtHomeRead, HOwnerWBAtHomeRead, HOwnerDataAtHomeReadEx,
+		HOwnerAckAtHome, HInvalAtSharer, HInvalAckMore, HInvalAckLastLocal,
+		HInvalAckLastRemote, HDataRespRead, HDataRespReadEx,
+		HWriteBackAtHome, HInterventionMissAtHome, HBusyRequeue:
+		return StallNone
+	default:
+		panic(fmt.Sprintf("protocol: Stall on unknown handler %v", h))
 	}
-	return StallNone
 }
 
 // StallTime returns the no-contention engine stall for a stall class under
@@ -466,8 +502,11 @@ func StallTime(cfg *config.Config, k StallKind) sim.Time {
 		return cfg.BusArb + cfg.MemAccess + cfg.CriticalQuad
 	case StallOwnerFetch:
 		return cfg.BusArb + cfg.CacheToCache + cfg.CriticalQuad
+	case StallNone:
+		return 0
+	default:
+		panic(fmt.Sprintf("protocol: unknown stall kind %d", int(k)))
 	}
-	return 0
 }
 
 // ActionIndex returns the index into h's sequence *after* which the

@@ -74,6 +74,19 @@ const (
 	NoData
 )
 
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case RetryNeeded:
+		return "RetryNeeded"
+	case NoData:
+		return "NoData"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
 // Outcome is passed to a transaction's Done callback.
 type Outcome struct {
 	Status Status
@@ -89,6 +102,9 @@ type Outcome struct {
 	// upgrade grant after queued invalidations carries none; a deferred
 	// read-exclusive reply does).
 	WithData bool
+	// Data is the shadow cache-line value delivered with the completion
+	// (meaningful when WithData, or for Fetch/FetchEx data collection).
+	Data uint64
 }
 
 // Txn is one bus transaction. Create with fields set and hand to Issue; the
@@ -108,6 +124,9 @@ type Txn struct {
 	// the upgrade only invalidates in-node siblings and must not consult
 	// the home.
 	RequesterOwns bool
+	// Data is the shadow cache-line value carried by the transaction
+	// (write-back payloads, controller deferred replies).
+	Data uint64
 	// Done receives the outcome. It runs at the completion cycle.
 	Done func(Outcome)
 
@@ -116,6 +135,9 @@ type Txn struct {
 	supplyFor *Txn
 	withData  bool
 	shared    bool
+	// snoopData is the shadow value captured from the supplying snooper at
+	// strobe time (valid when a snooper answered Owned or Shared).
+	snoopData uint64
 	// deferredToCC marks a transaction parked with the controller. Parked
 	// transactions hold their pending slot for a long time but are not
 	// actively transferring data, so controller interventions may proceed
@@ -140,12 +162,36 @@ const (
 	SnoopDefer
 )
 
+func (r SnoopResult) String() string {
+	switch r {
+	case SnoopNone:
+		return "SnoopNone"
+	case SnoopShared:
+		return "SnoopShared"
+	case SnoopOwned:
+		return "SnoopOwned"
+	case SnoopDefer:
+		return "SnoopDefer"
+	default:
+		return fmt.Sprintf("SnoopResult(%d)", int(r))
+	}
+}
+
 // Snooper observes address strobes. Snoop must apply any state change the
 // transaction implies for the agent (invalidate on ReadEx/Upgrade/Inval/
 // FetchEx, downgrade on Read/Fetch) and return its verdict. The issuing
 // agent is not snooped.
 type Snooper interface {
 	Snoop(txn *Txn) SnoopResult
+}
+
+// DataSupplier is optionally implemented by snoopers that track shadow
+// line values. When a snooper answers SnoopOwned (or SnoopShared for a
+// clean cache-to-cache transfer) the bus reads the supplied value through
+// this interface; snoopers must keep the last value readable even after
+// the snoop invalidated the copy.
+type DataSupplier interface {
+	LineData(line uint64) uint64
 }
 
 // Controller is the coherence controller's bus-facing interface.
@@ -157,8 +203,9 @@ type Controller interface {
 	AcceptDeferred(txn *Txn)
 	// CaptureWriteBack receives a dirty-remote write-back through the
 	// direct data path, after the data has crossed the bus. sharedLeft
-	// reports whether sibling caches still hold the line.
-	CaptureWriteBack(line uint64, sharedLeft bool)
+	// reports whether sibling caches still hold the line; data is the
+	// shadow line value being written back.
+	CaptureWriteBack(line uint64, sharedLeft bool, data uint64)
 }
 
 // Bus is one node's SMP bus plus its memory controller.
@@ -178,6 +225,10 @@ type Bus struct {
 	pending map[uint64]*Txn // line -> in-flight processor transaction
 	nextID  uint64
 
+	// mem is the shadow value image of this node's local memory, keyed by
+	// line address. Absent entries read as zero (never-written memory).
+	mem map[uint64]uint64
+
 	counts  [numKinds]uint64
 	retries uint64
 }
@@ -193,6 +244,7 @@ func New(eng *sim.Engine, cfg *config.Config, node int, tr *obs.Tracer) *Bus {
 		addr:    sim.NewResource(eng, fmt.Sprintf("bus-addr-%d", node)),
 		data:    sim.NewResource(eng, fmt.Sprintf("bus-data-%d", node)),
 		pending: make(map[uint64]*Txn),
+		mem:     make(map[uint64]uint64),
 	}
 	for i := 0; i < cfg.MemBanks; i++ {
 		b.banks = append(b.banks, sim.NewResource(eng, fmt.Sprintf("bank-%d.%d", node, i)))
@@ -244,6 +296,14 @@ func (b *Bus) Count(k Kind) uint64 { return b.counts[k] }
 // conflicts.
 func (b *Bus) Retries() uint64 { return b.retries }
 
+// MemValue returns the shadow value of a line in this node's local memory
+// (zero if never written).
+func (b *Bus) MemValue(line uint64) uint64 { return b.mem[line] }
+
+// SetMemValue overwrites the shadow memory image for a line. It exists for
+// controllers that absorb remote write-backs into home memory.
+func (b *Bus) SetMemValue(line, v uint64) { b.mem[line] = v }
+
 func (b *Bus) bank(line uint64) *sim.Resource {
 	return b.banks[int(line/uint64(b.cfg.LineSize))%len(b.banks)]
 }
@@ -260,6 +320,14 @@ func (b *Bus) Issue(txn *Txn) {
 	}
 	b.nextID++
 	txn.ID = b.nextID
+	if txn.Kind == WriteBack && txn.HomeLocal {
+		// The line enters the write-back buffer now; any read serialized
+		// later is forwarded the buffered value even though the bus/bank
+		// occupancy of the actual memory update is still ahead. Without
+		// this, a read strobing between the eviction and the write-back's
+		// data phase would return stale memory.
+		b.mem[txn.Line] = txn.Data
+	}
 	b.addr.Acquire(b.cfg.AddrStrobe, func(start sim.Time) {
 		b.eng.At(start+b.cfg.BusArb, func() { b.strobe(txn) })
 	})
@@ -309,6 +377,13 @@ func (b *Bus) strobe(txn *Txn) {
 				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
 				return
 			}
+		case WriteBack, supplyKind:
+			// Controller memory writes and deferred replies never bounce:
+			// they carry no fill to protect and parked work depends on them.
+		case Read, ReadEx, Upgrade:
+			panic(fmt.Sprintf("smpbus: controller-issued processor kind %v line %#x", txn.Kind, txn.Line))
+		default:
+			panic(fmt.Sprintf("smpbus: controller-issued unknown kind %v line %#x", txn.Kind, txn.Line))
 		}
 	}
 	if txn.Kind == supplyKind {
@@ -316,9 +391,12 @@ func (b *Bus) strobe(txn *Txn) {
 		return
 	}
 
-	// Snoop everyone but the issuer.
+	// Snoop everyone but the issuer. The supplying snooper's shadow line
+	// value is captured so data-bearing resolutions can deliver it (the
+	// dirty owner's value wins over a clean sharer's).
 	verdict := SnoopNone
 	sharedSeen := false
+	supplier := -1
 	for i, s := range b.snoopers {
 		if i == txn.Src {
 			continue
@@ -326,23 +404,38 @@ func (b *Bus) strobe(txn *Txn) {
 		switch s.Snoop(txn) {
 		case SnoopShared:
 			sharedSeen = true
+			if supplier < 0 {
+				supplier = i
+			}
 		case SnoopOwned:
 			if verdict == SnoopOwned {
 				panic(fmt.Sprintf("smpbus: two dirty owners for line %#x", txn.Line))
 			}
 			verdict = SnoopOwned
+			supplier = i
+		case SnoopNone, SnoopDefer:
+		}
+	}
+	if supplier >= 0 {
+		if ds, ok := b.snoopers[supplier].(DataSupplier); ok {
+			txn.snoopData = ds.LineData(txn.Line)
 		}
 	}
 	deferred := false
 	ccShared := false
 	if b.cc != nil && txn.Src != CCSrc {
-		switch b.cc.Snoop(txn) {
+		switch v := b.cc.Snoop(txn); v {
 		case SnoopDefer:
 			deferred = true
 		case SnoopShared:
 			// The bus-side directory reports remote sharers: memory may
 			// still respond, but the line must install Shared.
 			ccShared = true
+		case SnoopNone:
+		case SnoopOwned:
+			panic(fmt.Sprintf("smpbus: controller snoop returned owner verdict for line %#x", txn.Line))
+		default:
+			panic(fmt.Sprintf("smpbus: controller snoop returned unknown verdict %v", v))
 		}
 	}
 
@@ -362,7 +455,7 @@ func (b *Bus) strobe(txn *Txn) {
 			// A sibling held the line dirty (Owned): in-node ownership
 			// transfer, exactly like ReadEx — the home must not be asked,
 			// since node-level ownership does not change.
-			b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true, WithData: true})
+			b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true, WithData: true, Data: txn.snoopData})
 		case deferred:
 			txn.deferredToCC = true
 			b.cc.AcceptDeferred(txn)
@@ -388,10 +481,10 @@ func (b *Bus) resolveRead(txn *Txn, now sim.Time, owned, sharedSeen, deferred, c
 		// Cache-to-cache transfer from the dirty owner. Ownership stays in
 		// the node (the supplier moved to Owned in its snoop handler), so
 		// no write-back to home is needed here.
-		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true, Dirty: true})
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true, Dirty: true, Data: txn.snoopData})
 	case sharedSeen:
 		// Clean cache-to-cache transfer from a sharer.
-		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true})
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true, Data: txn.snoopData})
 	case deferred:
 		txn.deferredToCC = true
 		b.cc.AcceptDeferred(txn)
@@ -409,7 +502,7 @@ func (b *Bus) resolveReadEx(txn *Txn, now sim.Time, owned, deferred bool) {
 		// supplier. Home directory state is unchanged (the node as a whole
 		// still owns the line for remote homes; local homes track only
 		// remote sharers, of which there are none when a local M exists).
-		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true})
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Dirty: true, Data: txn.snoopData})
 	case deferred:
 		txn.deferredToCC = true
 		b.cc.AcceptDeferred(txn)
@@ -425,7 +518,8 @@ func (b *Bus) resolveWriteBack(txn *Txn, now sim.Time, sharedLeft bool) {
 	b.data.AcquireAt(now+2, b.cfg.BusDataTime(), func(ds sim.Time) {
 		end := ds + b.cfg.BusDataTime()
 		if txn.HomeLocal {
-			// Memory bank absorbs the line.
+			// Memory bank absorbs the line (its shadow value was already
+			// forwarded from the write-back buffer at issue time).
 			b.bank(txn.Line).AcquireAt(ds, b.cfg.BankBusy, nil)
 			b.complete(txn, end, Outcome{Status: OK, Shared: sharedLeft})
 			return
@@ -435,8 +529,8 @@ func (b *Bus) resolveWriteBack(txn *Txn, now sim.Time, sharedLeft bool) {
 		if b.cc == nil {
 			panic("smpbus: remote write-back with no controller")
 		}
-		line, shared := txn.Line, sharedLeft
-		b.eng.At(end, func() { b.cc.CaptureWriteBack(line, shared) })
+		line, shared, data := txn.Line, sharedLeft, txn.Data
+		b.eng.At(end, func() { b.cc.CaptureWriteBack(line, shared, data) })
 		b.complete(txn, end, Outcome{Status: OK, Shared: sharedLeft})
 	})
 }
@@ -448,10 +542,11 @@ func (b *Bus) resolveFetch(txn *Txn, now sim.Time, owned, sharedSeen bool) {
 			// The dirty local copy downgrades to clean Shared as its data
 			// leaves for the controller; home memory absorbs the line.
 			b.bank(txn.Line).AcquireAt(now+b.cfg.CacheToCache, b.cfg.BankBusy, nil)
+			b.mem[txn.Line] = txn.snoopData
 		}
-		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: sharedSeen, Dirty: true})
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: sharedSeen, Dirty: true, Data: txn.snoopData})
 	case sharedSeen && txn.Kind == Fetch:
-		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true})
+		b.transferData(txn, now+b.cfg.CacheToCache, Outcome{Status: OK, Shared: true, Data: txn.snoopData})
 	case txn.HomeLocal:
 		b.memoryRead(txn, now, Outcome{Status: OK, Shared: sharedSeen})
 	case sharedSeen: // FetchEx on a remote-home line with only clean sharers
@@ -468,6 +563,7 @@ func (b *Bus) resolveFetch(txn *Txn, now sim.Time, owned, sharedSeen bool) {
 // bank accepts the access; the requester restarts on the critical quad
 // word.
 func (b *Bus) memoryRead(txn *Txn, now sim.Time, out Outcome) {
+	out.Data = b.mem[txn.Line]
 	b.bank(txn.Line).AcquireAt(now, b.cfg.BankBusy, func(bankStart sim.Time) {
 		b.transferData(txn, bankStart+b.cfg.MemAccess, out)
 	})
@@ -494,13 +590,15 @@ func (b *Bus) complete(txn *Txn, t sim.Time, out Outcome) {
 // Supply completes a previously deferred transaction. withData selects a
 // full data transfer (read/readex responses) versus a bare grant (upgrade
 // acknowledgements); shared tells a Read requester to install the line
-// Shared.
-func (b *Bus) Supply(parked *Txn, withData, shared bool) {
+// Shared; data is the shadow line value delivered with a data-bearing
+// reply.
+func (b *Bus) Supply(parked *Txn, withData, shared bool, data uint64) {
 	s := &Txn{
 		Kind:      supplyKind,
 		Line:      parked.Line,
 		Src:       CCSrc,
 		HomeLocal: parked.HomeLocal,
+		Data:      data,
 		Done:      func(Outcome) {},
 		supplyFor: parked,
 		withData:  withData,
@@ -511,7 +609,7 @@ func (b *Bus) Supply(parked *Txn, withData, shared bool) {
 
 func (b *Bus) resolveSupply(s *Txn, now sim.Time) {
 	parked := s.supplyFor
-	out := Outcome{Status: OK, Shared: s.shared, WithData: s.withData}
+	out := Outcome{Status: OK, Shared: s.shared, WithData: s.withData, Data: s.Data}
 	if s.withData {
 		b.data.AcquireAt(now+2, b.cfg.BusDataTime(), func(ds sim.Time) {
 			b.complete(parked, ds+b.cfg.CriticalQuad, out)

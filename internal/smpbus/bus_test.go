@@ -28,7 +28,7 @@ type fakeCC struct {
 
 func (f *fakeCC) Snoop(*Txn) SnoopResult  { return f.verdict }
 func (f *fakeCC) AcceptDeferred(txn *Txn) { f.deferred = append(f.deferred, txn) }
-func (f *fakeCC) CaptureWriteBack(line uint64, shared bool) {
+func (f *fakeCC) CaptureWriteBack(line uint64, shared bool, data uint64) {
 	f.wbLines = append(f.wbLines, line)
 	f.wbShared = append(f.wbShared, shared)
 }
@@ -145,7 +145,7 @@ func TestRemoteReadDefersToController(t *testing.T) {
 		if completed {
 			t.Fatal("deferred transaction completed early")
 		}
-		b.Supply(parked, true, true)
+		b.Supply(parked, true, true, 0)
 	})
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestSupplyWithoutData(t *testing.T) {
 			doneAt = eng.Now()
 		}})
 	})
-	eng.At(50, func() { b.Supply(cc.deferred[0], false, false) })
+	eng.At(50, func() { b.Supply(cc.deferred[0], false, false, 0) })
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestWriteBackPassesParkedTransaction(t *testing.T) {
 	})
 	eng.At(500, func() {
 		if len(cc.deferred) == 1 {
-			b.Supply(cc.deferred[0], true, true)
+			b.Supply(cc.deferred[0], true, true, 0)
 		}
 	})
 	if _, err := eng.Run(); err != nil {

@@ -1,0 +1,297 @@
+package verify
+
+import (
+	"fmt"
+
+	"ccnuma/internal/cache"
+	"ccnuma/internal/sim"
+)
+
+// Phase B: serialized BFS edges never overlap two operations in time, so
+// they cannot reach the transient interleavings where most protocol bugs
+// live (an invalidation crossing a write-back, a fetch racing an upgrade).
+// runRaces revisits every state found by phase A and, for every ordered
+// pair of operations on two different processors, injects the second
+// operation at a set of start offsets sampled from the event times of the
+// first operation's solo execution — each offset lands the second op in a
+// different window of the first op's transaction.
+
+// opRecord tracks one racing operation's observable window and value.
+type opRecord struct {
+	line  uint64
+	write bool
+	start sim.Time
+	end   sim.Time
+	val   uint64
+	done  bool
+}
+
+// runRaces drives phase B, appending to res.
+func runRaces(c *Config, states [][]Step, res *Result) {
+	ops := c.allSteps()
+	for si, path := range states {
+		for _, s1 := range ops {
+			var offsets []sim.Time
+			haveOffsets := false
+			for _, s2 := range ops {
+				if s2.Proc == s1.Proc {
+					continue
+				}
+				if !haveOffsets {
+					offsets = soloOffsets(c, path, s1)
+					haveOffsets = true
+				}
+				for _, d := range offsets {
+					if res.Races >= c.MaxRaces {
+						res.RacesTruncated = true
+						return
+					}
+					if len(res.Violations) >= c.MaxViolations {
+						return
+					}
+					res.Races++
+					rs2 := s2
+					rs2.Delay = d
+					full := append(append([]Step{}, path...), s1, rs2)
+					_, vio := protect(func() (string, *Violation) {
+						return "", raceRun(c, path, s1, s2, d)
+					})
+					if vio != nil {
+						vio.Path = full
+						res.Violations = append(res.Violations, *vio)
+					}
+				}
+			}
+		}
+		if si%16 == 0 {
+			c.logf("phase B: %d/%d states, %d races", si, len(states), res.Races)
+		}
+	}
+}
+
+// soloOffsets replays path, runs s1 alone while recording the simulated
+// times at which events executed, and turns them into candidate injection
+// offsets (each event time and the cycle after it). A violation here was
+// already recorded by phase A, so it only degrades to the zero offset.
+func soloOffsets(c *Config, path []Step, s1 Step) []sim.Time {
+	var times []sim.Time
+	_, vio := protect(func() (string, *Violation) {
+		r, err := newRunner(c)
+		if err != nil {
+			return "", &Violation{Kind: "setup", Detail: err.Error()}
+		}
+		for _, s := range path {
+			if v := r.applyStep(s, nil); v != nil {
+				return "", v
+			}
+		}
+		return "", r.applyStep(s1, &times)
+	})
+	if vio != nil || len(times) == 0 {
+		return []sim.Time{0}
+	}
+	cand := make([]sim.Time, 0, 2*len(times))
+	for _, t := range times {
+		cand = append(cand, t, t+1)
+	}
+	return sampleOffsets(cand, c.MaxRaceOffsets)
+}
+
+// sampleOffsets dedups/sorts candidates and, when a cap is set, keeps an
+// evenly spaced subset including the first and last offsets.
+func sampleOffsets(cand []sim.Time, max int) []sim.Time {
+	seen := map[sim.Time]bool{}
+	var out []sim.Time
+	for _, t := range cand {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if max < 0 || len(out) <= max || max < 2 {
+		return out
+	}
+	sampled := make([]sim.Time, 0, max)
+	last := sim.Time(-1)
+	for i := 0; i < max; i++ {
+		t := out[i*(len(out)-1)/(max-1)]
+		if t != last {
+			sampled = append(sampled, t)
+			last = t
+		}
+	}
+	return sampled
+}
+
+// raceRun replays path, then runs s1 (at quiescence time t0) racing s2
+// (injected at t0+d on a different processor), checking the per-event
+// invariants throughout and the concurrent value semantics at the end:
+// a read must return either the last value written before it started or
+// the value of a write whose window overlaps it, and the final memory
+// state must reflect one of the admissible write serializations.
+func raceRun(vc *Config, path []Step, s1, s2 Step, d sim.Time) *Violation {
+	r, err := newRunner(vc)
+	if err != nil {
+		return &Violation{Kind: "setup", Detail: err.Error()}
+	}
+	for _, s := range path {
+		if v := r.applyStep(s, nil); v != nil {
+			return v
+		}
+	}
+	prefix := map[uint64]uint64{}
+	for k, v := range r.lastVal {
+		prefix[k] = v
+	}
+	eng := r.m.Eng
+	t0 := eng.Now()
+	p1, p2 := r.m.Procs[s1.Proc], r.m.Procs[s2.Proc]
+	l1, w1 := r.lineFor(s1)
+	l2, w2 := r.lineFor(s2)
+	rec1 := &opRecord{line: l1, write: w1, start: t0}
+	rec2 := &opRecord{line: l2, write: w2, start: t0 + d}
+	finish := func(rec *opRecord, val uint64) {
+		rec.done = true
+		rec.end = eng.Now()
+		rec.val = val
+	}
+	p1.SyncAccess(l1, w1, func() {
+		if w1 {
+			finish(rec1, p1.LastWriteValue())
+		} else {
+			finish(rec1, p1.LastReadValue())
+		}
+	})
+	eng.At(t0+d, func() {
+		p2.SyncAccess(l2, w2, func() {
+			if w2 {
+				finish(rec2, p2.LastWriteValue())
+			} else {
+				finish(rec2, p2.LastReadValue())
+			}
+		})
+	})
+	if v := r.drain(nil); v != nil {
+		return v
+	}
+	for _, rec := range []*opRecord{rec1, rec2} {
+		if !rec.done {
+			return &Violation{Kind: "lost-op", Detail: fmt.Sprintf(
+				"racing op on line %#x never completed (offset +%d)", rec.line, d)}
+		}
+	}
+	// Value semantics per line of interest.
+	recs := []*opRecord{rec1, rec2}
+	for _, line := range r.sortedLines() {
+		var writes, reads []*opRecord
+		for _, rec := range recs {
+			if rec.line != line {
+				continue
+			}
+			if rec.write {
+				writes = append(writes, rec)
+			} else {
+				reads = append(reads, rec)
+			}
+		}
+		for _, rd := range reads {
+			allowed := allowedReadValues(prefix[line], rd, writes)
+			if !allowed[rd.val] {
+				return &Violation{Kind: "stale-read", Detail: fmt.Sprintf(
+					"racing read of line %#x over [%d,%d] observed %#x, allowed %v",
+					line, rd.start, rd.end, rd.val, valueSet(allowed))}
+			}
+		}
+		finals := allowedFinalValues(prefix[line], writes)
+		actual, where := r.finalValue(line)
+		if !finals[actual] {
+			return &Violation{Kind: "lost-write", Detail: fmt.Sprintf(
+				"line %#x settled to %#x (%s), allowed final values %v",
+				line, actual, where, valueSet(finals))}
+		}
+		// Anchor the quiescent sweep on the value the race serialized to.
+		r.lastVal[line] = actual
+	}
+	return r.quiescentCheck()
+}
+
+// allowedReadValues computes the set a racing read may legally return:
+// the newest value written before the read began (or the pre-race value
+// if none), plus any write whose window overlaps the read's.
+func allowedReadValues(prefix uint64, rd *opRecord, writes []*opRecord) map[uint64]bool {
+	base := prefix
+	baseEnd := sim.Time(-1)
+	allowed := map[uint64]bool{}
+	for _, w := range writes {
+		if w.end <= rd.start && w.end > baseEnd {
+			base, baseEnd = w.val, w.end
+		}
+		if w.start <= rd.end && rd.start <= w.end {
+			allowed[w.val] = true
+		}
+	}
+	allowed[base] = true
+	return allowed
+}
+
+// allowedFinalValues computes the values a line may legally hold once the
+// race quiesces: the pre-race value if nothing wrote it, the later write
+// if the windows are disjoint, either write if they overlap.
+func allowedFinalValues(prefix uint64, writes []*opRecord) map[uint64]bool {
+	if len(writes) == 0 {
+		return map[uint64]bool{prefix: true}
+	}
+	finals := map[uint64]bool{}
+	for _, w := range writes {
+		ordered := false
+		for _, w2 := range writes {
+			if w2 != w && w2.start >= w.end {
+				ordered = true // w completed strictly before w2 began
+			}
+		}
+		if !ordered {
+			finals[w.val] = true
+		}
+	}
+	return finals
+}
+
+// finalValue reads the line's settled value out of the quiescent machine:
+// a dirty copy wins, else any valid copy, else the home memory image.
+func (r *runner) finalValue(line uint64) (uint64, string) {
+	var cleanVal uint64
+	haveClean := false
+	for _, p := range r.m.Procs {
+		st := p.L2State(line)
+		if st.Dirty() {
+			return p.LineValue(line), fmt.Sprintf("dirty copy on p%d", p.ID())
+		}
+		if st != cache.Invalid && !haveClean {
+			cleanVal, haveClean = p.LineValue(line), true
+		}
+	}
+	if haveClean {
+		return cleanVal, "clean cached copy"
+	}
+	home := r.m.Space.Home(line)
+	return r.m.Buses[home].MemValue(line), fmt.Sprintf("memory on node %d", home)
+}
+
+// valueSet renders an allowed-value set deterministically for messages.
+func valueSet(m map[uint64]bool) []string {
+	var out []string
+	for v := range m {
+		out = append(out, fmt.Sprintf("%#x", v))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

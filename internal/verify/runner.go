@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnuma/internal/cache"
+	"ccnuma/internal/config"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/sim"
+)
+
+// stallWindow bounds how many events may execute without simulated time
+// advancing before the checker calls it a livelock (a legitimate quiescent
+// drain executes far fewer zero-time events than this on the tiny machine).
+const stallWindow = 100_000
+
+// runner owns one freshly built machine plus the bookkeeping needed to
+// replay an operation path and check invariants along the way.
+type runner struct {
+	vc *Config
+	m  *machine.Machine
+
+	// target is the contended line, homed on node 0; victims[p] is the
+	// private conflict line for processor p, homed on p's own node.
+	target  uint64
+	victims []uint64
+
+	// lastVal holds, per line, the value of the last completed write (0
+	// before any write). At quiescence every valid cached copy must carry
+	// it, and memory must carry it once no dirty copy exists.
+	lastVal map[uint64]uint64
+}
+
+// machineConfig derives the tiny checker machine from the base system.
+func machineConfig(vc *Config) config.Config {
+	c := config.Base()
+	c.Nodes = vc.Nodes
+	c.ProcsPerNode = vc.ProcsPerNode
+	c.Topology = config.TopoCrossbar
+	// Single-set, single-line caches: any second line conflicts with the
+	// first, so "touch the victim line" is exactly "evict the target".
+	c.L1Size, c.L1Assoc = c.LineSize, 1
+	c.L2Size, c.L2Assoc = c.LineSize, 1
+	// No directory cache: its contents are timing state that survives
+	// quiescence and would leak into (and blow up) the abstract state
+	// space without changing protocol behavior.
+	c.DirCacheEntries = 0
+	c.SimLimit = 5_000_000
+	return c
+}
+
+// newRunner builds a fresh machine, allocates the checker's lines, and
+// applies the configured fault (if any).
+func newRunner(vc *Config) (*runner, error) {
+	m, err := machine.New(machineConfig(vc), "ccverify")
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{vc: vc, m: m, lastVal: map[uint64]uint64{}}
+	ls := m.Cfg.LineSize
+	r.target = m.Space.AllocOnNode(ls, 0)
+	for _, p := range m.Procs {
+		r.victims = append(r.victims, m.Space.AllocOnNode(ls, p.Node()))
+	}
+	if vc.Fault != nil {
+		vc.Fault(m)
+	}
+	return r, nil
+}
+
+// lineFor maps a step to its target line and access kind.
+func (r *runner) lineFor(s Step) (line uint64, write bool) {
+	switch s.Op {
+	case OpReadT:
+		return r.target, false
+	case OpWriteT:
+		return r.target, true
+	case OpReadV:
+		return r.victims[s.Proc], false
+	case OpWriteV:
+		return r.victims[s.Proc], true
+	default:
+		panic(fmt.Sprintf("verify: unknown op %v", s.Op))
+	}
+}
+
+// applyStep issues one operation via the processor's synchronous-access
+// port, runs the machine to quiescence with per-event invariant checks,
+// and then applies the quiescent checks (completion, read value, cache/
+// directory agreement, write-back preservation).
+func (r *runner) applyStep(s Step, times *[]sim.Time) *Violation {
+	p := r.m.Procs[s.Proc]
+	line, write := r.lineFor(s)
+	done := false
+	p.SyncAccess(line, write, func() { done = true })
+	if v := r.drain(times); v != nil {
+		return v
+	}
+	if !done {
+		return &Violation{Kind: "lost-op", Detail: fmt.Sprintf(
+			"%v never completed; engine drained at t=%d", s, r.m.Eng.Now())}
+	}
+	if write {
+		r.lastVal[line] = p.LastWriteValue()
+	} else if got, want := p.LastReadValue(), r.lastVal[line]; got != want {
+		return &Violation{Kind: "stale-read", Detail: fmt.Sprintf(
+			"%v observed value %#x, want last written %#x", s, got, want)}
+	}
+	return r.quiescentCheck()
+}
+
+// drainAndCheck runs the machine to quiescence and applies the quiescent
+// invariants (used for the initial state, where no op is outstanding).
+func (r *runner) drainAndCheck() *Violation {
+	if v := r.drain(nil); v != nil {
+		return v
+	}
+	return r.quiescentCheck()
+}
+
+// drain executes engine events until the queue empties, checking safety
+// invariants after every event and watching for livelock. When times is
+// non-nil it collects the distinct simulated times at which events ran,
+// relative to the drain's start — phase B samples its race-injection
+// offsets from them.
+func (r *runner) drain(times *[]sim.Time) *Violation {
+	eng := r.m.Eng
+	start := eng.Now()
+	lastT := start
+	sameT := 0
+	if times != nil {
+		*times = append(*times, 0)
+	}
+	for eng.Step() {
+		if v := r.stepInvariant(); v != nil {
+			return v
+		}
+		now := eng.Now()
+		if now == lastT {
+			sameT++
+			if sameT > stallWindow {
+				return &Violation{Kind: "livelock", Detail: fmt.Sprintf(
+					"%d events executed without time advancing past t=%d", sameT, lastT)}
+			}
+			continue
+		}
+		lastT, sameT = now, 0
+		if times != nil {
+			*times = append(*times, now-start)
+		}
+	}
+	if eng.LimitHit() {
+		return &Violation{Kind: "livelock", Detail: fmt.Sprintf(
+			"sim limit hit at t=%d; machine state:\n%s", eng.Now(), r.m.Snapshot())}
+	}
+	return nil
+}
+
+// stepInvariant checks the per-event safety properties: at most one
+// Modified/Exclusive copy of each line of interest system-wide (and no
+// other valid copy beside it), and at most one Owned copy.
+func (r *runner) stepInvariant() *Violation {
+	for _, line := range r.sortedLines() {
+		exclusive, owned, valid := 0, 0, 0
+		var holders []string
+		for _, p := range r.m.Procs {
+			st := p.L2State(line)
+			if st == cache.Invalid {
+				continue
+			}
+			valid++
+			switch st {
+			case cache.Modified, cache.Exclusive:
+				exclusive++
+			case cache.Owned:
+				owned++
+			case cache.Shared:
+			default:
+				panic(fmt.Sprintf("verify: unknown cache state %v", st))
+			}
+			holders = append(holders, fmt.Sprintf("p%d=%v", p.ID(), st))
+		}
+		if exclusive > 0 && valid > 1 || owned > 1 {
+			return &Violation{Kind: "multiple-owners", Detail: fmt.Sprintf(
+				"line %#x at t=%d held as %s", line, r.m.Eng.Now(), strings.Join(holders, " "))}
+		}
+	}
+	return nil
+}
+
+// quiescentCheck applies the invariants that only hold once the machine is
+// idle: nothing in flight, no transient controller state, directory/cache
+// agreement, and data-value correctness (every valid copy carries the last
+// written value; memory does too unless a dirty copy exists).
+func (r *runner) quiescentCheck() *Violation {
+	if n := r.m.Net.InFlight(); n != 0 {
+		return &Violation{Kind: "stuck-message", Detail: fmt.Sprintf(
+			"%d network messages still in flight after drain at t=%d", n, r.m.Eng.Now())}
+	}
+	for i, cc := range r.m.CCs {
+		if n := cc.PendingOps(); n != 0 {
+			return &Violation{Kind: "stuck-transient", Detail: fmt.Sprintf(
+				"node %d: %d transient ops survived quiescence: %s", i, n, cc.DumpPending())}
+		}
+	}
+	if err := r.m.CheckCoherence(); err != nil {
+		return &Violation{Kind: "coherence", Detail: err.Error()}
+	}
+	for _, line := range r.sortedLines() {
+		want := r.lastVal[line]
+		dirty := false
+		for _, p := range r.m.Procs {
+			st := p.L2State(line)
+			if st == cache.Invalid {
+				continue
+			}
+			if st.Dirty() {
+				dirty = true
+			}
+			if got := p.LineValue(line); got != want {
+				return &Violation{Kind: "stale-copy", Detail: fmt.Sprintf(
+					"p%d holds line %#x (%v) with value %#x, want %#x",
+					p.ID(), line, st, got, want)}
+			}
+		}
+		if !dirty {
+			home := r.m.Space.Home(line)
+			if got := r.m.Buses[home].MemValue(line); got != want {
+				return &Violation{Kind: "lost-writeback", Detail: fmt.Sprintf(
+					"memory on node %d holds line %#x value %#x, want %#x (no dirty copy exists)",
+					home, line, got, want)}
+			}
+		}
+	}
+	return nil
+}
+
+// hash canonicalizes the quiescent machine into a string. Data values are
+// renamed to small ranks in a fixed traversal order (the simulator treats
+// values opaquely, so states differing only in which unique values appear
+// are protocol-equivalent). Everything that can influence future behavior
+// is included: per-proc L1/L2 states and values of the lines of interest,
+// per-home memory values, directory entries, and controller transients
+// (expected empty at quiescence, included as a belt-and-braces check).
+func (r *runner) hash() string {
+	var b strings.Builder
+	rank := map[uint64]int{0: 0}
+	rk := func(v uint64) int {
+		n, ok := rank[v]
+		if !ok {
+			n = len(rank)
+			rank[v] = n
+		}
+		return n
+	}
+	lines := r.sortedLines()
+	for _, p := range r.m.Procs {
+		l1 := map[uint64]cache.State{}
+		p.ForEachL1Line(func(line uint64, st cache.State) { l1[line] = st })
+		for _, line := range lines {
+			st := p.L2State(line)
+			fmt.Fprintf(&b, "p%d[%#x]=%v", p.ID(), line, st)
+			if st != cache.Invalid {
+				fmt.Fprintf(&b, ":v%d", rk(p.LineValue(line)))
+			}
+			if l1st, ok := l1[line]; ok {
+				fmt.Fprintf(&b, ":l1=%v", l1st)
+			}
+			b.WriteByte(';')
+		}
+	}
+	for _, line := range lines {
+		home := r.m.Space.Home(line)
+		fmt.Fprintf(&b, "mem[%#x]=v%d;", line, rk(r.m.Buses[home].MemValue(line)))
+	}
+	for i, d := range r.m.Dirs {
+		fmt.Fprintf(&b, "dir%d{%s};", i, d.StateSnapshot())
+	}
+	for i, cc := range r.m.CCs {
+		fmt.Fprintf(&b, "cc%d{%s};", i, cc.StateSnapshot())
+	}
+	return b.String()
+}
