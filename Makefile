@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench tables lint verify clean
+.PHONY: all build check fmt vet test race bench tables lint verify chaos clean
 
 all: build
 
@@ -30,6 +30,13 @@ lint:
 verify:
 	$(GO) run ./cmd/ccverify -nodes 2 -procs 1 -q
 
+# chaos smoke-tests the recovery machinery: one kernel under 25 seeded
+# fault schedules plus the single-fault recovery sweep. Every run must
+# complete, verify, and drain with zero invariant violations.
+chaos:
+	$(GO) run ./cmd/ccchaos -app fft -schedules 25 -q
+	$(GO) run ./cmd/ccverify -nodes 2 -procs 1 -sweep-faults -q
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -52,4 +59,4 @@ tables:
 
 clean:
 	$(GO) clean
-	rm -f ccsim ccsweep cctables cctrace
+	rm -f ccsim ccsweep cctables cctrace ccchaos

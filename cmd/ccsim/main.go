@@ -41,6 +41,8 @@ func main() {
 	sampleEvery := flag.Int64("sample", 0, "sample machine state every N simulated cycles (0 = off)")
 	sampleOut := flag.String("sample-out", "", "time-series output file (.json = JSON, else CSV; default samples.csv)")
 	jsonPath := flag.String("json", "", "write the machine-readable run artifact to this file")
+	seed := flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
+	robust := flag.Bool("robust", false, "enable the robustness knobs: finite queues, NACK/retry, request timeouts, reliable link layer")
 	flag.Parse()
 
 	cfg := config.Base()
@@ -57,6 +59,9 @@ func main() {
 	cfg.DirCacheEntries = *dirCache
 	cfg.SimLimit = 50_000_000_000
 	cfg.NumEngines = *engines
+	if *robust {
+		cfg = cfg.WithRobustness()
+	}
 	switch *split {
 	case "local-remote":
 		cfg.Split = config.SplitLocalRemote
@@ -109,7 +114,7 @@ func main() {
 		sampler = obs.NewSampler(sim.Time(*sampleEvery))
 		m.AttachSampler(sampler)
 	}
-	w, err := workload.New(*app, size, m.NProcs())
+	w, err := workload.NewSeeded(*app, size, m.NProcs(), *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -142,7 +147,12 @@ func main() {
 			out, len(sampler.Samples()), sampler.Interval)
 	}
 	if *jsonPath != "" {
-		if err := obs.NewArtifact("ccsim", *sizeFlag, &cfg, r).WriteFile(*jsonPath); err != nil {
+		art := obs.NewArtifact("ccsim", *sizeFlag, &cfg, r)
+		art.Seed = *seed
+		if cfg.Robust() {
+			art.Recovery = obs.NewRecoveryDoc(&cfg, r, nil)
+		}
+		if err := art.WriteFile(*jsonPath); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "artifact: %s\n", *jsonPath)
@@ -171,6 +181,14 @@ func main() {
 	qd := r.QueueDelayHistogram()
 	fmt.Printf("queueing delay dist: p50=%.0f p95=%.0f p99=%.0f max=%d cycles (n=%d)\n",
 		qd.Percentile(50), qd.Percentile(95), qd.Percentile(99), qd.MaxVal, qd.Count)
+	if cfg.Robust() {
+		ns, nr, rt, to, ba, sd := r.RecoveryTotals()
+		fmt.Printf("recovery:           nacksSent=%d nacksRecv=%d retries=%d timeouts=%d busAborts=%d strayDrops=%d\n",
+			ns, nr, rt, to, ba, sd)
+		rl := r.RetryLatencyHistogram()
+		fmt.Printf("retry latency:      p50=%.0f p95=%.0f p99=%.0f max=%d cycles (n=%d)\n",
+			rl.Percentile(50), rl.Percentile(95), rl.Percentile(99), rl.MaxVal, rl.Count)
+	}
 
 	if *counters {
 		fmt.Println("\ncounters:")

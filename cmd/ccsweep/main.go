@@ -34,6 +34,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "SMP nodes (ignored by -param ppn, which fixes total processors)")
 	ppn := flag.Int("ppn", 2, "processors per node")
 	jsonPath := flag.String("json", "", "also write an array of run-artifact documents to this file")
+	seed := flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
 	flag.Parse()
 
 	var size workload.SizeClass
@@ -68,7 +69,7 @@ func main() {
 			if err := apply(&cfg, *param, v); err != nil {
 				fatal(err)
 			}
-			r, err := run(cfg, *app, size)
+			r, err := run(cfg, *app, size, *seed)
 			if err != nil {
 				fatal(err)
 			}
@@ -81,6 +82,7 @@ func main() {
 				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1), penalty)
 			if *jsonPath != "" {
 				a := obs.NewArtifact("ccsweep", *sizeFlag, &cfg, r)
+				a.Seed = *seed
 				p := penalty
 				a.PenaltyVsBaselinePct = &p
 				artifacts = append(artifacts, a)
@@ -126,12 +128,12 @@ func apply(cfg *config.Config, param string, v int) error {
 	return nil
 }
 
-func run(cfg config.Config, app string, size workload.SizeClass) (*stats.Run, error) {
+func run(cfg config.Config, app string, size workload.SizeClass, seed int64) (*stats.Run, error) {
 	m, err := machine.New(cfg, app)
 	if err != nil {
 		return nil, err
 	}
-	w, err := workload.New(app, size, m.NProcs())
+	w, err := workload.NewSeeded(app, size, m.NProcs(), seed)
 	if err != nil {
 		return nil, err
 	}

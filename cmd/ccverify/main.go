@@ -28,6 +28,8 @@ func main() {
 	races := flag.Int("races", 0, "phase-B race budget (0 = default, -1 skips phase B)")
 	offsets := flag.Int("offsets", 0, "race injection offsets per pair (0 = default, -1 = every event boundary)")
 	maxViol := flag.Int("maxviol", 0, "stop after this many violations (0 = default)")
+	sweepFaults := flag.Bool("sweep-faults", false, "instead of the state-space walk, replay the canonical path once per (message, drop/dup) pair with one fault injected on the robust configuration and assert recovery")
+	sweepRuns := flag.Int("sweep-runs", 0, "fault-sweep replay budget (0 = default; larger grids are stride-sampled)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -44,6 +46,11 @@ func main() {
 		vc.Log = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+
+	if *sweepFaults {
+		runSweep(vc, *sweepRuns, *jsonOut)
+		return
 	}
 
 	res, err := verify.Run(vc)
@@ -75,6 +82,38 @@ func main() {
 	}
 	if !res.OK() {
 		fmt.Fprintf(os.Stderr, "ccverify: %d violation(s)\n", len(res.Violations))
+		os.Exit(1)
+	}
+}
+
+// runSweep executes the single-fault recovery sweep and exits non-zero on
+// any unrecovered fault.
+func runSweep(vc verify.Config, maxRuns int, jsonOut bool) {
+	res, err := verify.SweepSingleFaults(vc, maxRuns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccverify: %v\n", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "ccverify: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		note := ""
+		if res.Truncated {
+			note = " (grid stride-sampled)"
+		}
+		fmt.Printf("ccverify: fault sweep: %d messages, %d fault-injected replays%s\n",
+			res.Messages, res.Runs, note)
+		for i := range res.Violations {
+			fmt.Printf("violation: %s\n", res.Violations[i].String())
+		}
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "ccverify: %d unrecovered fault(s)\n", len(res.Violations))
 		os.Exit(1)
 	}
 }

@@ -312,6 +312,72 @@ type Config struct {
 
 	// SimLimit bounds simulated time to catch protocol livelock (0 = none).
 	SimLimit sim.Time
+
+	// Robustness / flow control. The paper's model assumes infinitely deep
+	// controller queues and a lossless network; every knob below defaults to
+	// its zero value, which preserves that model cycle-for-cycle (pinned by
+	// the golden test in internal/workload). Turning them on buys survival
+	// of finite buffering and injected transient faults.
+
+	// QueueDepth bounds each protocol-engine input queue (0 = unbounded).
+	// A network request arriving at a full request queue is NACKed back to
+	// its requester; a bus request arriving at a full bus queue is aborted
+	// on the bus (the requester sees RetryNeeded and backs off). Response
+	// queues are never limited: responses sink into reserved MSHR slots, so
+	// bounding them could deadlock the guaranteed delivery channel.
+	QueueDepth int
+	// NIPortDepth bounds the per-node network-interface output buffer, in
+	// messages (0 = unbounded). Sends beyond the depth park in FIFO order
+	// until the port drains (back-pressure into the controller).
+	NIPortDepth int
+	// NackDelay is the base back-off before a NACKed request is re-issued;
+	// it doubles per consecutive NACK up to NackBackoffMax (0 = BusRetry).
+	NackDelay sim.Time
+	// NackBackoffMax caps the exponential NACK back-off (0 = no cap).
+	NackBackoffMax sim.Time
+	// RetryBudget bounds consecutive NACK/timeout retries of one request
+	// before the controller declares the line unserviceable and panics with
+	// a diagnosis (0 = unbounded).
+	RetryBudget int
+	// RequestTimeout re-issues an outstanding MSHR request that has seen no
+	// response for this many cycles, recovering transactions lost to
+	// injected faults (0 = no timeouts).
+	RequestTimeout sim.Time
+	// NetReliable models link-level recovery (CRC detection, sequence
+	// numbers, a sender-side replay buffer): dropped or corrupted messages
+	// are retransmitted after NetRetryDelay and duplicated messages are
+	// discarded at the receiving interface. Without it, injected network
+	// faults reach the protocol raw (used by the verify detection tests).
+	NetReliable bool
+	// NetRetryDelay is the link-level retransmission delay (0 = NetLatency).
+	NetRetryDelay sim.Time
+	// BusBackoffMax, when positive, turns the processors' constant BusRetry
+	// back-off into an exponential one capped at this value, shedding bus
+	// load under NACK storms.
+	BusBackoffMax sim.Time
+}
+
+// Robust reports whether any recovery knob is enabled; the controller uses
+// it to gate fault-tolerant message handling (tolerating stray or duplicate
+// responses instead of treating them as protocol bugs).
+func (c *Config) Robust() bool {
+	return c.QueueDepth > 0 || c.RequestTimeout > 0 || c.NetReliable
+}
+
+// WithRobustness returns a copy of c with every recovery knob set to a
+// sane default: finite queues, NACK/retry flow control, request timeouts,
+// and a reliable link layer. ccchaos and the fault sweep run with these.
+func (c Config) WithRobustness() Config {
+	c.QueueDepth = 16
+	c.NIPortDepth = 32
+	c.NackDelay = 30
+	c.NackBackoffMax = 2000
+	c.RetryBudget = 25
+	c.RequestTimeout = 50_000
+	c.NetReliable = true
+	c.NetRetryDelay = 100
+	c.BusBackoffMax = 640
+	return c
 }
 
 // Topology selects the interconnect structure.
@@ -474,6 +540,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: LivelockLimit must be positive, got %d", c.LivelockLimit)
 	case c.NetFlitBytes <= 0:
 		return fmt.Errorf("config: NetFlitBytes must be positive, got %d", c.NetFlitBytes)
+	case c.QueueDepth < 0 || c.NIPortDepth < 0 || c.RetryBudget < 0:
+		return fmt.Errorf("config: queue depths and retry budget must be non-negative")
+	case c.NackDelay < 0 || c.NackBackoffMax < 0 || c.RequestTimeout < 0 || c.NetRetryDelay < 0 || c.BusBackoffMax < 0:
+		return fmt.Errorf("config: robustness delays must be non-negative")
+	case c.QueueDepth > 0 && c.QueueDepth < 2:
+		return fmt.Errorf("config: QueueDepth below 2 cannot hold a request and its replay, got %d", c.QueueDepth)
 	}
 	return nil
 }

@@ -59,6 +59,10 @@ type homeOp struct {
 	parked    *smpbus.Txn // parked local bus transaction (requester == -1)
 	upgrade   bool        // parked transaction is an upgrade (no data)
 
+	// epoch echoes the requesting episode's tag into the grant (zero for
+	// local requesters and with the robustness knobs off).
+	epoch uint32
+
 	acksLeft     int
 	needData     bool
 	haveData     bool
@@ -94,6 +98,16 @@ type mshrEntry struct {
 	// data is the shadow line value delivered by the data response.
 	data    uint64
 	waiters []*work
+
+	// Robustness state (zero and unused with the recovery knobs off).
+	// issuedAt is when the request was first sent; attempts counts NACKs
+	// and timeouts consumed against Config.RetryBudget; timeoutSeq
+	// invalidates stale timeout events after a re-issue; epoch tags the
+	// episode's messages so stale grants from a closed episode are dropped.
+	issuedAt   sim.Time
+	attempts   int
+	timeoutSeq int
+	epoch      uint32
 }
 
 // Controller is one node's coherence controller.
@@ -117,12 +131,9 @@ type Controller struct {
 	handlerCounts [protocol.NumHandlers]uint64
 	handlerBusy   [protocol.NumHandlers]sim.Time
 
-	// FaultInject, when non-nil, intercepts every network message delivered
-	// to this controller before dispatch. Returning nil drops the message;
-	// returning a (possibly mutated) message delivers it. It exists so the
-	// ccverify model checker can seed protocol mutations and prove the
-	// invariant suite catches them. Production runs leave it nil.
-	FaultInject func(*protocol.Msg) *protocol.Msg
+	// epochCtr mints request-episode tags for outgoing ReadReq/ReadExReq
+	// (see protocol.Msg.Epoch).
+	epochCtr uint32
 }
 
 // engine is one protocol engine (FSM or protocol processor) with its input
@@ -336,11 +347,18 @@ func (cc *Controller) Snoop(txn *smpbus.Txn) smpbus.SnoopResult {
 	}
 }
 
-// AcceptDeferred receives a bus transaction the snoop claimed.
+// AcceptDeferred receives a bus transaction the snoop claimed. With a
+// finite QueueDepth, a full bus queue aborts the transaction on the bus
+// instead: the requesting processor sees RetryNeeded and backs off.
 func (cc *Controller) AcceptDeferred(txn *smpbus.Txn) {
+	e := cc.engineFor(txn.Line)
+	if cc.cfg.QueueDepth > 0 && len(e.busQ) >= cc.cfg.QueueDepth {
+		cc.st.BusAborts++
+		cc.bus.Abort(txn)
+		return
+	}
 	w := &work{arrival: cc.eng.Now(), txn: txn}
 	cc.st.NoteArrival(w.arrival)
-	e := cc.engineFor(txn.Line)
 	e.busQ = append(e.busQ, w)
 	cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QBus, len(e.busQ), txn.Kind.String(), txn.Line)
 	e.kick()
@@ -367,30 +385,63 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 	if !ok {
 		panic(fmt.Sprintf("core: unexpected payload %T", payload))
 	}
-	if cc.FaultInject != nil {
-		msg = cc.FaultInject(msg)
-		if msg == nil {
-			return
-		}
-	}
 	w := &work{arrival: cc.eng.Now(), msg: msg}
-	cc.st.NoteArrival(w.arrival)
 	e := cc.engineFor(msg.Line)
 	if msg.IsResponse() {
 		isData := msg.Type == protocol.MsgDataShared ||
 			msg.Type == protocol.MsgDataExcl || msg.Type == protocol.MsgOwnerData
 		if isData {
-			if m := cc.mshr[msg.Line]; m != nil {
+			// A stale grant (an epoch a retried request already closed)
+			// must not mark the current episode as answered: it will be
+			// dropped at dispatch, and flagging it here would suppress the
+			// episode's timeout and NACK retries.
+			if m := cc.mshr[msg.Line]; m != nil && (!cc.cfg.Robust() || msg.Epoch == m.epoch) {
 				m.responseArrived = true
 			}
 		}
+		cc.st.NoteArrival(w.arrival)
 		e.respQ = append(e.respQ, w)
 		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QResp, len(e.respQ), msg.Type.String(), msg.Line)
 	} else {
+		// Finite request queue: a NACKable request arriving at a full
+		// queue is bounced straight back by the NI, without consuming a
+		// handler dispatch. Non-NACKable requests (forwarded interventions,
+		// invalidations, write-backs) ride guaranteed channels with
+		// reserved buffering and are always accepted.
+		if cc.cfg.QueueDepth > 0 && len(e.reqQ) >= cc.cfg.QueueDepth && msg.Nackable() {
+			cc.st.NacksSent++
+			cc.tr.Nack(w.arrival, cc.node, e.idx, msg.Type.String(), msg.Line)
+			cc.send(w.arrival, msg.Requester, &protocol.Msg{
+				Type: protocol.MsgNack, Line: msg.Line, Src: cc.node,
+				Requester: msg.Requester, Excl: msg.Type == protocol.MsgReadExReq,
+				Epoch: msg.Epoch,
+			})
+			return
+		}
+		cc.st.NoteArrival(w.arrival)
 		e.reqQ = append(e.reqQ, w)
 		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QReq, len(e.reqQ), msg.Type.String(), msg.Line)
 	}
 	e.kick()
+}
+
+// StallEngine occupies an idle protocol engine for dur cycles (fault
+// injection: a transient engine stall). It reports whether the stall was
+// applied; a busy engine is already stalled and absorbs the fault.
+func (cc *Controller) StallEngine(idx int, dur sim.Time) bool {
+	if len(cc.engines) == 0 || dur <= 0 {
+		return false
+	}
+	e := cc.engines[idx%len(cc.engines)]
+	if e.busy {
+		return false
+	}
+	e.busy = true
+	cc.eng.After(dur, func() {
+		e.busy = false
+		e.kick()
+	})
+	return true
 }
 
 func (cc *Controller) send(at sim.Time, dst int, msg *protocol.Msg) {

@@ -39,8 +39,13 @@ func (cc *Controller) handleRemoteBus(w *work) sim.Time {
 		mt = protocol.MsgReadExReq
 	}
 	occ, act := cc.charge(h, 0, 0)
-	cc.mshr[line] = &mshrEntry{line: line, excl: excl, parked: txn}
-	cc.send(act, home, &protocol.Msg{Type: mt, Line: line, Src: cc.node, Requester: cc.node})
+	cc.epochCtr++
+	m := &mshrEntry{line: line, excl: excl, parked: txn,
+		issuedAt: cc.eng.Now(), epoch: cc.epochCtr}
+	cc.mshr[line] = m
+	cc.send(act, home, &protocol.Msg{Type: mt, Line: line, Src: cc.node,
+		Requester: cc.node, Epoch: m.epoch})
+	cc.armTimeout(m)
 	return occ
 }
 
@@ -235,7 +240,7 @@ func (cc *Controller) finishOp(op *homeOp) {
 		}
 		cc.send(now, op.requester, &protocol.Msg{
 			Type: mt, Line: op.line, Src: cc.node, Requester: op.requester,
-			Data: op.data,
+			Data: op.data, Epoch: op.epoch,
 		})
 	} else if op.parked != nil {
 		orig := op.parked.Done
@@ -288,6 +293,8 @@ func (cc *Controller) handleMsg(w *work) sim.Time {
 		return cc.homeInterventionMiss(w)
 	case protocol.MsgWriteBack:
 		return cc.homeWriteBack(w)
+	case protocol.MsgNack:
+		return cc.requesterNack(w)
 	default:
 		panic(fmt.Sprintf("core: unhandled message %v", msg.Type))
 	}
@@ -305,7 +312,15 @@ func (cc *Controller) homeRead(w *work) sim.Time {
 
 	switch entry.State {
 	case directory.DirtyRemote:
-		op := &homeOp{line: line, requester: r}
+		if entry.Owner == r && msg.Retry {
+			// A retried request finding its own node registered as owner
+			// must not park awaiting a write-back: the original request was
+			// probably already granted (the grant is in flight), and a
+			// write-back may never come. Bounce it; the requester drops the
+			// NACK once the grant lands, or backs off and retries.
+			return cc.nackRetry(msg, dirExtra)
+		}
+		op := &homeOp{line: line, requester: r, epoch: msg.Epoch}
 		cc.homeOps[line] = op
 		if entry.Owner == r {
 			// The requester is the registered owner: its write-back is in
@@ -322,11 +337,12 @@ func (cc *Controller) homeRead(w *work) sim.Time {
 			Sharers: directory.Bitmap(0).Set(entry.Owner).Set(r)}
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: r,
+			Epoch: msg.Epoch,
 		})
 		return occ
 	case directory.NoRemote, directory.SharedRemote: // clean at home
 		occ, act := cc.charge(protocol.HRemoteReadHomeClean, dirExtra, 0)
-		op := &homeOp{line: line, requester: r, needData: true}
+		op := &homeOp{line: line, requester: r, needData: true, epoch: msg.Epoch}
 		op.finalDir = directory.Entry{State: directory.SharedRemote,
 			Sharers: entry.Sharers.Set(r)}
 		cc.homeOps[line] = op
@@ -347,7 +363,7 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 	}
 	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
 	r := msg.Requester
-	op := &homeOp{line: line, requester: r, excl: true,
+	op := &homeOp{line: line, requester: r, excl: true, epoch: msg.Epoch,
 		finalDir: directory.Entry{State: directory.DirtyRemote, Owner: r}}
 
 	switch entry.State {
@@ -372,6 +388,11 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 		return occ
 	case directory.DirtyRemote:
 		if entry.Owner == r {
+			if msg.Retry {
+				// See homeRead: a retried request must not park on a
+				// write-back that may never come.
+				return cc.nackRetry(msg, dirExtra)
+			}
 			occ, _ := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
 			cc.homeOps[line] = op
 			op.waitWB = true
@@ -382,6 +403,7 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 		op.intervention = true
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: r,
+			Epoch: msg.Epoch,
 		})
 		return occ
 	default:
@@ -394,10 +416,18 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 	msg := w.msg
 	line := msg.Line
 	home := msg.Src
-	if m := cc.mshr[line]; m != nil && (m.filling || m.responseArrived) {
+	if m := cc.mshr[line]; m != nil && (m.filling || m.responseArrived || cc.cfg.Robust()) {
 		// Our own fill for this line is racing (its data response is on
 		// the bus or still in an input queue); process the intervention
-		// after the fill lands.
+		// after the fill lands. Under the robust configuration an
+		// intervention can also overtake the grant itself: the previous
+		// owner forwards data straight to us while its completion notice
+		// travels to the home, so a delayed forward lets the home's next
+		// intervention arrive first. The home only intervenes the node
+		// its directory names as owner, and the reliable link delivers
+		// every grant, so an outstanding miss here always means the data
+		// is on its way — answering the bus now would report a spurious
+		// InterventionMiss and wedge the home waiting for a write-back.
 		return cc.requeue(&m.waiters, w)
 	}
 	fromHome := msg.Requester == home
@@ -443,6 +473,7 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 				cc.send(cc.eng.Now(), requester, &protocol.Msg{
 					Type: protocol.MsgOwnerData, Line: line, Src: cc.node,
 					Requester: requester, Excl: exclusive, Data: o.Data,
+					Epoch: msg.Epoch,
 				})
 				if exclusive {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
@@ -512,10 +543,18 @@ func (cc *Controller) homeInvalAck(w *work) sim.Time {
 	return occ
 }
 
-// requesterData installs a data response for an outstanding miss.
+// requesterData installs a data response for an outstanding miss. With the
+// robustness knobs on, a retried request can legitimately draw more than
+// one grant; stray and duplicate responses are counted and dropped instead
+// of treated as protocol bugs.
 func (cc *Controller) requesterData(w *work) sim.Time {
 	msg := w.msg
 	m := cc.mshr[msg.Line]
+	if cc.cfg.Robust() && (m == nil || m.filling || msg.Epoch != m.epoch) {
+		occ, _ := cc.charge(protocol.HNackAtRequester, 0, 0)
+		cc.st.StrayDrops++
+		return occ
+	}
 	if m == nil {
 		panic(fmt.Sprintf("core: data response with no MSHR for line %#x", msg.Line))
 	}
@@ -529,6 +568,9 @@ func (cc *Controller) requesterData(w *work) sim.Time {
 		h = protocol.HDataRespReadEx
 	}
 	occ, act := cc.charge(h, 0, 0)
+	if m.attempts > 0 {
+		cc.st.RetryLat.Add(cc.eng.Now() - m.issuedAt)
+	}
 	m.data = msg.Data
 	cc.eng.At(act, func() { cc.mshrFill(m, shared) })
 	return occ

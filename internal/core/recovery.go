@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+)
+
+// This file is the requester side of the NACK/retry and timeout recovery
+// machinery. All of it is inert with the robustness knobs at their zero
+// defaults: no NACK is ever sent with QueueDepth == 0, and no timeout is
+// armed with RequestTimeout == 0, so fault-free base runs schedule an
+// identical event stream (pinned by the golden test in internal/workload).
+
+// requesterNack processes a NACK bounced back by the home: the outstanding
+// miss backs off exponentially and re-issues, within the retry budget. A
+// NACK that lost its race against a grant for the same episode (or belongs
+// to an episode a retry already closed) is dropped.
+func (cc *Controller) requesterNack(w *work) sim.Time {
+	msg := w.msg
+	occ, act := cc.charge(protocol.HNackAtRequester, 0, 0)
+	m := cc.mshr[msg.Line]
+	if m == nil || m.filling || m.responseArrived || msg.Epoch != m.epoch {
+		cc.st.StrayDrops++
+		return occ
+	}
+	cc.st.NacksRecv++
+	cc.noteAttempt(m, "NACKed")
+	backoff := cc.nackBackoff(m.attempts)
+	line := m.line
+	cc.eng.At(act, func() {
+		cc.eng.After(backoff, func() { cc.reissue(line, m) })
+	})
+	return occ
+}
+
+// noteAttempt charges one retry against the episode's budget. Exhausting
+// the budget is a fail-stop condition: the line is unserviceable (a NACK
+// storm or a transaction lost beyond the link layer's recovery), and
+// continuing would livelock silently.
+func (cc *Controller) noteAttempt(m *mshrEntry, why string) {
+	m.attempts++
+	if b := cc.cfg.RetryBudget; b > 0 && m.attempts > b {
+		panic(fmt.Sprintf(
+			"core: node %d line %#x exhausted its retry budget (%d attempts, last %s at t=%d): NACK storm or lost transaction",
+			cc.node, m.line, m.attempts, why, cc.eng.Now()))
+	}
+}
+
+// nackBackoff returns the delay before re-issue number `attempts`: the base
+// NackDelay doubled per consecutive failure, capped at NackBackoffMax.
+func (cc *Controller) nackBackoff(attempts int) sim.Time {
+	d := cc.cfg.NackDelay
+	if d <= 0 {
+		d = cc.cfg.BusRetry
+	}
+	for i := 1; i < attempts; i++ {
+		d <<= 1
+		if limit := cc.cfg.NackBackoffMax; limit > 0 && d >= limit {
+			return limit
+		}
+	}
+	return d
+}
+
+// reissue re-sends the episode's request (marked Retry, same epoch) unless
+// a response has arrived in the meantime.
+func (cc *Controller) reissue(line uint64, m *mshrEntry) {
+	if cc.mshr[line] != m || m.filling || m.responseArrived {
+		return
+	}
+	cc.st.Retries++
+	mt := protocol.MsgReadReq
+	if m.excl {
+		mt = protocol.MsgReadExReq
+	}
+	cc.send(cc.eng.Now(), cc.space.Home(line), &protocol.Msg{
+		Type: mt, Line: line, Src: cc.node, Requester: cc.node,
+		Retry: true, Epoch: m.epoch,
+	})
+	cc.armTimeout(m)
+}
+
+// armTimeout schedules the episode's request timeout. The sequence number
+// invalidates the previous timeout after each re-issue, so exactly one
+// timeout is live per episode.
+func (cc *Controller) armTimeout(m *mshrEntry) {
+	if cc.cfg.RequestTimeout <= 0 {
+		return
+	}
+	m.timeoutSeq++
+	seq := m.timeoutSeq
+	line := m.line
+	cc.eng.After(cc.cfg.RequestTimeout, func() {
+		if cc.mshr[line] != m || m.timeoutSeq != seq || m.filling || m.responseArrived {
+			return
+		}
+		cc.st.Timeouts++
+		cc.noteAttempt(m, "timed out")
+		cc.reissue(line, m)
+	})
+}
+
+// nackRetry bounces a retried home-bound request that must not join the
+// current directory transient (the home saw the requester registered as
+// dirty owner: the original request was probably already granted).
+func (cc *Controller) nackRetry(msg *protocol.Msg, dirExtra sim.Time) sim.Time {
+	h := protocol.HRemoteReadHomeDirty
+	if msg.Type == protocol.MsgReadExReq {
+		h = protocol.HRemoteReadExHomeDirty
+	}
+	occ, act := cc.charge(h, dirExtra, 0)
+	cc.st.NacksSent++
+	cc.send(act, msg.Requester, &protocol.Msg{
+		Type: protocol.MsgNack, Line: msg.Line, Src: cc.node,
+		Requester: msg.Requester, Excl: msg.Type == protocol.MsgReadExReq,
+		Epoch: msg.Epoch,
+	})
+	return occ
+}

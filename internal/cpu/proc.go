@@ -98,6 +98,9 @@ type Proc struct {
 	missLat      stats.Histogram
 	missStart    sim.Time // start of the in-flight miss (one per processor)
 	missActive   bool
+	// retryStreak counts consecutive bus aborts of the in-flight miss, for
+	// the exponential back-off gated on Config.BusBackoffMax.
+	retryStreak int
 }
 
 // New creates a processor attached to its node's bus. tr may be nil.
@@ -348,14 +351,35 @@ func (p *Proc) issueMiss(line uint64, kind smpbus.Kind) {
 	p.bus.Issue(txn)
 }
 
+// busBackoff returns the delay before re-issuing an aborted bus
+// transaction: the fixed BusRetry interval, or — with Config.BusBackoffMax
+// on — BusRetry doubled per consecutive abort and capped, so requesters
+// bounced off a full controller queue spread out instead of retrying in
+// lockstep. With the knob off this is exactly the pre-robustness constant.
+func (p *Proc) busBackoff() sim.Time {
+	d := p.cfg.BusRetry
+	if limit := p.cfg.BusBackoffMax; limit > 0 {
+		for i := 0; i < p.retryStreak; i++ {
+			d <<= 1
+			if d >= limit {
+				d = limit
+				break
+			}
+		}
+		p.retryStreak++
+	}
+	return d
+}
+
 func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outcome) {
 	p.tr.Cache(p.eng.Now(), p.node, p.src, line, "missDone", kind.String())
 	switch o.Status {
 	case smpbus.RetryNeeded:
 		p.retries++
-		p.eng.After(p.cfg.BusRetry, func() { p.retryAccess(line, kind) })
+		p.eng.After(p.busBackoff(), func() { p.retryAccess(line, kind) })
 		return
 	case smpbus.OK:
+		p.retryStreak = 0
 	default:
 		panic(fmt.Sprintf("cpu: unexpected miss outcome %+v", o))
 	}

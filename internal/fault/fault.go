@@ -1,0 +1,303 @@
+// Package fault generates and applies deterministic fault schedules for
+// chaos testing the coherence protocol's recovery machinery. A Schedule is
+// a pure function of its seed: the same seed always produces the same fault
+// sequence, so any failing chaos run reproduces exactly from the seed alone.
+//
+// Message faults (drop, duplicate, delay, corrupt) target the k-th message
+// entering the network, counted in global send order — a coordinate that is
+// stable across runs because the simulation itself is deterministic.
+// Component faults (engine stall, NI port brownout, bus stall) target a
+// node at a simulated time. The Injector turns a Schedule into the
+// interconnect.FaultHook plus the component-fault wiring that
+// machine.InjectFaults installs.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/protocol"
+	"ccnuma/internal/sim"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind uint8
+
+const (
+	// Drop loses a message on the link.
+	Drop Kind = iota
+	// Duplicate injects a second copy of a message.
+	Duplicate
+	// Delay adds extra switch-traversal latency to a message.
+	Delay
+	// Corrupt mangles a message's data payload (caught by link CRC when
+	// Config.NetReliable is on).
+	Corrupt
+	// EngineStall freezes one protocol engine for a duration (transient
+	// controller hiccup: ECC scrub, microcode assist, thermal throttle).
+	EngineStall
+	// Brownout takes one NI port out of service for a duration.
+	Brownout
+	// BusStall occupies one node's split-transaction bus for a duration.
+	BusStall
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"drop", "dup", "delay", "corrupt", "engine-stall", "brownout", "bus-stall",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MessageFault reports whether the kind targets a network message (as
+// opposed to a component at a point in simulated time).
+func (k Kind) MessageFault() bool { return k <= Corrupt }
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+
+	// MsgIndex is the global send-order index the fault hits (message
+	// faults only).
+	MsgIndex uint64
+	// Extra is the added traversal latency of a Delay fault.
+	Extra sim.Time
+
+	// Node, Engine, Out, At, Dur locate and size component faults:
+	// EngineStall uses Node/Engine/At/Dur, Brownout uses Node/Out/At/Dur,
+	// BusStall uses Node/At/Dur.
+	Node   int
+	Engine int
+	Out    bool
+	At     sim.Time
+	Dur    sim.Time
+}
+
+func (e Event) String() string {
+	if e.Kind.MessageFault() {
+		if e.Kind == Delay {
+			return fmt.Sprintf("%s@msg%d(+%d)", e.Kind, e.MsgIndex, int64(e.Extra))
+		}
+		return fmt.Sprintf("%s@msg%d", e.Kind, e.MsgIndex)
+	}
+	switch e.Kind {
+	case EngineStall:
+		return fmt.Sprintf("%s@t%d(n%d/e%d,%d)", e.Kind, int64(e.At), e.Node, e.Engine, int64(e.Dur))
+	case Brownout:
+		dir := "in"
+		if e.Out {
+			dir = "out"
+		}
+		return fmt.Sprintf("%s@t%d(n%d/%s,%d)", e.Kind, int64(e.At), e.Node, dir, int64(e.Dur))
+	default:
+		return fmt.Sprintf("%s@t%d(n%d,%d)", e.Kind, int64(e.At), e.Node, int64(e.Dur))
+	}
+}
+
+// Schedule is a deterministic, seed-reproducible fault sequence.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the schedule compactly for logs and repro reports.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d [", s.Seed)
+	for i, e := range s.Events {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Params bounds schedule generation.
+type Params struct {
+	// Events is how many faults to draw.
+	Events int
+	// Horizon is the simulated-time window component faults land in.
+	Horizon sim.Time
+	// Messages is the (estimated) message count message faults index into;
+	// indices past the run's actual traffic simply never fire.
+	Messages uint64
+	// Nodes and Engines size the component-fault targets.
+	Nodes   int
+	Engines int
+}
+
+// Generate draws a schedule from the seed. Identical (seed, Params) always
+// yield an identical schedule.
+func Generate(seed int64, p Params) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if p.Events <= 0 {
+		p.Events = 4
+	}
+	if p.Messages == 0 {
+		p.Messages = 1000
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 1_000_000
+	}
+	if p.Nodes <= 0 {
+		p.Nodes = 1
+	}
+	if p.Engines <= 0 {
+		p.Engines = 1
+	}
+	s := &Schedule{Seed: seed, Events: make([]Event, 0, p.Events)}
+	for i := 0; i < p.Events; i++ {
+		// Message faults dominate (weights 30/15/15/10); component faults
+		// split the rest (10/10/10).
+		var k Kind
+		switch w := rng.Intn(100); {
+		case w < 30:
+			k = Drop
+		case w < 45:
+			k = Duplicate
+		case w < 60:
+			k = Delay
+		case w < 70:
+			k = Corrupt
+		case w < 80:
+			k = EngineStall
+		case w < 90:
+			k = Brownout
+		default:
+			k = BusStall
+		}
+		ev := Event{Kind: k}
+		if k.MessageFault() {
+			ev.MsgIndex = uint64(rng.Int63n(int64(p.Messages)))
+			if k == Delay {
+				ev.Extra = sim.Time(20 + rng.Int63n(480))
+			}
+		} else {
+			ev.Node = rng.Intn(p.Nodes)
+			ev.At = sim.Time(rng.Int63n(int64(p.Horizon)))
+			ev.Dur = sim.Time(50 + rng.Int63n(1950))
+			switch k {
+			case EngineStall:
+				ev.Engine = rng.Intn(p.Engines)
+			case Brownout:
+				ev.Out = rng.Intn(2) == 0
+			}
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}
+
+// corruptMask is XORed into a corrupted message's data payload.
+const corruptMask = 0xdeadbeefdeadbeef
+
+// Injector applies a Schedule to a running machine: its NetFault method is
+// the interconnect.FaultHook for the message faults, and the component
+// faults are read out by machine.InjectFaults. It also counts what was
+// actually applied (scheduled message indices beyond the run's traffic
+// never fire).
+type Injector struct {
+	Schedule *Schedule
+
+	msgFaults map[uint64][]Event
+	msgIndex  uint64
+	applied   [numKinds]uint64
+}
+
+// NewInjector indexes a schedule for application.
+func NewInjector(s *Schedule) *Injector {
+	in := &Injector{Schedule: s, msgFaults: make(map[uint64][]Event)}
+	for _, ev := range s.Events {
+		if ev.Kind.MessageFault() {
+			in.msgFaults[ev.MsgIndex] = append(in.msgFaults[ev.MsgIndex], ev)
+		}
+	}
+	return in
+}
+
+// NetFault is the interconnect.FaultHook: it counts original messages in
+// send order and folds every fault scheduled for the current index into one
+// Decision.
+func (in *Injector) NetFault(src, dst int, payload interface{}) interconnect.Decision {
+	idx := in.msgIndex
+	in.msgIndex++
+	evs := in.msgFaults[idx]
+	if len(evs) == 0 {
+		return interconnect.Decision{}
+	}
+	var d interconnect.Decision
+	for _, ev := range evs {
+		switch ev.Kind {
+		case Drop:
+			d.Drop = true
+			in.applied[Drop]++
+		case Duplicate:
+			d.Duplicate = true
+			in.applied[Duplicate]++
+		case Delay:
+			d.Delay += ev.Extra
+			in.applied[Delay]++
+		case Corrupt:
+			if msg, ok := payload.(*protocol.Msg); ok {
+				mutated := *msg
+				mutated.Data ^= corruptMask
+				d.Replace = &mutated
+				in.applied[Corrupt]++
+			}
+		}
+	}
+	return d
+}
+
+// ComponentEvents returns the schedule's non-message faults, for the
+// machine to arm at their simulated times.
+func (in *Injector) ComponentEvents() []Event {
+	var out []Event
+	for _, ev := range in.Schedule.Events {
+		if !ev.Kind.MessageFault() {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// NoteApplied records that a component fault actually took effect (the
+// machine calls this when it fires one).
+func (in *Injector) NoteApplied(k Kind) { in.applied[k]++ }
+
+// Applied returns how many faults of kind k took effect.
+func (in *Injector) Applied(k Kind) uint64 { return in.applied[k] }
+
+// AppliedTotal returns the number of faults that took effect across kinds.
+func (in *Injector) AppliedTotal() uint64 {
+	var n uint64
+	for _, c := range in.applied {
+		n += c
+	}
+	return n
+}
+
+// AppliedByKind returns a name → count map of the faults that took effect,
+// for the run artifact.
+func (in *Injector) AppliedByKind() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k := Kind(0); k < numKinds; k++ {
+		if in.applied[k] > 0 {
+			out[k.String()] = in.applied[k]
+		}
+	}
+	return out
+}
+
+// MsgCount returns how many original messages the injector has seen.
+func (in *Injector) MsgCount() uint64 { return in.msgIndex }

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"testing"
+
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/protocol"
+)
+
+// TestInjectorNetFault pins the message-fault folding: the injector counts
+// every message, applies each event at its send-order index, corrupts only
+// protocol payloads, and accounts what it applied.
+func TestInjectorNetFault(t *testing.T) {
+	sch := &Schedule{Seed: 1, Events: []Event{
+		{Kind: Drop, MsgIndex: 0},
+		{Kind: Duplicate, MsgIndex: 1},
+		{Kind: Delay, MsgIndex: 2, Extra: 40},
+		{Kind: Corrupt, MsgIndex: 3},
+		{Kind: Corrupt, MsgIndex: 4},
+	}}
+	inj := NewInjector(sch)
+
+	d := inj.NetFault(0, 1, &protocol.Msg{})
+	if !d.Drop {
+		t.Error("msg 0: expected Drop")
+	}
+	d = inj.NetFault(0, 1, &protocol.Msg{})
+	if !d.Duplicate {
+		t.Error("msg 1: expected Duplicate")
+	}
+	d = inj.NetFault(1, 0, &protocol.Msg{})
+	if d.Delay != 40 {
+		t.Errorf("msg 2: Delay = %d, want 40", d.Delay)
+	}
+	d = inj.NetFault(1, 0, &protocol.Msg{Data: 7})
+	m, ok := d.Replace.(*protocol.Msg)
+	if !ok {
+		t.Fatal("msg 3: expected a corrupted *protocol.Msg replacement")
+	}
+	if m.Data == 7 {
+		t.Error("msg 3: corruption left the payload intact")
+	}
+	// A corrupt event landing on a non-protocol payload is skipped.
+	d = inj.NetFault(0, 1, "opaque")
+	if d.Replace != nil {
+		t.Error("msg 4: corrupted a non-protocol payload")
+	}
+	// Past the schedule: clean passthrough.
+	d = inj.NetFault(0, 1, &protocol.Msg{})
+	if d != (interconnect.Decision{}) {
+		t.Errorf("msg 5: expected a zero decision, got %+v", d)
+	}
+
+	if inj.MsgCount() != 6 {
+		t.Errorf("MsgCount = %d, want 6", inj.MsgCount())
+	}
+	if got := inj.Applied(Drop); got != 1 {
+		t.Errorf("Applied(Drop) = %d, want 1", got)
+	}
+	if got := inj.AppliedTotal(); got != 4 {
+		t.Errorf("AppliedTotal = %d, want 4 (the skipped corrupt doesn't count)", got)
+	}
+	by := inj.AppliedByKind()
+	if by["corrupt"] != 1 || by["delay"] != 1 || by["dup"] != 1 {
+		t.Errorf("AppliedByKind = %v", by)
+	}
+}
+
+// TestGenerateBounds checks that generated coordinates respect the params.
+func TestGenerateBounds(t *testing.T) {
+	p := Params{Events: 64, Horizon: 10_000, Messages: 500, Nodes: 4, Engines: 2}
+	sch := Generate(99, p)
+	if len(sch.Events) != p.Events {
+		t.Fatalf("generated %d events, want %d", len(sch.Events), p.Events)
+	}
+	for _, e := range sch.Events {
+		if e.Kind.MessageFault() {
+			if e.MsgIndex >= uint64(p.Messages) {
+				t.Errorf("%s: message index beyond the run's message count", e)
+			}
+			continue
+		}
+		if e.Node < 0 || e.Node >= p.Nodes {
+			t.Errorf("%s: node out of range", e)
+		}
+		if e.At < 0 || e.At >= p.Horizon {
+			t.Errorf("%s: time outside the horizon", e)
+		}
+		if e.Dur <= 0 {
+			t.Errorf("%s: non-positive duration", e)
+		}
+		if e.Kind == EngineStall && (e.Engine < 0 || e.Engine >= p.Engines) {
+			t.Errorf("%s: engine out of range", e)
+		}
+	}
+}

@@ -16,6 +16,76 @@ import (
 // Handler receives a delivered message on the destination node.
 type Handler func(src int, payload interface{})
 
+// Decision is the action the fault layer takes on one message entering the
+// network. The zero value means "deliver normally".
+type Decision struct {
+	// Drop loses the message on the link. With Config.NetReliable the link
+	// layer retransmits the original after NetRetryDelay; without it the
+	// loss is permanent.
+	Drop bool
+	// Duplicate injects a second copy of the message. With NetReliable the
+	// receiving NI discards the copy (sequence-number dedup) after it has
+	// consumed link bandwidth; without it the copy reaches the protocol.
+	Duplicate bool
+	// Delay adds cycles to the message's switch traversal.
+	Delay sim.Time
+	// Replace, when non-nil, substitutes a corrupted payload. With
+	// NetReliable the corrupted frame fails the receiver's CRC, is
+	// discarded, and the original is retransmitted; without it the
+	// corrupted payload is delivered as-is.
+	Replace interface{}
+}
+
+// FaultHook inspects every message entering the network and decides its
+// fate. It sees originals only — link-level retransmissions and
+// fault-created duplicate copies are not re-faulted — and must be
+// deterministic (cclint's sim-rand check applies to implementations in
+// simulation packages).
+type FaultHook func(src, dst int, payload interface{}) Decision
+
+// LinkStats aggregates the link layer's fault and recovery activity.
+type LinkStats struct {
+	Drops          uint64 // messages lost on the link (injected)
+	Duplicates     uint64 // duplicate copies injected
+	Corrupts       uint64 // payload corruptions injected
+	DelaysInjected uint64 // messages given extra traversal delay
+	Retransmits    uint64 // link-level retransmissions (NetReliable)
+	Discards       uint64 // frames rejected at the receiving NI (CRC/dedup)
+	Overflows      uint64 // sends parked on a full NI output buffer
+	Brownouts      uint64 // injected NI port outages
+}
+
+// discardFrame wraps a payload that crosses the wire but is rejected by the
+// receiving NI (a corrupted frame failing its CRC, or a duplicate caught by
+// sequence-number dedup): it consumes bandwidth, then vanishes.
+type discardFrame struct {
+	payload interface{}
+}
+
+// frame is a send parked behind a full NI output buffer or a link-level
+// recovery window.
+type frame struct {
+	dst     int
+	flits   int
+	payload interface{}
+	delay   sim.Time
+}
+
+// pairKey identifies one directed (src, dst) link-layer connection.
+type pairKey struct{ src, dst int }
+
+// pairHold is a go-back-N recovery window on one (src, dst) pair: the
+// frames queued here re-enter the send path, in order, when the window
+// closes. The coherence protocol relies on per-pair FIFO delivery (an
+// ownership grant must reach the new owner before a later intervention),
+// and the fault-free network provides it via its port FIFOs — so the
+// reliable link layer must preserve it too: a retransmitted or delayed
+// frame holds everything behind it on the same pair instead of being
+// overtaken.
+type pairHold struct {
+	frames []frame
+}
+
 // Network connects the nodes' network interfaces.
 type Network struct {
 	eng   *sim.Engine
@@ -26,23 +96,42 @@ type Network struct {
 	sinks []Handler
 	mesh  *mesh // non-nil under TopoMesh2D
 
+	// Fault, when non-nil, is consulted for every original message entering
+	// the network (the internal/fault injector plugs in here; verify's
+	// detection tests install targeted hooks directly).
+	Fault FaultHook
+
 	msgs  uint64
 	flits uint64
 	// inFlight counts messages accepted by Send whose sink has not fired
 	// yet (the ccverify model checker uses it to detect quiescence and to
 	// bound its in-flight message multiset).
 	inFlight int
+
+	link LinkStats
+	// outQueued/outWait implement the finite NI output buffer: messages
+	// beyond Config.NIPortDepth park in outWait until the port drains.
+	// Only maintained when the depth knob is on, so fault-free runs
+	// schedule an identical event stream.
+	outQueued []int
+	outWait   [][]frame
+	// hold carries the active go-back-N recovery windows (NetReliable
+	// only; never populated on a fault-free run).
+	hold map[pairKey]*pairHold
 }
 
 // New creates the network for the configured node count. tr may be nil.
 func New(eng *sim.Engine, cfg *config.Config, tr *obs.Tracer) *Network {
 	n := &Network{
-		eng:   eng,
-		cfg:   cfg,
-		tr:    tr,
-		out:   make([]*sim.Resource, cfg.Nodes),
-		in:    make([]*sim.Resource, cfg.Nodes),
-		sinks: make([]Handler, cfg.Nodes),
+		eng:       eng,
+		cfg:       cfg,
+		tr:        tr,
+		out:       make([]*sim.Resource, cfg.Nodes),
+		in:        make([]*sim.Resource, cfg.Nodes),
+		sinks:     make([]Handler, cfg.Nodes),
+		outQueued: make([]int, cfg.Nodes),
+		outWait:   make([][]frame, cfg.Nodes),
+		hold:      map[pairKey]*pairHold{},
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.out[i] = sim.NewResource(eng, fmt.Sprintf("ni-out-%d", i))
@@ -86,22 +175,150 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	if flitCount <= 0 {
 		flitCount = 1
 	}
+	if n.Fault == nil {
+		n.enqueue(src, dst, flitCount, payload, 0)
+		return
+	}
+	d := n.Fault(src, dst, payload)
+	if d.Delay > 0 {
+		n.link.DelaysInjected++
+	}
+	if d.Replace != nil {
+		n.link.Corrupts++
+		if n.cfg.NetReliable {
+			// The mangled frame crosses the wire, fails the receiver's
+			// CRC, and the sender's replay buffer re-sends the original.
+			n.enqueue(src, dst, flitCount, &discardFrame{payload: d.Replace}, d.Delay)
+			n.link.Retransmits++
+			n.holdPair(src, dst, n.retryDelay(), frame{dst: dst, flits: flitCount, payload: payload})
+			return
+		}
+		payload = d.Replace
+	}
+	if d.Drop {
+		n.link.Drops++
+		if n.cfg.NetReliable {
+			n.link.Retransmits++
+			n.holdPair(src, dst, n.retryDelay(), frame{dst: dst, flits: flitCount, payload: payload})
+		}
+		return
+	}
+	if d.Duplicate {
+		n.link.Duplicates++
+		copyPayload := payload
+		if n.cfg.NetReliable {
+			copyPayload = &discardFrame{payload: payload}
+		}
+		// The duplicate copy needs no ordering: the receiving NI rejects
+		// it (reliable) or the protocol must tolerate it (raw).
+		n.enqueue(src, dst, flitCount, copyPayload, 0)
+	}
+	if n.cfg.NetReliable {
+		if d.Delay > 0 {
+			// A delayed frame stalls its go-back-N window: later frames
+			// on the pair queue behind it instead of overtaking.
+			n.holdPair(src, dst, d.Delay, frame{dst: dst, flits: flitCount, payload: payload})
+			return
+		}
+		if h := n.hold[pairKey{src, dst}]; h != nil {
+			h.frames = append(h.frames, frame{dst: dst, flits: flitCount, payload: payload})
+			return
+		}
+	}
+	n.enqueue(src, dst, flitCount, payload, d.Delay)
+}
+
+// retryDelay is the link-level recovery latency (replay-buffer timeout).
+func (n *Network) retryDelay() sim.Time {
+	if d := n.cfg.NetRetryDelay; d > 0 {
+		return d
+	}
+	return n.cfg.NetLatency
+}
+
+// holdPair opens (or joins) the pair's go-back-N recovery window: f and
+// every subsequent original on the pair re-enter the send path, in order,
+// when the window closes after delay.
+func (n *Network) holdPair(src, dst int, delay sim.Time, f frame) {
+	key := pairKey{src, dst}
+	if h := n.hold[key]; h != nil {
+		// Already recovering this pair: the frame joins the replay queue
+		// and rides the existing window.
+		h.frames = append(h.frames, f)
+		return
+	}
+	h := &pairHold{frames: []frame{f}}
+	n.hold[key] = h
+	n.eng.After(delay, func() {
+		delete(n.hold, key)
+		for _, qf := range h.frames {
+			n.enqueue(src, qf.dst, qf.flits, qf.payload, qf.delay)
+		}
+	})
+}
+
+// enqueue admits a message to the source NI's output buffer, parking it
+// when the configured finite depth is exceeded (back-pressure).
+func (n *Network) enqueue(src, dst, flitCount int, payload interface{}, delay sim.Time) {
+	if n.cfg.NIPortDepth > 0 && n.outQueued[src] >= n.cfg.NIPortDepth {
+		n.link.Overflows++
+		n.outWait[src] = append(n.outWait[src], frame{dst: dst, flits: flitCount, payload: payload, delay: delay})
+		return
+	}
+	n.transmit(src, dst, flitCount, payload, delay)
+}
+
+func (n *Network) transmit(src, dst, flitCount int, payload interface{}, delay sim.Time) {
 	n.msgs++
 	n.flits += uint64(flitCount)
 	n.inFlight++
+	track := n.cfg.NIPortDepth > 0
+	if track {
+		n.outQueued[src]++
+	}
 	if n.tr != nil {
 		name, line := obs.DescribePayload(payload)
 		n.tr.NetSend(n.eng.Now(), src, dst, name, line, flitCount)
 	}
 	ser := sim.Time(flitCount) * n.cfg.NetFlitTime
 	n.out[src].Acquire(ser, func(start sim.Time) {
+		if track {
+			n.eng.At(start+ser, func() { n.portDrained(src) })
+		}
 		if n.mesh != nil && src != dst {
-			n.sendMesh(src, dst, start, ser, payload)
+			n.sendMesh(src, dst, start+delay, ser, payload)
 			return
 		}
-		headArrives := start + n.cfg.NetLatency
+		headArrives := start + n.cfg.NetLatency + delay
 		n.deliverAt(src, dst, headArrives, ser, payload)
 	})
+}
+
+// portDrained frees one NI output-buffer slot and launches the oldest
+// parked send, if any.
+func (n *Network) portDrained(src int) {
+	n.outQueued[src]--
+	if len(n.outWait[src]) == 0 {
+		return
+	}
+	f := n.outWait[src][0]
+	n.outWait[src] = n.outWait[src][1:]
+	n.transmit(src, f.dst, f.flits, f.payload, f.delay)
+}
+
+// Brownout takes a node's NI port out of service for dur cycles (fault
+// injection): the port resource is occupied, so queued and future messages
+// wait behind the outage exactly as behind a long serialization.
+func (n *Network) Brownout(node int, out bool, dur sim.Time) {
+	if node < 0 || node >= len(n.out) || dur <= 0 {
+		return
+	}
+	n.link.Brownouts++
+	r := n.in[node]
+	if out {
+		r = n.out[node]
+	}
+	r.Acquire(dur, func(sim.Time) {})
 }
 
 // sendMesh chains the message across the mesh's links with dimension-order
@@ -128,6 +345,13 @@ func (n *Network) sendMesh(src, dst int, start, ser sim.Time, payload interface{
 func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload interface{}) {
 	n.in[dst].AcquireAt(headArrives, ser, func(inStart sim.Time) {
 		n.eng.At(inStart+ser, func() {
+			n.inFlight--
+			if _, rejected := payload.(*discardFrame); rejected {
+				// Failed CRC or duplicate sequence number: the NI rejects
+				// the frame after it has consumed wire bandwidth.
+				n.link.Discards++
+				return
+			}
 			sink := n.sinks[dst]
 			if sink == nil {
 				panic(fmt.Sprintf("interconnect: no sink on node %d", dst))
@@ -136,7 +360,6 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 				name, line := obs.DescribePayload(payload)
 				n.tr.NetRecv(n.eng.Now(), src, dst, name, line)
 			}
-			n.inFlight--
 			sink(src, payload)
 		})
 	})
@@ -144,6 +367,15 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 
 // Messages returns the number of messages sent so far.
 func (n *Network) Messages() uint64 { return n.msgs }
+
+// Link returns the link layer's fault/recovery counters.
+func (n *Network) Link() LinkStats { return n.link }
+
+// OutQueued returns the number of messages currently held in a node's NI
+// output buffer (0 unless Config.NIPortDepth is on).
+func (n *Network) OutQueued(node int) int {
+	return n.outQueued[node] + len(n.outWait[node])
+}
 
 // InFlight returns the number of messages currently traversing the network
 // (sent but not yet delivered to a sink).

@@ -233,3 +233,64 @@ func TestMeshEndToEndMachine(t *testing.T) {
 		}
 	}
 }
+
+// TestReliableLinkPreservesPairOrder pins the go-back-N contract: when a
+// frame on a (src, dst) pair is dropped or delayed under NetReliable, later
+// frames on the same pair must queue behind its recovery window instead of
+// overtaking it. The coherence protocol depends on this (an ownership grant
+// must land before a subsequent intervention).
+func TestReliableLinkPreservesPairOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fault Decision
+	}{
+		{"drop", Decision{Drop: true}},
+		{"corrupt", Decision{Replace: "mangled"}},
+		{"delay", Decision{Delay: 300}},
+	} {
+		eng, net, cfg := setup(t)
+		cfg.NetReliable = true
+		cfg.NetRetryDelay = 100
+		var order []interface{}
+		net.Attach(1, func(_ int, p interface{}) { order = append(order, p) })
+		hit := false
+		net.Fault = func(src, dst int, payload interface{}) Decision {
+			if payload == "first" && !hit {
+				hit = true
+				return tc.fault
+			}
+			return Decision{}
+		}
+		eng.At(0, func() { net.Send(0, 1, 1, "first") })
+		eng.At(1, func() { net.Send(0, 1, 1, "second") })
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+			t.Errorf("%s: delivery order %v, want [first second]", tc.name, order)
+		}
+		if net.InFlight() != 0 {
+			t.Errorf("%s: %d frames still in flight after drain", tc.name, net.InFlight())
+		}
+	}
+}
+
+// TestReliableLinkRejectsDuplicates pins that a duplicated frame's copy
+// burns bandwidth but never reaches the protocol under NetReliable.
+func TestReliableLinkRejectsDuplicates(t *testing.T) {
+	eng, net, cfg := setup(t)
+	cfg.NetReliable = true
+	delivered := 0
+	net.Attach(1, func(int, interface{}) { delivered++ })
+	net.Fault = func(int, int, interface{}) Decision { return Decision{Duplicate: true} }
+	eng.At(0, func() { net.Send(0, 1, 1, "msg") })
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered %d copies, want 1", delivered)
+	}
+	if net.Link().Discards != 1 {
+		t.Errorf("Discards = %d, want 1", net.Link().Discards)
+	}
+}

@@ -3,8 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -38,11 +40,27 @@ var simPackages = map[string]bool{
 	"ccnuma/internal/cpu":          true,
 	"ccnuma/internal/directory":    true,
 	"ccnuma/internal/interconnect": true,
+	"ccnuma/internal/fault":        true,
 	"ccnuma/internal/machine":      true,
 	"ccnuma/internal/protocol":     true,
 	"ccnuma/internal/memaddr":      true,
 	"ccnuma/internal/verify":       true,
 }
+
+// retryPackages are the recovery-path packages whose retry/timeout/backoff
+// tuning must come from internal/config knobs: a numeric constant pinned
+// locally cannot be swept, recorded in run artifacts, or turned off for the
+// cycle-identical base configuration. The testdata entry is the lint
+// suite's own fixture (go tooling never loads testdata via ./...).
+var retryPackages = map[string]bool{
+	"ccnuma/internal/core":                       true,
+	"ccnuma/internal/cpu":                        true,
+	"ccnuma/internal/interconnect":               true,
+	"ccnuma/internal/lint/testdata/src/badretry": true,
+}
+
+// retryNamePat matches declarations that name recovery tuning values.
+var retryNamePat = regexp.MustCompile(`(?i)retry|timeout|backoff|nack`)
 
 // bannedTimeFuncs are the wall-clock entry points of package time.
 var bannedTimeFuncs = map[string]bool{
@@ -63,6 +81,7 @@ func Check(pkgs []*Package) []Finding {
 		raw = append(raw, checkSimDeterminism(pkg)...)
 		raw = append(raw, checkSchedNoop(pkg)...)
 		raw = append(raw, checkEnumStrings(pkg)...)
+		raw = append(raw, checkConfigLiterals(pkg)...)
 		for _, f := range raw {
 			if !sup.covers(f) {
 				out = append(out, f)
@@ -309,6 +328,72 @@ func doesWork(body *ast.BlockStmt) bool {
 		switch n.(type) {
 		case *ast.CallExpr, *ast.SendStmt, *ast.GoStmt:
 			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkConfigLiterals flags const/var declarations in the recovery-path
+// packages that pin a retry, timeout, backoff, or NACK tuning value to a
+// local numeric literal. Those values must be config knobs: the robustness
+// machinery defaults off and stays cycle-identical only because every
+// delay it introduces is a zero-defaulted field of internal/config.
+// Declarations whose initializer is derived from package config are exempt.
+func checkConfigLiterals(pkg *Package) []Finding {
+	if !retryPackages[pkg.ImportPath] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			decl, ok := n.(*ast.GenDecl)
+			if !ok || (decl.Tok != token.CONST && decl.Tok != token.VAR) {
+				return true
+			}
+			for _, spec := range decl.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) || !retryNamePat.MatchString(name.Name) {
+						continue
+					}
+					val := vs.Values[i]
+					tv, ok := pkg.Info.Types[val]
+					if !ok || tv.Value == nil {
+						continue // not a compile-time constant
+					}
+					switch tv.Value.Kind() {
+					case constant.Int, constant.Float:
+					default:
+						continue
+					}
+					if mentionsConfig(pkg, val) {
+						continue
+					}
+					out = append(out, pkg.finding(name.Pos(), "config-literal",
+						"%s %s pins a retry/timeout/backoff value to a literal; recovery tuning must come from an internal/config knob",
+						decl.Tok, name.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mentionsConfig reports whether the expression references anything
+// declared in internal/config (a knob or a config-derived constant).
+func mentionsConfig(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "ccnuma/internal/config" {
+				found = true
+			}
 		}
 		return !found
 	})

@@ -101,3 +101,36 @@ func TestSuppressionRequiresReason(t *testing.T) {
 		t.Error("suppression leaked to an unrelated line")
 	}
 }
+
+// TestConfigLiteralCheck pins the config-literal analysis on its fixture:
+// every locally pinned retry/timeout/backoff number is flagged, and the
+// config-derived, non-numeric, and unrelated declarations stay silent.
+func TestConfigLiteralCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badretry")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := Check(pkgs)
+	want := []string{"retryBudget", "nackDelay", "requestTimeout", "backoffMax", "localNackWindow"}
+	if len(findings) != len(want) {
+		t.Errorf("findings = %d, want %d: %v", len(findings), len(want), findings)
+	}
+	for _, name := range want {
+		found := false
+		for _, f := range findings {
+			if f.Check == "config-literal" && strings.Contains(f.Message, name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pinned value %s was not flagged: %v", name, findings)
+		}
+	}
+	for _, f := range findings {
+		for _, silent := range []string{"cfgRetry", "retryNote", "lineSize"} {
+			if strings.Contains(f.Message, silent) {
+				t.Errorf("allowed declaration %s was flagged: %s", silent, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package badretry is a lint fixture: it pins recovery tuning values to
+// local literals, which the config-literal check must flag. The allowed
+// shapes (config-derived values, non-numeric constants, names outside the
+// retry vocabulary) must stay silent.
+package badretry
+
+import "ccnuma/internal/config"
+
+// Flagged: numeric literals naming retry/timeout/backoff/NACK tuning.
+const retryBudget = 25
+
+const (
+	nackDelay      = 30
+	requestTimeout = 50_000
+)
+
+var backoffMax = 2 * 1000
+
+// Allowed: derived from internal/config.
+var cfgRetry = config.Base().BusRetry
+
+// Allowed: not numeric.
+const retryNote = "retries are nacked"
+
+// Allowed: name is outside the retry vocabulary.
+const lineSize = 128
+
+func use() (interface{}, interface{}, interface{}) {
+	// Flagged: function-local pins count too.
+	const localNackWindow = 64
+	_ = localNackWindow
+	_ = requestTimeout
+	_ = retryNote
+	_ = lineSize
+	return retryBudget, nackDelay, backoffMax
+}
+
+var _ = cfgRetry
+var _ = use

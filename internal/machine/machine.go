@@ -146,10 +146,13 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 // are a few events per component; millions means time has stopped advancing.
 const watchdogChunk = 2_000_000
 
-// runEngine drives the event loop in chunks, watching for simulated-time
-// stalls: if a full chunk of events executes without the clock moving, the
-// run is aborted with a state snapshot instead of spinning forever.
+// runEngine drives the event loop in chunks, watching for loss of forward
+// progress: if a full chunk of events executes without the clock moving, or
+// with no useful protocol work (dispatches) behind heavy NACK/retry
+// traffic, the run is aborted with a classified stall report and a state
+// snapshot instead of spinning forever.
 func (m *Machine) runEngine() error {
+	prevDisp, prevNacks, prevRetries := m.progressCounters()
 	for {
 		last := m.Eng.Now()
 		n := 0
@@ -159,10 +162,19 @@ func (m *Machine) runEngine() error {
 		if n < watchdogChunk {
 			break // queue drained, Stop called, or time limit hit
 		}
+		rep := m.stallReport(last, n, prevDisp, prevNacks, prevRetries)
 		if m.Eng.Now() == last {
-			return fmt.Errorf("machine: watchdog: simulated time stalled at t=%d (%d events without progress)\n%s",
-				m.Eng.Now(), watchdogChunk, m.Snapshot())
+			return fmt.Errorf("machine: watchdog: simulated time stalled at t=%d (%d events without progress)\n%s\n%s",
+				m.Eng.Now(), watchdogChunk, rep, m.Snapshot())
 		}
+		// Time advances but a whole chunk dispatched nothing while NACK or
+		// retry traffic flowed: the protocol is churning without absorbing
+		// work (NACK storm / livelock with a moving clock).
+		if rep.DispatchesInWindow == 0 && rep.NacksInWindow+rep.RetriesInWindow > 0 {
+			return fmt.Errorf("machine: watchdog: no useful work for %d events at t=%d\n%s\n%s",
+				watchdogChunk, m.Eng.Now(), rep, m.Snapshot())
+		}
+		prevDisp, prevNacks, prevRetries = m.progressCounters()
 	}
 	if m.Eng.LimitHit() {
 		return fmt.Errorf("machine: time limit %d exceeded at t=%d with %d events pending\n%s",
@@ -207,9 +219,15 @@ func (m *Machine) startSampler() {
 	prevData := make([]sim.Time, nodes)
 	prevBank := make([]sim.Time, nodes)
 	prevDir := make([]sim.Time, nodes)
+	prevNacks := make([]uint64, nodes)
+	prevRetries := make([]uint64, nodes)
+	var prevOverflows uint64
 	var tick func()
 	tick = func() {
 		now := m.Eng.Now()
+		overflows := m.Net.Link().Overflows
+		ovDelta := overflows - prevOverflows
+		prevOverflows = overflows
 		for n := 0; n < nodes; n++ {
 			bus := m.Buses[n]
 			addr := bus.AddrResource().Busy()
@@ -224,6 +242,11 @@ func (m *Machine) startSampler() {
 			if inBacklog < 0 {
 				inBacklog = 0
 			}
+			nacks := m.run.Controllers[n].NacksSent
+			retries := m.run.Controllers[n].Retries + m.run.Controllers[n].Timeouts
+			nackDelta := nacks - prevNacks[n]
+			retryDelta := retries - prevRetries[n]
+			prevNacks[n], prevRetries[n] = nacks, retries
 			for i := 0; i < nEng; i++ {
 				busy := m.run.Controllers[n].Engines[i].Busy
 				resp, req, busQ := m.CCs[n].QueueDepths(i)
@@ -242,6 +265,11 @@ func (m *Machine) startSampler() {
 					DirDRAMUtilPct: s.UtilPct(dram - prevDir[n]),
 					NIOutBacklog:   outBacklog,
 					NIInBacklog:    inBacklog,
+					QueueCap:       m.Cfg.QueueDepth,
+					NIOutQueued:    m.Net.OutQueued(n),
+					Nacks:          nackDelta,
+					Retries:        retryDelta,
+					Overflows:      ovDelta,
 				})
 				prevEng[n*nEng+i] = busy
 			}
@@ -276,6 +304,41 @@ func (m *Machine) collect(execTime sim.Time) {
 	for _, d := range m.Dirs {
 		r.Add("dirCacheHits", d.CacheHits())
 		r.Add("dirCacheMisses", d.CacheMisses())
+	}
+	// Recovery and fault counters, added only when non-zero so fault-free
+	// reports are byte-identical to pre-robustness output.
+	ns, nr, rt, to, ba, sd := r.RecoveryTotals()
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"nacksSent", ns}, {"nacksRecv", nr}, {"retries", rt},
+		{"timeouts", to}, {"busAborts", ba}, {"strayDrops", sd},
+	} {
+		if c.v > 0 {
+			r.Add(c.name, c.v)
+		}
+	}
+	link := m.Net.Link()
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"linkDrops", link.Drops}, {"linkDuplicates", link.Duplicates},
+		{"linkCorrupts", link.Corrupts}, {"linkDelays", link.DelaysInjected},
+		{"linkRetransmits", link.Retransmits}, {"linkDiscards", link.Discards},
+		{"niOverflows", link.Overflows}, {"niBrownouts", link.Brownouts},
+	} {
+		if c.v > 0 {
+			r.Add(c.name, c.v)
+		}
+	}
+	var busStalls uint64
+	for _, b := range m.Buses {
+		busStalls += b.Stalls()
+	}
+	if busStalls > 0 {
+		r.Add("busStalls", busStalls)
 	}
 	for h := protocol.Handler(0); h < protocol.Handler(protocol.NumHandlers); h++ {
 		var c, busy uint64

@@ -23,6 +23,9 @@ type Artifact struct {
 	App    string `json:"app"`
 	Arch   string `json:"arch"`
 	Size   string `json:"size,omitempty"`
+	// Seed is the workload/fault seed the run was launched with (0 when the
+	// tool ran unseeded); with it, any chaos run replays exactly.
+	Seed int64 `json:"seed,omitempty"`
 
 	Config  ArtifactConfig  `json:"config"`
 	Metrics ArtifactMetrics `json:"metrics"`
@@ -43,6 +46,39 @@ type Artifact struct {
 	// accompanied the run (cclint -json and ccverify -json output), when the
 	// producing pipeline attached it. Absent for plain simulation runs.
 	Tooling *ToolingDoc `json:"tooling,omitempty"`
+
+	// Recovery records fault-injection and NACK/retry recovery activity.
+	// Absent when the robustness knobs were off and no faults were injected.
+	Recovery *RecoveryDoc `json:"recovery,omitempty"`
+}
+
+// RecoveryDoc is the fault/recovery section of a run artifact: the
+// configured robustness knobs, what the fault layer injected, and how the
+// protocol recovered.
+type RecoveryDoc struct {
+	// Knobs.
+	QueueDepth     int   `json:"queueDepth"`
+	NIPortDepth    int   `json:"niPortDepth"`
+	RetryBudget    int   `json:"retryBudget"`
+	RequestTimeout int64 `json:"requestTimeoutCycles"`
+	NetReliable    bool  `json:"netReliable"`
+
+	// Injection activity (what actually fired, by fault kind name).
+	FaultsApplied map[string]uint64 `json:"faultsApplied,omitempty"`
+
+	// Recovery activity.
+	NacksSent   uint64 `json:"nacksSent"`
+	NacksRecv   uint64 `json:"nacksRecv"`
+	Retries     uint64 `json:"retries"`
+	Timeouts    uint64 `json:"timeouts"`
+	BusAborts   uint64 `json:"busAborts"`
+	StrayDrops  uint64 `json:"strayDrops"`
+	Retransmits uint64 `json:"linkRetransmits"`
+	Overflows   uint64 `json:"niOverflows"`
+
+	// RetryLatency is the issue-to-fill service-time distribution of
+	// requests that needed at least one retry.
+	RetryLatency HistogramDoc `json:"retryLatency"`
 }
 
 // ToolingDoc groups the verification evidence attachable to an artifact.
@@ -207,6 +243,31 @@ func NewArtifact(tool, size string, cfg *config.Config, r *stats.Run) *Artifact 
 		MissLatency: NewHistogramDoc(&r.MissLatency),
 		QueueDelay:  NewHistogramDoc(&qd),
 		Counters:    r.Counters,
+	}
+}
+
+// NewRecoveryDoc builds the fault/recovery section from the configured
+// knobs and a finished run's counters. faultsApplied is the injector's
+// name → count map (nil when the run had no fault schedule).
+func NewRecoveryDoc(cfg *config.Config, r *stats.Run, faultsApplied map[string]uint64) *RecoveryDoc {
+	ns, nr, rt, to, ba, sd := r.RecoveryTotals()
+	rl := r.RetryLatencyHistogram()
+	return &RecoveryDoc{
+		QueueDepth:     cfg.QueueDepth,
+		NIPortDepth:    cfg.NIPortDepth,
+		RetryBudget:    cfg.RetryBudget,
+		RequestTimeout: int64(cfg.RequestTimeout),
+		NetReliable:    cfg.NetReliable,
+		FaultsApplied:  faultsApplied,
+		NacksSent:      ns,
+		NacksRecv:      nr,
+		Retries:        rt,
+		Timeouts:       to,
+		BusAborts:      ba,
+		StrayDrops:     sd,
+		Retransmits:    r.Counter("linkRetransmits"),
+		Overflows:      r.Counter("niOverflows"),
+		RetryLatency:   NewHistogramDoc(&rl),
 	}
 }
 

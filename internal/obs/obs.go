@@ -44,13 +44,20 @@ const (
 	// EvCache is a processor cache transition (snoop, install, evict,
 	// write-back); Track is the node-local processor index.
 	EvCache
+	// EvNack is a request bounced by a home controller (full input queue or
+	// retried-owner collision); Track is the engine, Name the request type.
+	EvNack
+	// EvFault is an injected fault taking effect (drop, duplicate, delay,
+	// corrupt, engine stall, port brownout); Name is the fault kind, A a
+	// kind-specific argument (delay/stall cycles, message index).
+	EvFault
 
 	numEventKinds
 )
 
 var eventKindNames = [...]string{
 	"dispatch", "enqueue", "dequeue", "bus", "send", "recv",
-	"dir-read", "dir-write", "cache",
+	"dir-read", "dir-write", "cache", "nack", "fault",
 }
 
 func (k EventKind) String() string {
@@ -293,4 +300,22 @@ func (t *Tracer) Cache(at sim.Time, node, proc int, line uint64, action, state s
 	}
 	t.record(Event{At: at, Kind: EvCache, Node: int32(node), Track: int32(proc),
 		Line: line, Name: action, Aux: state})
+}
+
+// Nack records a request bounced by a home controller without dispatch.
+func (t *Tracer) Nack(at sim.Time, node, engine int, name string, line uint64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Kind: EvNack, Node: int32(node), Track: int32(engine),
+		Line: line, Name: name})
+}
+
+// Fault records an injected fault taking effect; kind is the fault name
+// (drop/dup/delay/corrupt/stall/brownout) and arg a kind-specific value.
+func (t *Tracer) Fault(at sim.Time, node int, kind string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Kind: EvFault, Node: int32(node), A: arg, Name: kind})
 }

@@ -35,6 +35,17 @@ type Sample struct {
 
 	NIOutBacklog int64 `json:"niOutBacklogCycles"` // output-port commitment beyond now
 	NIInBacklog  int64 `json:"niInBacklogCycles"`  // input-port commitment beyond now
+
+	// Robustness columns (all zero with the recovery knobs off). QueueCap is
+	// the configured per-queue depth limit so plots can show depth against
+	// capacity; Nacks/Retries are this node's deltas over the interval;
+	// Overflows is the machine-wide NI output-buffer overflow delta
+	// (repeated on every row of the tick).
+	QueueCap    int    `json:"queueCap"`    // configured input-queue capacity (0 = unbounded)
+	NIOutQueued int    `json:"niOutQueued"` // messages held in the node's NI output buffer
+	Nacks       uint64 `json:"nacks"`       // NACKs sent by this node in the interval
+	Retries     uint64 `json:"retries"`     // re-issues by this node in the interval
+	Overflows   uint64 `json:"overflows"`   // machine-wide NI overflow delta in the interval
 }
 
 // Sampler accumulates periodic samples for CSV/JSON emission. The machine
@@ -81,6 +92,7 @@ var csvHeader = []string{
 	"resp_q", "req_q", "bus_q",
 	"bus_addr_util_pct", "bus_data_util_pct", "bank_util_pct", "dir_dram_util_pct",
 	"ni_out_backlog_cycles", "ni_in_backlog_cycles",
+	"queue_cap", "ni_out_queued", "nacks", "retries", "overflows",
 }
 
 // WriteCSV emits the samples as CSV with a header row.
@@ -95,11 +107,12 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 		if r.EngineBusy {
 			busy = 1
 		}
-		_, err := fmt.Fprintf(bw, "%d,%d,%d,%.2f,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%d,%d\n",
+		_, err := fmt.Fprintf(bw, "%d,%d,%d,%.2f,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%d,%d\n",
 			r.At, r.Node, r.Engine, r.EngineUtilPct, busy,
 			r.RespQ, r.ReqQ, r.BusQ,
 			r.BusAddrUtilPct, r.BusDataUtilPct, r.BankUtilPct, r.DirDRAMUtilPct,
-			r.NIOutBacklog, r.NIInBacklog)
+			r.NIOutBacklog, r.NIInBacklog,
+			r.QueueCap, r.NIOutQueued, r.Nacks, r.Retries, r.Overflows)
 		if err != nil {
 			return err
 		}

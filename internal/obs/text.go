@@ -34,6 +34,10 @@ func (ev *Event) Text() string {
 		return prefix + fmt.Sprintf("dir write line=%#x %s", ev.Line, ev.Name)
 	case EvCache:
 		return prefix + fmt.Sprintf("cpu%d %s line=%#x %s", ev.Track, ev.Name, ev.Line, ev.Aux)
+	case EvNack:
+		return prefix + fmt.Sprintf("nack e%d %s line=%#x", ev.Track, ev.Name, ev.Line)
+	case EvFault:
+		return prefix + fmt.Sprintf("fault %s arg=%d", ev.Name, ev.A)
 	default:
 		return prefix + fmt.Sprintf("%s line=%#x", ev.Kind, ev.Line)
 	}

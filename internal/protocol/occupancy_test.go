@@ -87,6 +87,7 @@ func TestHandlerOccupancies(t *testing.T) {
 		{protocol.HWriteBackAtHome, 6, 12, 10},
 		{protocol.HInterventionMissAtHome, 4, 12, 8},
 		{protocol.HBusyRequeue, 2, 6, 4},
+		{protocol.HNackAtRequester, 4, 10, 8},
 	}
 	if len(cases) != protocol.NumHandlers {
 		t.Fatalf("test covers %d handlers, protocol defines %d", len(cases), protocol.NumHandlers)

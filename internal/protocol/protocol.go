@@ -58,6 +58,13 @@ const (
 	// the direct data path. SharedLeft reports that the evicting node
 	// still holds clean copies of the line.
 	MsgWriteBack
+	// MsgNack: home -> requester; the home's request queue was full (or a
+	// retried request hit a transient it must not join), so the request was
+	// bounced without being serviced. The requester backs off and re-issues.
+	// Only ReadReq/ReadExReq are ever NACKed: forwarded interventions,
+	// invalidations, and all responses travel on guaranteed channels, which
+	// is what keeps the NACK protocol itself deadlock-free.
+	MsgNack
 
 	numMsgTypes
 )
@@ -65,7 +72,7 @@ const (
 var msgNames = [...]string{
 	"ReadReq", "ReadExReq", "FetchReq", "FetchExReq", "Inval", "InvalAck",
 	"DataShared", "DataExcl", "OwnerData", "FetchDone", "FetchExDone",
-	"FetchDataHome", "InterventionMiss", "WriteBack",
+	"FetchDataHome", "InterventionMiss", "WriteBack", "Nack",
 }
 
 func (t MsgType) String() string {
@@ -94,6 +101,17 @@ type Msg struct {
 	Dirty bool
 	// SharedLeft on WriteBack: the evicting node retains clean copies.
 	SharedLeft bool
+	// Retry marks a ReadReq/ReadExReq re-issued after a NACK or a request
+	// timeout. The home must treat it idempotently: the original request may
+	// already have been serviced, so a retry that finds the requester listed
+	// as the dirty owner is NACKed instead of parked awaiting a write-back.
+	Retry bool
+	// Epoch tags a request episode at the requester (one MSHR lifetime).
+	// The home echoes it in grants and NACKs so the requester can discard
+	// responses that belong to an episode a retried request has already
+	// closed. It rides along at zero timing cost and is only consulted
+	// when the robustness knobs are on.
+	Epoch uint32
 	// Data is the cache-line value carried by data-bearing messages. The
 	// simulator models one shadow word per line (enough to detect stale
 	// reads and lost write-backs); it rides along with the timing model at
@@ -110,11 +128,18 @@ func (m *Msg) CarriesData() bool {
 	case MsgFetchDone:
 		return m.Dirty
 	case MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq, MsgInval,
-		MsgInvalAck, MsgFetchExDone, MsgInterventionMiss:
+		MsgInvalAck, MsgFetchExDone, MsgInterventionMiss, MsgNack:
 		return false
 	default:
 		panic(fmt.Sprintf("protocol: CarriesData on unknown message %v", m.Type))
 	}
+}
+
+// Nackable reports whether a full input queue may bounce this message back
+// to its requester. Only home-bound read/read-exclusive requests qualify;
+// everything else rides a guaranteed channel (see MsgNack).
+func (m *Msg) Nackable() bool {
+	return m.Type == MsgReadReq || m.Type == MsgReadExReq
 }
 
 // IsResponse reports whether the message belongs in the controller's
@@ -123,7 +148,8 @@ func (m *Msg) CarriesData() bool {
 func (m *Msg) IsResponse() bool {
 	switch m.Type {
 	case MsgDataShared, MsgDataExcl, MsgOwnerData, MsgFetchDone,
-		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss:
+		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss,
+		MsgNack:
 		return true
 	case MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq, MsgInval,
 		MsgWriteBack:
@@ -221,6 +247,11 @@ const (
 	// HBusyRequeue: a request dequeued while its line is in a transient
 	// state; checked and parked on the waiter list.
 	HBusyRequeue
+	// HNackAtRequester: a NACK (or a stray/duplicate response a retried
+	// request has made possible) arriving back at the requester; checked
+	// against the MSHR and either scheduled for backed-off re-issue or
+	// dropped.
+	HNackAtRequester
 
 	numHandlers
 )
@@ -253,6 +284,7 @@ var handlerNames = [...]string{
 	"write back from owner to home (eviction)",
 	"intervention miss notice at home",
 	"busy-line requeue",
+	"nack or stray response at requester",
 }
 
 func (h Handler) String() string {
@@ -391,6 +423,9 @@ var sequences = [numHandlers][]config.SubOp{
 	HBusyRequeue: {
 		config.OpLatchHeader, config.OpCondition, config.OpBitField,
 	},
+	HNackAtRequester: {
+		config.OpLatchHeader, config.OpAssocSearch, config.OpCondition,
+	},
 }
 
 // PerInvalOps is charged once per invalidation sent by the fan-out
@@ -485,7 +520,8 @@ func Stall(h Handler) StallKind {
 		HOwnerDataAtHomeRead, HOwnerWBAtHomeRead, HOwnerDataAtHomeReadEx,
 		HOwnerAckAtHome, HInvalAtSharer, HInvalAckMore, HInvalAckLastLocal,
 		HInvalAckLastRemote, HDataRespRead, HDataRespReadEx,
-		HWriteBackAtHome, HInterventionMissAtHome, HBusyRequeue:
+		HWriteBackAtHome, HInterventionMissAtHome, HBusyRequeue,
+		HNackAtRequester:
 		return StallNone
 	default:
 		panic(fmt.Sprintf("protocol: Stall on unknown handler %v", h))

@@ -8,7 +8,8 @@ import (
 
 func TestMsgClassification(t *testing.T) {
 	responses := []MsgType{MsgDataShared, MsgDataExcl, MsgOwnerData, MsgFetchDone,
-		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss}
+		MsgFetchExDone, MsgFetchDataHome, MsgInvalAck, MsgInterventionMiss,
+		MsgNack}
 	requests := []MsgType{MsgReadReq, MsgReadExReq, MsgFetchReq, MsgFetchExReq,
 		MsgInval, MsgWriteBack}
 	for _, mt := range responses {
@@ -39,7 +40,7 @@ func TestMsgDataSizes(t *testing.T) {
 	control := []Msg{
 		{Type: MsgReadReq}, {Type: MsgInval}, {Type: MsgInvalAck},
 		{Type: MsgFetchDone, Dirty: false}, {Type: MsgFetchExDone},
-		{Type: MsgInterventionMiss},
+		{Type: MsgInterventionMiss}, {Type: MsgNack},
 	}
 	for _, m := range data {
 		if !m.CarriesData() || m.Flits(&cfg) != cfg.LineDataFlits() {

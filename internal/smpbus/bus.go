@@ -231,6 +231,7 @@ type Bus struct {
 
 	counts  [numKinds]uint64
 	retries uint64
+	stalls  uint64 // injected bus outages (fault layer)
 }
 
 // New creates a bus for the given node with the configured number of
@@ -275,6 +276,21 @@ func (b *Bus) AddrResource() *sim.Resource { return b.addr }
 
 // DataResource exposes the data-bus resource.
 func (b *Bus) DataResource() *sim.Resource { return b.data }
+
+// Stall occupies the address and data buses for dur cycles (fault
+// injection: a transient bus outage). Outstanding transactions queue
+// behind the outage and proceed when it clears.
+func (b *Bus) Stall(dur sim.Time) {
+	if dur <= 0 {
+		return
+	}
+	b.stalls++
+	b.addr.Acquire(dur, func(sim.Time) {})
+	b.data.Acquire(dur, func(sim.Time) {})
+}
+
+// Stalls returns the number of injected bus outages.
+func (b *Bus) Stalls() uint64 { return b.stalls }
 
 // NumBanks returns the interleaved memory bank count.
 func (b *Bus) NumBanks() int { return len(b.banks) }

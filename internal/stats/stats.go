@@ -46,6 +46,18 @@ type ControllerStats struct {
 	seenArrival bool
 
 	Engines []EngineStats
+
+	// Robustness counters: NACK/retry flow control and fault recovery.
+	// All stay zero with the recovery knobs off.
+	NacksSent  uint64 // home-side NACKs issued (full queue or retried-owner bounce)
+	NacksRecv  uint64 // NACKs processed at the requester (dropped strays excluded)
+	Retries    uint64 // requests re-issued after a NACK back-off or timeout
+	Timeouts   uint64 // MSHR request timeouts fired
+	BusAborts  uint64 // bus transactions aborted on a full bus queue
+	StrayDrops uint64 // stale/duplicate responses tolerated and dropped
+	// RetryLat is the issue-to-fill service time of requests that needed at
+	// least one retry.
+	RetryLat Histogram
 }
 
 // NoteArrival records a request arrival at time t.
@@ -177,6 +189,32 @@ func (r *Run) QueueDelayHistogram() Histogram {
 		}
 	}
 	return h
+}
+
+// RetryLatencyHistogram merges the retry-latency distributions (issue-to-
+// fill service time of requests that needed at least one retry) of every
+// controller.
+func (r *Run) RetryLatencyHistogram() Histogram {
+	var h Histogram
+	for i := range r.Controllers {
+		h.Merge(&r.Controllers[i].RetryLat)
+	}
+	return h
+}
+
+// RecoveryTotals sums the robustness counters over all controllers, in the
+// order (nacksSent, nacksRecv, retries, timeouts, busAborts, strayDrops).
+func (r *Run) RecoveryTotals() (nacksSent, nacksRecv, retries, timeouts, busAborts, strayDrops uint64) {
+	for i := range r.Controllers {
+		c := &r.Controllers[i]
+		nacksSent += c.NacksSent
+		nacksRecv += c.NacksRecv
+		retries += c.Retries
+		timeouts += c.Timeouts
+		busAborts += c.BusAborts
+		strayDrops += c.StrayDrops
+	}
+	return
 }
 
 // RCCPI returns requests to coherence controllers per instruction. The

@@ -47,6 +47,9 @@ func machineConfig(vc *Config) config.Config {
 	// space without changing protocol behavior.
 	c.DirCacheEntries = 0
 	c.SimLimit = 5_000_000
+	if vc.Robust {
+		c = c.WithRobustness()
+	}
 	return c
 }
 

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"fmt"
+
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/machine"
+)
+
+// SweepResult summarizes a single-fault sweep: a canonical operation path
+// replayed once per (message index, fault kind) pair with exactly one fault
+// injected, asserting full recovery every time.
+type SweepResult struct {
+	// Messages is the network message count of the fault-free reference run
+	// (the sweep's injection coordinate space).
+	Messages int `json:"messages"`
+	// Runs is how many fault-injected replays executed.
+	Runs int `json:"runs"`
+	// Truncated means the (message, kind) grid exceeded the run budget and
+	// was stride-sampled instead of covered exhaustively.
+	Truncated  bool        `json:"truncated"`
+	Violations []Violation `json:"violations"`
+}
+
+// OK reports whether every injected fault was recovered from.
+func (r *SweepResult) OK() bool { return len(r.Violations) == 0 }
+
+// sweepKinds are the single-fault mutations the sweep injects.
+var sweepKinds = [...]string{"drop", "dup"}
+
+// SweepSingleFaults replays one canonical path — every (processor, op) pair
+// in order, the state-space walk's step vocabulary — on the robust machine
+// configuration, once per (message index, drop/duplicate) combination, with
+// exactly one fault injected at that message boundary. Each replay must
+// drain to a quiescent, invariant-clean state: the link layer and the
+// NACK/retry/timeout machinery must absorb any single fault. maxRuns bounds
+// the grid (0 = default 300); larger grids are stride-sampled. Violations
+// carry the replay path plus the injected fault for reproduction.
+func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
+	c := vc.normalized()
+	c.Robust = true
+	if maxRuns <= 0 {
+		maxRuns = 300
+	}
+	// The canonical path: every (processor, op) pair, then a second round of
+	// target writes and reads ping-ponging dirty ownership between
+	// processors — the second round starts from shared/dirty states, so its
+	// traffic covers interventions and write-backs, not just cold misses.
+	path := c.allSteps()
+	nprocs := c.Nodes * c.ProcsPerNode
+	for p := 0; p < nprocs; p++ {
+		path = append(path, Step{Proc: p, Op: OpWriteT})
+		path = append(path, Step{Proc: (p + 1) % nprocs, Op: OpReadT})
+	}
+
+	// Reference run: count the path's network messages with a pass-through
+	// hook; these indices are the sweep's injection points.
+	var msgs uint64
+	c.Fault = func(m *machine.Machine) {
+		m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
+			msgs++
+			return interconnect.Decision{}
+		}
+	}
+	if _, vio := protect(func() (string, *Violation) { return runPath(&c, path) }); vio != nil {
+		vio.PathStr = PathString(vio.Path)
+		return nil, fmt.Errorf("verify: fault-free robust reference run failed: %s", vio.String())
+	}
+
+	res := &SweepResult{Messages: int(msgs), Violations: []Violation{}}
+	total := int(msgs) * len(sweepKinds)
+	stride := 1
+	if total > maxRuns {
+		stride = (total + maxRuns - 1) / maxRuns
+		res.Truncated = true
+	}
+	for i := 0; i < total; i += stride {
+		target, kind := uint64(i/len(sweepKinds)), sweepKinds[i%len(sweepKinds)]
+		c.Fault = func(m *machine.Machine) {
+			var idx uint64
+			m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
+				var d interconnect.Decision
+				if idx == target {
+					switch kind {
+					case "drop":
+						d.Drop = true
+					default:
+						d.Duplicate = true
+					}
+				}
+				idx++
+				return d
+			}
+		}
+		_, vio := protect(func() (string, *Violation) { return runPath(&c, path) })
+		res.Runs++
+		if vio != nil {
+			vio.Detail = fmt.Sprintf("%s [injected %s@msg%d]", vio.Detail, kind, target)
+			vio.PathStr = PathString(vio.Path)
+			res.Violations = append(res.Violations, *vio)
+			if len(res.Violations) >= c.MaxViolations {
+				break
+			}
+		}
+		c.logf("sweep: %d/%d runs, %d violations", res.Runs, (total+stride-1)/stride, len(res.Violations))
+	}
+	return res, nil
+}

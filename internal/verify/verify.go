@@ -116,6 +116,12 @@ type Config struct {
 	// (0 = default 3).
 	MaxViolations int
 
+	// Robust builds every checker machine with the robustness knobs on
+	// (config.Config.WithRobustness): finite queues with NACK/retry,
+	// request timeouts, and link-level reliable delivery. The single-fault
+	// sweep uses it to assert that injected faults are survivable.
+	Robust bool
+
 	// Fault, when non-nil, is applied to every rebuilt machine before
 	// replay. It exists to seed protocol mutations (e.g. dropping an
 	// InvalAck) and prove the invariant suite catches them.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ccnuma/internal/interconnect"
 	"ccnuma/internal/machine"
 	"ccnuma/internal/protocol"
 )
@@ -52,13 +53,11 @@ func TestCatchesDroppedInvalAck(t *testing.T) {
 		MaxRaces:      -1, // phase A alone must catch this
 		MaxViolations: 1,
 		Fault: func(m *machine.Machine) {
-			for _, cc := range m.CCs {
-				cc.FaultInject = func(msg *protocol.Msg) *protocol.Msg {
-					if msg.Type == protocol.MsgInvalAck {
-						return nil
-					}
-					return msg
+			m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
+				if msg, ok := payload.(*protocol.Msg); ok && msg.Type == protocol.MsgInvalAck {
+					return interconnect.Decision{Drop: true}
 				}
+				return interconnect.Decision{}
 			}
 		},
 	})
@@ -90,15 +89,13 @@ func TestCatchesCorruptedWriteBackData(t *testing.T) {
 		MaxRaces:      -1,
 		MaxViolations: 1,
 		Fault: func(m *machine.Machine) {
-			for _, cc := range m.CCs {
-				cc.FaultInject = func(msg *protocol.Msg) *protocol.Msg {
-					if msg.Type == protocol.MsgWriteBack {
-						mutated := *msg
-						mutated.Data ^= 0xdeadbeef
-						return &mutated
-					}
-					return msg
+			m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
+				if msg, ok := payload.(*protocol.Msg); ok && msg.Type == protocol.MsgWriteBack {
+					mutated := *msg
+					mutated.Data ^= 0xdeadbeef
+					return interconnect.Decision{Replace: &mutated}
 				}
+				return interconnect.Decision{}
 			}
 		},
 	})

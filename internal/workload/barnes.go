@@ -72,7 +72,7 @@ func (w *barnesWork) Name() string { return "barnes" }
 func (w *barnesWork) Setup(m *machine.Machine) error {
 	w.init(m)
 	w.bodies = make([]body, w.n)
-	rng := rand.New(rand.NewSource(17))
+	rng := rand.New(rand.NewSource(17 + w.seed))
 	for i := range w.bodies {
 		b := &w.bodies[i]
 		for d := 0; d < 3; d++ {

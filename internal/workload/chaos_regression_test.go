@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/fault"
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/machine"
+)
+
+// TestChaosEarlyInterventionRace replays a fault schedule that once wedged
+// the machine: a delayed owner-to-requester data forward let the home's
+// next intervention overtake the grant, so the new owner answered
+// InterventionMiss for a line whose data was still in flight and the home
+// waited forever for a write-back. The run must recover end to end —
+// kernel completes, result verifies, network drains.
+func TestChaosEarlyInterventionRace(t *testing.T) {
+	cfg, err := config.Base().WithArch("HWC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.SimLimit = 50_000_000_000
+	cfg = cfg.WithRobustness()
+
+	// Fault-free pilot on the same configuration sizes the schedule, the
+	// same way ccchaos does, so the replayed coordinates stay inside the
+	// run even if baseline timing shifts.
+	pilot, err := machine.New(cfg, "radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs uint64
+	pilot.Net.Fault = func(int, int, interface{}) interconnect.Decision {
+		msgs++
+		return interconnect.Decision{}
+	}
+	wp, err := NewSeeded("radix", SizeTest, pilot.NProcs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wp.Setup(pilot); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pilot.Run(wp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sch := fault.Generate(43, fault.Params{
+		Events: 6, Horizon: rp.ExecTime, Messages: msgs,
+		Nodes: cfg.Nodes, Engines: cfg.EngineCount(),
+	})
+	t.Logf("schedule: %s", sch)
+
+	m, err := machine.New(cfg, "radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectFaults(sch)
+	w, err := NewSeeded("radix", SizeTest, m.NProcs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("panic: %v\nsnapshot:\n%s", p, m.Snapshot())
+		}
+	}()
+	if _, err := m.Run(w.Body); err != nil {
+		t.Fatalf("run: %v\nsnapshot:\n%s", err, m.Snapshot())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	if n := m.Net.InFlight(); n != 0 {
+		t.Errorf("network did not drain: %d frames in flight", n)
+	}
+}

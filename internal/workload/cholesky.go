@@ -64,7 +64,7 @@ func (w *cholWork) Setup(m *machine.Machine) error {
 		c += width
 	}
 	w.a = make([]float64, w.n*w.n)
-	rng := rand.New(rand.NewSource(23))
+	rng := rand.New(rand.NewSource(23 + w.seed))
 	// Symmetric positive definite: A = B^T B + n*I (computed directly).
 	b := make([]float64, w.n*w.n)
 	for i := range b {

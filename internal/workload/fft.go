@@ -54,7 +54,7 @@ func (w *fftWork) Setup(m *machine.Machine) error {
 	n := w.m * w.m
 	w.src = make([]complex128, n)
 	w.dst = make([]complex128, n)
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(11 + w.seed))
 	for i := range w.src {
 		w.src[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
 	}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/machine"
+)
+
+// TestGoldenExecTimes pins exact cycle counts for representative kernels on
+// the base (robustness-off) configuration. The robustness machinery —
+// finite queues, NACK/retry, timeouts, the reliable link layer — must be
+// architecturally invisible when its knobs are zero: any drift here means a
+// recovery code path leaked into the fault-free simulation.
+func TestGoldenExecTimes(t *testing.T) {
+	cases := []struct {
+		app   string
+		arch  string
+		nodes int
+		ppn   int
+		want  int64
+	}{
+		{"fft", "HWC", 4, 2, 14804},
+		{"fft", "2PPC", 4, 2, 21476},
+		{"water-sp", "PPC", 2, 2, 101764},
+	}
+	for _, tc := range cases {
+		cfg, err := config.Base().WithArch(tc.arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Nodes = tc.nodes
+		cfg.ProcsPerNode = tc.ppn
+		cfg.SimLimit = 2_000_000_000
+		m, err := machine.New(cfg, tc.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := New(tc.app, SizeTest, m.NProcs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Setup(m); err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(w.Body)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.app, tc.arch, err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatalf("%s/%s verification: %v", tc.app, tc.arch, err)
+		}
+		if int64(r.ExecTime) != tc.want {
+			t.Errorf("%s on %s (%dx%d): ExecTime = %d cycles, want %d — the base configuration is no longer cycle-identical",
+				tc.app, tc.arch, tc.nodes, tc.ppn, r.ExecTime, tc.want)
+		}
+	}
+}

@@ -60,7 +60,7 @@ func (w *luWork) Setup(m *machine.Machine) error {
 	w.pc = w.nprocs / w.pr
 
 	w.a = make([]float64, w.n*w.n)
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(7 + w.seed))
 	// Diagonally dominant matrix so factorization without pivoting is
 	// stable.
 	for i := 0; i < w.n; i++ {

@@ -62,7 +62,7 @@ func (w *radixWork) Setup(m *machine.Machine) error {
 	w.keys = make([]uint32, w.n)
 	w.other = make([]uint32, w.n)
 	w.hist = make([]int, w.nprocs*w.radix)
-	rng := rand.New(rand.NewSource(13))
+	rng := rand.New(rand.NewSource(13 + w.seed))
 	mask := uint32(1)<<w.keyBits - 1
 	for i := range w.keys {
 		w.keys[i] = rng.Uint32() & mask

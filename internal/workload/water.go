@@ -83,7 +83,7 @@ func (w *waterWork) Setup(m *machine.Machine) error {
 		return fmt.Errorf("%s: %d molecules for %d procs", w.name, w.n, w.nprocs)
 	}
 	w.mols = make([]molecule, w.n)
-	rng := rand.New(rand.NewSource(19))
+	rng := rand.New(rand.NewSource(19 + w.seed))
 	for i := range w.mols {
 		for d := 0; d < 3; d++ {
 			w.mols[i].pos[d] = rng.Float64() // unit box

@@ -93,6 +93,29 @@ func New(name string, size SizeClass, nprocs int) (Workload, error) {
 	return f(size, nprocs), nil
 }
 
+// Seedable is implemented by workloads whose input data is drawn from a
+// seeded generator. SetSeed offsets the kernel's fixed internal seed, so
+// different seeds produce different (but still deterministic) inputs and
+// reference streams; seed 0 is the identity and leaves the kernel
+// byte-identical to its unseeded form.
+type Seedable interface {
+	SetSeed(seed int64)
+}
+
+// NewSeeded creates the named workload and applies seed when it is non-zero
+// and the kernel draws seeded input data. Seed 0 always reproduces the
+// exact unseeded workload, keeping default runs cycle-identical.
+func NewSeeded(name string, size SizeClass, nprocs int, seed int64) (Workload, error) {
+	w, err := New(name, size, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := w.(Seedable); ok && seed != 0 {
+		s.SetSeed(seed)
+	}
+	return w, nil
+}
+
 // Names lists the registered benchmarks in sorted order.
 func Names() []string {
 	var names []string
@@ -110,12 +133,18 @@ var PaperApps = []string{"lu", "water-sp", "barnes", "cholesky", "water-nsq", "f
 // ---- reference helpers -------------------------------------------------------
 
 // spanner issues line-granular references using the machine's configured
-// cache-line size. Workloads embed one and initialize it in Setup.
+// cache-line size. Workloads embed one and initialize it in Setup; it also
+// carries the optional input seed, making every kernel Seedable.
 type spanner struct {
-	ls uint64 // line size in bytes
+	ls   uint64 // line size in bytes
+	seed int64  // input-seed offset (0 = the kernel's fixed default)
 }
 
 func (s *spanner) init(m *machine.Machine) { s.ls = uint64(m.Cfg.LineSize) }
+
+// SetSeed offsets the kernel's input-generation seed. Kernels whose inputs
+// are fully deterministic (micro, ocean) ignore it.
+func (s *spanner) SetSeed(seed int64) { s.seed = seed }
 
 // readSpan issues one simulated read per cache line of [base, base+bytes).
 func (s *spanner) readSpan(e prog.Env, base uint64, bytes int) {
