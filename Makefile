@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench tables lint verify chaos clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos clean
 
 all: build
 
@@ -14,9 +14,10 @@ build:
 # check is the pre-PR gate: gofmt must report nothing, vet and cclint must
 # be clean (cclint also rejects //nolint and //cclint:ignore directives
 # that carry no reason), every test must pass with the race detector on,
-# and the model checker must close the 2-node state space with zero
-# violations.
-check: fmt vet lint race verify
+# the model checker must close the 2-node state space with zero
+# violations, and ccbench's smoke run must finish without a gross
+# performance regression against the committed BENCH artifact.
+check: fmt vet lint race verify bench
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -50,8 +51,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench is the perf-regression smoke gate: quick engine microbenchmarks and
+# reduced end-to-end runs, compared against the newest committed
+# BENCH_*.json at 4x the normal threshold (wall time on shared CI is
+# noisy; only gross regressions fail). `go run ./cmd/ccbench` with no
+# flags performs the full run and writes a new artifact.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/ccbench -smoke
+
+# microbench runs the go-test benchmark suites (paper artifacts at SizeTest
+# plus the engine hot-loop benchmarks in internal/sim).
+microbench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/sim
 
 # Regenerate every paper table/figure at smoke sizes.
 tables:

@@ -1,0 +1,421 @@
+// Command ccbench is the performance-regression harness for the simulator
+// itself: it times the event engine's hot loops (events/sec, allocs/event)
+// and SizeTest end-to-end regenerations (tables, chaos campaigns) both
+// serially and across the parallel runner, writes a versioned
+// ccnuma-bench/v1 artifact (BENCH_<date>.json), and compares the numbers
+// against the previous artifact, failing when a metric regressed past a
+// configurable threshold.
+//
+// Timing metrics describe the host, not the simulated machine, so
+// artifacts record GOMAXPROCS alongside every number; comparisons across
+// different hosts are advisory only.
+//
+// Usage:
+//
+//	ccbench                   # full run, writes BENCH_<date>.json, compares vs newest previous
+//	ccbench -smoke            # quick gate for make check: no file written, generous threshold
+//	ccbench -jobs 4           # parallel-section worker count
+//	ccbench -baseline BENCH_2026-08-01.json -threshold 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"ccnuma/internal/chaos"
+	"ccnuma/internal/config"
+	"ccnuma/internal/exp"
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+// BenchSchema versions the artifact layout, ccnuma-run/v1 style.
+const BenchSchema = "ccnuma-bench/v1"
+
+// Doc is the whole benchmark artifact.
+type Doc struct {
+	Schema     string `json:"schema"`
+	Generated  string `json:"generated"` // RFC 3339 wall-clock timestamp
+	Go         string `json:"go"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"`
+	Smoke      bool   `json:"smoke,omitempty"`
+
+	// Micro times the engine hot loops in isolation.
+	Micro []MicroEntry `json:"micro"`
+	// E2E times whole SizeTest regenerations on one goroutine.
+	E2E []E2EEntry `json:"e2e"`
+	// Parallel re-times the E2E workloads across the runner pool.
+	Parallel []ParallelEntry `json:"parallel"`
+
+	// Baseline names the artifact these numbers were compared against
+	// (empty on the first run).
+	Baseline    string   `json:"baseline,omitempty"`
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// MicroEntry is one engine microbenchmark result. Events is part of the
+// identity: entries with different event budgets are never compared.
+type MicroEntry struct {
+	Name           string  `json:"name"`
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// E2EEntry is one serial end-to-end regeneration timing.
+type E2EEntry struct {
+	Name   string  `json:"name"`
+	Runs   int     `json:"runs"` // simulations executed
+	WallMs float64 `json:"wall_ms"`
+}
+
+// ParallelEntry compares a serial regeneration against the same work on
+// the runner pool. Speedup is SerialMs/ParallelMs; on a single-core host
+// it hovers near 1.0 regardless of Jobs.
+type ParallelEntry struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	Jobs       int     `json:"jobs"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func main() {
+	outDir := flag.String("out", ".", "directory for BENCH_<date>.json and baseline discovery")
+	outFile := flag.String("o", "", "explicit output path (default <out>/BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "baseline artifact to compare against (default: newest other BENCH_*.json in -out)")
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent; a metric this much worse than the baseline fails the run")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel section")
+	smoke := flag.Bool("smoke", false, "gate mode: no artifact written, threshold x4 (budgets stay identical so every metric is comparable with the committed artifact)")
+	flag.Parse()
+
+	doc := &Doc{
+		Schema:     BenchSchema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       *jobs,
+		Smoke:      *smoke,
+	}
+
+	// Budgets are the same in smoke and full mode: comparison matches
+	// entries on (name, events/runs), so a reduced smoke budget would
+	// silently compare nothing against a full-run baseline.
+	const microEvents = 3_000_000
+	const chaosSchedules = 10
+	if *smoke {
+		*threshold *= 4
+	}
+
+	fmt.Printf("ccbench: %s, GOMAXPROCS=%d, jobs=%d\n", doc.Go, doc.GoMaxProcs, *jobs)
+
+	// Engine microbenchmarks: the same workload shapes as the Benchmark*
+	// functions in internal/sim, timed over a fixed event budget so runs
+	// are comparable across invocations.
+	for _, mb := range []struct {
+		name string
+		fn   func(events int) obs.PerfDoc
+	}{
+		{"engine/schedule-step", microScheduleStep},
+		{"engine/mixed-horizon", microMixedHorizon},
+		{"engine/same-cycle-burst", microSameCycleBurst},
+	} {
+		perf := mb.fn(microEvents)
+		e := MicroEntry{
+			Name:           mb.name,
+			Events:         perf.Events,
+			NsPerEvent:     1e6 * perf.WallMs / float64(perf.Events),
+			EventsPerSec:   perf.EventsPerSec,
+			AllocsPerEvent: perf.AllocsPerEvent,
+			BytesPerEvent:  perf.BytesPerEvent,
+		}
+		doc.Micro = append(doc.Micro, e)
+		fmt.Printf("  %-24s %8.1f ns/event  %6.2f Mevents/s  %5.2f allocs/event\n",
+			e.Name, e.NsPerEvent, e.EventsPerSec/1e6, e.AllocsPerEvent)
+	}
+
+	// End-to-end regenerations, serial then parallel. Each builds fresh
+	// suites/campaigns so memo caches never carry between timings.
+	table6Name := "tables/table6-test"
+	wallSerial, runs := timeTable6(1)
+	doc.E2E = append(doc.E2E, E2EEntry{Name: table6Name, Runs: runs, WallMs: wallSerial})
+	fmt.Printf("  %-24s %8.0f ms serial (%d sims)\n", table6Name, wallSerial, runs)
+	if *jobs > 1 {
+		wallPar, _ := timeTable6(*jobs)
+		doc.Parallel = append(doc.Parallel, parallelEntry(table6Name, runs, *jobs, wallSerial, wallPar))
+		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", table6Name, wallPar, *jobs, wallSerial/wallPar)
+	}
+
+	chaosName := fmt.Sprintf("chaos/fft-x%d", chaosSchedules)
+	wallSerial = timeChaos(chaosSchedules, 1)
+	doc.E2E = append(doc.E2E, E2EEntry{Name: chaosName, Runs: chaosSchedules, WallMs: wallSerial})
+	fmt.Printf("  %-24s %8.0f ms serial (%d schedules)\n", chaosName, wallSerial, chaosSchedules)
+	if *jobs > 1 {
+		wallPar := timeChaos(chaosSchedules, *jobs)
+		doc.Parallel = append(doc.Parallel, parallelEntry(chaosName, chaosSchedules, *jobs, wallSerial, wallPar))
+		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", chaosName, wallPar, *jobs, wallSerial/wallPar)
+	}
+
+	// Compare against the previous artifact.
+	outPath := *outFile
+	if outPath == "" {
+		outPath = filepath.Join(*outDir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	}
+	basePath := *baseline
+	if basePath == "" {
+		// A smoke run writes nothing, so today's artifact (if committed) is
+		// a legitimate baseline; a full run must not compare against the
+		// file it is about to overwrite.
+		skip := outPath
+		if *smoke {
+			skip = ""
+		}
+		basePath = newestBaseline(*outDir, skip)
+	}
+	if basePath != "" {
+		base, err := readDoc(basePath)
+		if err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", basePath, err))
+		}
+		doc.Baseline = filepath.Base(basePath)
+		doc.Regressions = compare(base, doc, *threshold)
+		if len(doc.Regressions) == 0 {
+			fmt.Printf("baseline %s: no regressions past %.0f%%\n", basePath, *threshold)
+		} else {
+			for _, r := range doc.Regressions {
+				fmt.Printf("REGRESSION: %s\n", r)
+			}
+		}
+	} else {
+		fmt.Println("no baseline artifact found; nothing to compare against")
+	}
+
+	if !*smoke {
+		if err := writeDoc(outPath, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("artifact: %s\n", outPath)
+	}
+	if len(doc.Regressions) > 0 {
+		os.Exit(2)
+	}
+}
+
+func parallelEntry(name string, runs, jobs int, serialMs, parallelMs float64) ParallelEntry {
+	return ParallelEntry{
+		Name: name, Runs: runs, Jobs: jobs,
+		SerialMs: serialMs, ParallelMs: parallelMs,
+		Speedup: serialMs / parallelMs,
+	}
+}
+
+// microScheduleStep: steady-state queue where every executed event re-arms
+// itself at a pseudo-random future time (the machine model's dominant
+// shape). Mirrors BenchmarkEngineScheduleStep.
+func microScheduleStep(events int) obs.PerfDoc {
+	const depth = 1024
+	rng := rand.New(rand.NewSource(1))
+	e := sim.NewEngine()
+	var fire func()
+	fire = func() { e.After(sim.Time(rng.Intn(64)+1), fire) }
+	for i := 0; i < depth; i++ {
+		e.At(sim.Time(rng.Intn(64)), fire)
+	}
+	return measureSteps(e, events)
+}
+
+// microMixedHorizon: mostly near events with a tail of far-future
+// timeout-like events. Mirrors BenchmarkEngineMixedHorizon.
+func microMixedHorizon(events int) obs.PerfDoc {
+	const depth = 4096
+	rng := rand.New(rand.NewSource(2))
+	e := sim.NewEngine()
+	var fire func()
+	fire = func() {
+		if rng.Intn(8) == 0 {
+			e.After(sim.Time(rng.Intn(100_000)+10_000), fire)
+		} else {
+			e.After(sim.Time(rng.Intn(16)+1), fire)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.At(sim.Time(rng.Intn(64)), fire)
+	}
+	return measureSteps(e, events)
+}
+
+// microSameCycleBurst: bursts of same-cycle events exercising the FIFO
+// tie-break path. Mirrors BenchmarkEngineSameCycleBurst.
+func microSameCycleBurst(events int) obs.PerfDoc {
+	e := sim.NewEngine()
+	nop := func() {}
+	return obs.MeasurePerf(func() uint64 {
+		var executed uint64
+		for int(executed) < events {
+			t := e.Now() + 1
+			for j := 0; j < 64; j++ {
+				e.At(t, nop)
+			}
+			for j := 0; j < 64; j++ {
+				if !e.Step() {
+					fatal(fmt.Errorf("ccbench: burst queue drained unexpectedly"))
+				}
+				executed++
+			}
+		}
+		return executed
+	})
+}
+
+func measureSteps(e *sim.Engine, events int) obs.PerfDoc {
+	return obs.MeasurePerf(func() uint64 {
+		for i := 0; i < events; i++ {
+			if !e.Step() {
+				fatal(fmt.Errorf("ccbench: queue drained unexpectedly"))
+			}
+		}
+		return uint64(events)
+	})
+}
+
+// timeTable6 regenerates Table 6 at SizeTest on a fresh suite and returns
+// the wall time in milliseconds and the number of simulations it ran.
+func timeTable6(jobs int) (float64, int) {
+	s := exp.NewSuite(workload.SizeTest)
+	s.Jobs = jobs
+	s.CollectArtifacts = true
+	start := time.Now()
+	if _, err := s.Table6(); err != nil {
+		fatal(err)
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e6, len(s.Artifacts())
+}
+
+// timeChaos runs a seeded fft chaos campaign (the ccchaos defaults: 4x2
+// robust machine) and returns the wall time in milliseconds.
+func timeChaos(schedules, jobs int) float64 {
+	cfg := config.Base()
+	cfg.Nodes, cfg.ProcsPerNode = 4, 2
+	cfg.SimLimit = 50_000_000_000
+	cfg = cfg.WithRobustness()
+	c := &chaos.Campaign{
+		Cfg:       cfg,
+		Size:      workload.SizeTest,
+		SizeName:  "test",
+		Schedules: schedules,
+		Events:    2 + cfg.Nodes,
+		BaseSeed:  1,
+		Jobs:      jobs,
+		Quiet:     true,
+		Out:       io.Discard,
+	}
+	start := time.Now()
+	failed, err := c.RunApp("fft")
+	if err != nil {
+		fatal(err)
+	}
+	if failed != 0 {
+		fatal(fmt.Errorf("ccbench: %d chaos schedules failed to recover", failed))
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+// compare returns a description of every metric in next that is worse than
+// the matching metric in prev by more than threshold percent. Entries
+// match on name plus workload size (events / runs); host-dependent speedup
+// is reported but never compared.
+func compare(prev, next *Doc, threshold float64) []string {
+	var out []string
+	worse := func(name, metric string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		pct := 100 * (new - old) / old
+		if pct > threshold {
+			out = append(out, fmt.Sprintf("%s %s: %.2f -> %.2f (+%.0f%% > %.0f%%)",
+				name, metric, old, new, pct, threshold))
+		}
+	}
+	prevMicro := map[string]MicroEntry{}
+	for _, e := range prev.Micro {
+		prevMicro[e.Name] = e
+	}
+	for _, e := range next.Micro {
+		p, ok := prevMicro[e.Name]
+		if !ok || p.Events != e.Events {
+			continue
+		}
+		worse(e.Name, "ns/event", p.NsPerEvent, e.NsPerEvent)
+		worse(e.Name, "allocs/event", p.AllocsPerEvent, e.AllocsPerEvent)
+	}
+	prevE2E := map[string]E2EEntry{}
+	for _, e := range prev.E2E {
+		prevE2E[e.Name] = e
+	}
+	for _, e := range next.E2E {
+		p, ok := prevE2E[e.Name]
+		if !ok || p.Runs != e.Runs {
+			continue
+		}
+		worse(e.Name, "wall_ms", p.WallMs, e.WallMs)
+	}
+	return out
+}
+
+// newestBaseline picks the lexicographically last BENCH_*.json in dir
+// (dates in the names sort chronologically), skipping the file about to be
+// written.
+func newestBaseline(dir, outPath string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if matches[i] != outPath {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &Doc{}
+	if err := json.Unmarshal(data, d); err != nil {
+		return nil, err
+	}
+	if d.Schema != BenchSchema {
+		return nil, fmt.Errorf("schema %q, want %q", d.Schema, BenchSchema)
+	}
+	return d, nil
+}
+
+func writeDoc(path string, d *Doc) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccbench:", err)
+	os.Exit(1)
+}

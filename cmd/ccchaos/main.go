@@ -1,20 +1,14 @@
 // Command ccchaos runs workload kernels under seeded fault-injection
 // schedules on the robust machine configuration and checks that every run
-// recovers: the kernel completes, its result verifies, the network drains,
-// and the coherence invariants hold on the quiesced machine. Each schedule
-// is generated deterministically from its seed, so any failure is
-// reproducible from the printed (app, seed) pair alone.
-//
-// Per app it first executes one fault-free pilot run to size the schedule
-// (message count and time horizon), then N chaos runs with seeds base,
-// base+1, ... base+N-1. Failures are classified by the stall watchdog
-// (deadlock / nack-storm / livelock / starvation) and printed with the
-// full schedule for replay.
+// recovers (see internal/chaos). Each schedule is generated
+// deterministically from its seed, so any failure is reproducible from the
+// printed (app, seed) pair alone; schedules run concurrently under -jobs
+// with output identical to a serial run.
 //
 // Usage:
 //
 //	ccchaos -app fft -schedules 50
-//	ccchaos -app all -size test -nodes 4 -ppn 2 -schedules 25
+//	ccchaos -app all -size test -nodes 4 -ppn 2 -schedules 25 -jobs 4
 //	ccchaos -app radix -schedules 200 -seed 1000 -json out/
 package main
 
@@ -22,17 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 
+	"ccnuma/internal/chaos"
 	"ccnuma/internal/config"
-	"ccnuma/internal/fault"
-	"ccnuma/internal/interconnect"
-	"ccnuma/internal/machine"
-	"ccnuma/internal/obs"
-	"ccnuma/internal/sim"
-	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
 )
 
@@ -47,6 +34,7 @@ func main() {
 	events := flag.Int("events", 0, "faults per schedule (0 = scale with the machine: 2 + nodes)")
 	seed := flag.Int64("seed", 1, "base seed; schedule s runs under seed base+s")
 	jsonDir := flag.String("json", "", "write one run artifact per app (ccchaos-<app>.json) into this directory")
+	jobs := flag.Int("jobs", 0, "schedules to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
 	quiet := flag.Bool("q", false, "suppress per-schedule progress output")
 	flag.Parse()
 
@@ -88,9 +76,22 @@ func main() {
 	fmt.Printf("ccchaos: %s on %s (%d nodes x %d procs), %d schedules/app, %d faults/schedule, base seed %d\n",
 		strings.Join(apps, ","), cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, *schedules, nEvents, *seed)
 
+	c := &chaos.Campaign{
+		Cfg:       cfg,
+		Size:      size,
+		SizeName:  *sizeFlag,
+		First:     *first,
+		Schedules: *schedules,
+		Events:    nEvents,
+		BaseSeed:  *seed,
+		Jobs:      *jobs,
+		JSONDir:   *jsonDir,
+		Quiet:     *quiet,
+		Out:       os.Stdout,
+	}
 	failures := 0
 	for _, name := range apps {
-		n, err := runApp(cfg, name, size, *sizeFlag, *first, *schedules, nEvents, *seed, *jsonDir, *quiet)
+		n, err := c.RunApp(name)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,163 +102,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: %d chaos runs, all recovered\n", *schedules*len(apps))
-}
-
-// runApp pilots one app fault-free, then runs the schedule sweep. It
-// returns the number of failed schedules.
-func runApp(cfg config.Config, name string, size workload.SizeClass, sizeName string,
-	first, schedules, nEvents int, baseSeed int64, jsonDir string, quiet bool) (int, error) {
-
-	// Pilot: fault-free run on the same robust configuration, counting the
-	// network messages so the schedule's fault coordinates land inside the
-	// run instead of past its end.
-	pilotMsgs, pilotExec, err := pilot(cfg, name, size, baseSeed)
-	if err != nil {
-		return 0, fmt.Errorf("%s: fault-free pilot failed (nothing injected): %w", name, err)
-	}
-	if !quiet {
-		fmt.Printf("%-10s pilot: %d messages, %d cycles\n", name, pilotMsgs, pilotExec)
-	}
-
-	params := fault.Params{
-		Events:   nEvents,
-		Horizon:  pilotExec,
-		Messages: pilotMsgs,
-		Nodes:    cfg.Nodes,
-		Engines:  cfg.EngineCount(),
-	}
-
-	failed := 0
-	applied := map[string]uint64{}
-	var lastRun *stats.Run
-	for s := first; s < first+schedules; s++ {
-		seed := baseSeed + int64(s)
-		sch := fault.Generate(seed, params)
-		r, inj, err := runSchedule(cfg, name, size, baseSeed, sch)
-		if err != nil {
-			failed++
-			fmt.Printf("%-10s seed=%d FAILED: %v\n", name, seed, err)
-			fmt.Printf("  repro: ccchaos -app %s -arch %s -nodes %d -ppn %d -size %s -seed %d -first %d -schedules 1 -events %d\n",
-				name, cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, sizeName, baseSeed, s, nEvents)
-			fmt.Printf("  schedule: %s\n", sch)
-			continue
-		}
-		for k, v := range inj.AppliedByKind() {
-			applied[k] += v
-		}
-		lastRun = r
-		if !quiet {
-			ns, nr, rt, to, ba, sd := r.RecoveryTotals()
-			fmt.Printf("%-10s seed=%d ok: %d/%d faults applied, exec=%d cycles, nacks=%d/%d retries=%d timeouts=%d busAborts=%d strayDrops=%d\n",
-				name, seed, inj.AppliedTotal(), len(sch.Events), r.ExecTime, ns, nr, rt, to, ba, sd)
-		}
-	}
-
-	fmt.Printf("%-10s %d/%d schedules recovered; faults applied: %s\n",
-		name, schedules-failed, schedules, renderApplied(applied))
-
-	if jsonDir != "" && lastRun != nil {
-		art := obs.NewArtifact("ccchaos", sizeName, &cfg, lastRun)
-		art.Seed = baseSeed
-		art.Recovery = obs.NewRecoveryDoc(&cfg, lastRun, applied)
-		path := filepath.Join(jsonDir, "ccchaos-"+name+".json")
-		if err := art.WriteFile(path); err != nil {
-			return failed, err
-		}
-		if !quiet {
-			fmt.Printf("%-10s artifact: %s\n", name, path)
-		}
-	}
-	return failed, nil
-}
-
-// pilot runs the kernel fault-free on the robust configuration and returns
-// its network message count and execution time.
-func pilot(cfg config.Config, name string, size workload.SizeClass, seed int64) (uint64, sim.Time, error) {
-	m, err := machine.New(cfg, name)
-	if err != nil {
-		return 0, 0, err
-	}
-	var msgs uint64
-	m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
-		msgs++
-		return interconnect.Decision{}
-	}
-	r, err := runKernel(m, name, size, seed)
-	if err != nil {
-		return 0, 0, err
-	}
-	return msgs, r.ExecTime, nil
-}
-
-// runSchedule executes one kernel run with the schedule injected and all
-// recovery checks applied: completion, result verification, network drain.
-func runSchedule(cfg config.Config, name string, size workload.SizeClass,
-	seed int64, sch *fault.Schedule) (r *stats.Run, inj *fault.Injector, err error) {
-
-	// The recovery machinery is deliberately fail-stop (e.g. an exhausted
-	// retry budget panics); one schedule's failure must not take down the
-	// rest of the sweep.
-	defer func() {
-		if p := recover(); p != nil {
-			r, err = nil, fmt.Errorf("panic: %v", p)
-		}
-	}()
-	m, err := machine.New(cfg, name)
-	if err != nil {
-		return nil, nil, err
-	}
-	inj = m.InjectFaults(sch)
-	r, err = runKernel(m, name, size, seed)
-	if err != nil {
-		return nil, inj, err
-	}
-	if inflight := m.Net.InFlight(); inflight != 0 {
-		return nil, inj, fmt.Errorf("network did not drain: %d frames still in flight", inflight)
-	}
-	for n := 0; n < cfg.Nodes; n++ {
-		if q := m.Net.OutQueued(n); q != 0 {
-			return nil, inj, fmt.Errorf("network did not drain: node %d NI still queues %d frames", n, q)
-		}
-	}
-	return r, inj, nil
-}
-
-// runKernel builds the seeded workload, runs it, and verifies the result.
-// Machine.Run itself enforces processor completion, zero transient protocol
-// ops, and the global coherence invariants on the quiesced machine.
-func runKernel(m *machine.Machine, name string, size workload.SizeClass, seed int64) (*stats.Run, error) {
-	w, err := workload.NewSeeded(name, size, m.NProcs(), seed)
-	if err != nil {
-		return nil, err
-	}
-	if err := w.Setup(m); err != nil {
-		return nil, err
-	}
-	r, err := m.Run(w.Body)
-	if err != nil {
-		return nil, err
-	}
-	if err := w.Verify(); err != nil {
-		return nil, fmt.Errorf("verification failed: %w", err)
-	}
-	return r, nil
-}
-
-func renderApplied(applied map[string]uint64) string {
-	if len(applied) == 0 {
-		return "none"
-	}
-	kinds := make([]string, 0, len(applied))
-	for k := range applied {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	parts := make([]string, 0, len(kinds))
-	for _, k := range kinds {
-		parts = append(parts, fmt.Sprintf("%s=%d", k, applied[k]))
-	}
-	return strings.Join(parts, " ")
 }
 
 func fatal(err error) {

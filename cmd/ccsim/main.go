@@ -18,6 +18,7 @@ import (
 	"ccnuma/internal/machine"
 	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
 )
 
@@ -121,9 +122,14 @@ func main() {
 	if err := w.Setup(m); err != nil {
 		fatal(err)
 	}
-	r, err := m.Run(w.Body)
-	if err != nil {
-		fatal(err)
+	var r *stats.Run
+	var runErr error
+	perf := obs.MeasurePerf(func() uint64 {
+		r, runErr = m.Run(w.Body)
+		return m.Eng.Executed()
+	})
+	if runErr != nil {
+		fatal(runErr)
 	}
 	if err := w.Verify(); err != nil {
 		fatal(fmt.Errorf("verification failed: %w", err))
@@ -149,6 +155,7 @@ func main() {
 	if *jsonPath != "" {
 		art := obs.NewArtifact("ccsim", *sizeFlag, &cfg, r)
 		art.Seed = *seed
+		art.Perf = &perf
 		if cfg.Robust() {
 			art.Recovery = obs.NewRecoveryDoc(&cfg, r, nil)
 		}
@@ -174,6 +181,7 @@ func main() {
 	fmt.Printf("queueing delay:     %.0f ns\n", r.AvgQueueDelayNs(-1))
 	fmt.Printf("arrival rate:       %.2f requests/us per controller\n", r.ArrivalRatePerMicrosecond())
 	fmt.Printf("requests to CCs:    %d\n", r.TotalArrivals())
+	fmt.Printf("engine throughput:  %s\n", perf)
 
 	fmt.Printf("miss latency:       mean %.0f cycles, p50=%.0f p90=%.0f p99=%.0f max=%d (n=%d)\n",
 		r.MissLatency.Mean(), r.MissLatency.Percentile(50), r.MissLatency.Percentile(90),

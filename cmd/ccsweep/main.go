@@ -1,16 +1,20 @@
 // Command ccsweep sweeps one architectural parameter across values and
 // architectures, emitting CSV for plotting (the raw material behind the
-// paper's sensitivity figures).
+// paper's sensitivity figures). Grid cells are independent simulations, so
+// they run concurrently (-jobs); rows are still emitted in grid order, so
+// the CSV, artifacts, and error behaviour are identical for any -jobs.
 //
 // Usage:
 //
 //	ccsweep -app ocean -param netlat -values 14,50,100,200 -archs HWC,PPC
 //	ccsweep -app fft -param line -values 32,64,128
-//	ccsweep -app radix -param ppn -values 1,2,4,8
+//	ccsweep -app radix -param ppn -values 1,2,4,8 -jobs 4
 //	ccsweep -app ocean -param engines -values 1,2,4 -archs PPC
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,7 @@ import (
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
 	"ccnuma/internal/obs"
+	"ccnuma/internal/runner"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
@@ -35,6 +40,7 @@ func main() {
 	ppn := flag.Int("ppn", 2, "processors per node")
 	jsonPath := flag.String("json", "", "also write an array of run-artifact documents to this file")
 	seed := flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
+	jobs := flag.Int("jobs", 0, "grid cells to simulate concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
 	flag.Parse()
 
 	var size workload.SizeClass
@@ -49,45 +55,71 @@ func main() {
 		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
 	}
 
-	var artifacts []*obs.Artifact
-	fmt.Println("app,param,value,arch,exec_cycles,rccpi_x1000,util_pct,queue_ns,penalty_vs_first_arch_pct")
-	for _, vs := range strings.Split(*values, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(vs))
-		if err != nil {
-			fatal(err)
+	// The sweep grid, value-major: the first architecture of each value
+	// group is that group's penalty baseline.
+	type cell struct {
+		valueStr string
+		arch     string
+	}
+	var cells []cell
+	valueList := strings.Split(*values, ",")
+	archList := strings.Split(*archs, ",")
+	for _, vs := range valueList {
+		for _, arch := range archList {
+			cells = append(cells, cell{valueStr: vs, arch: strings.TrimSpace(arch)})
 		}
-		var baseline *stats.Run
-		for _, arch := range strings.Split(*archs, ",") {
-			arch = strings.TrimSpace(arch)
-			cfg := config.Base()
-			cfg, err := cfg.WithArch(arch)
+	}
+
+	type cellOut struct {
+		value int
+		cfg   config.Config
+		run   *stats.Run
+	}
+	var artifacts []*obs.Artifact
+	var baseline *stats.Run
+	fmt.Println("app,param,value,arch,exec_cycles,rccpi_x1000,util_pct,queue_ns,penalty_vs_first_arch_pct")
+	_, err := runner.MapStream(context.Background(), *jobs, len(cells),
+		func(i int) (cellOut, error) {
+			c := cells[i]
+			v, err := strconv.Atoi(strings.TrimSpace(c.valueStr))
 			if err != nil {
-				fatal(err)
+				return cellOut{}, err
+			}
+			cfg := config.Base()
+			cfg, err = cfg.WithArch(c.arch)
+			if err != nil {
+				return cellOut{}, err
 			}
 			cfg.Nodes, cfg.ProcsPerNode = *nodes, *ppn
 			cfg.SimLimit = 50_000_000_000
 			if err := apply(&cfg, *param, v); err != nil {
-				fatal(err)
+				return cellOut{}, err
 			}
 			r, err := run(cfg, *app, size, *seed)
 			if err != nil {
-				fatal(err)
+				return cellOut{}, err
 			}
-			if baseline == nil {
-				baseline = r
+			return cellOut{value: v, cfg: cfg, run: r}, nil
+		},
+		func(i int, out cellOut) {
+			if i%len(archList) == 0 {
+				baseline = out.run
 			}
-			penalty := 100 * stats.Penalty(baseline, r)
+			penalty := 100 * stats.Penalty(baseline, out.run)
+			r := out.run
 			fmt.Printf("%s,%s,%d,%s,%d,%.3f,%.2f,%.0f,%.1f\n",
-				*app, *param, v, arch, r.ExecTime, 1000*r.RCCPI(),
+				*app, *param, out.value, cells[i].arch, r.ExecTime, 1000*r.RCCPI(),
 				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1), penalty)
 			if *jsonPath != "" {
-				a := obs.NewArtifact("ccsweep", *sizeFlag, &cfg, r)
+				a := obs.NewArtifact("ccsweep", *sizeFlag, &out.cfg, r)
 				a.Seed = *seed
 				p := penalty
 				a.PenaltyVsBaselinePct = &p
 				artifacts = append(artifacts, a)
 			}
-		}
+		})
+	if err != nil {
+		fatal(unwrapJob(err))
 	}
 	if *jsonPath != "" {
 		if err := obs.WriteArtifactsFile(*jsonPath, artifacts); err != nil {
@@ -95,6 +127,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "artifacts: %s (%d runs)\n", *jsonPath, len(artifacts))
 	}
+}
+
+// unwrapJob strips the runner's job-index wrapper so error messages match
+// the serial loop's.
+func unwrapJob(err error) error {
+	var je *runner.JobError
+	if errors.As(err, &je) {
+		return je.Err
+	}
+	return err
 }
 
 // apply sets the swept parameter on the configuration.

@@ -25,6 +25,7 @@ func main() {
 	only := flag.String("only", "", "regenerate one artifact: table1,table2,table3,table4,table6,table7,fig6,fig7,fig8,fig9,fig10,fig11,fig12,ext,placement,predict")
 	verbose := flag.Bool("v", false, "print per-simulation progress")
 	jsonPath := flag.String("json", "", "write one run-artifact document per simulation to this file (JSON array)")
+	jobs := flag.Int("jobs", 0, "simulations to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
 	flag.Parse()
 
 	var sc workload.SizeClass
@@ -38,6 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 	s := exp.NewSuite(sc)
+	s.Jobs = *jobs
 	if *verbose {
 		s.Progress = os.Stderr
 	}

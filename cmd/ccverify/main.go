@@ -31,6 +31,7 @@ func main() {
 	sweepFaults := flag.Bool("sweep-faults", false, "instead of the state-space walk, replay the canonical path once per (message, drop/dup) pair with one fault injected on the robust configuration and assert recovery")
 	sweepRuns := flag.Int("sweep-runs", 0, "fault-sweep replay budget (0 = default; larger grids are stride-sampled)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
+	jobs := flag.Int("jobs", 0, "replays to run concurrently (0 = GOMAXPROCS; 1 = serial; the result is identical for any value)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		MaxRaces:       *races,
 		MaxRaceOffsets: *offsets,
 		MaxViolations:  *maxViol,
+		Jobs:           *jobs,
 	}
 	if !*quiet && !*jsonOut {
 		vc.Log = func(format string, args ...interface{}) {

@@ -5,6 +5,7 @@ import (
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/stats"
+	"ccnuma/internal/workload"
 )
 
 // ExtensionResult holds the Section 5 extension studies: scaling the number
@@ -29,6 +30,18 @@ func (s *Suite) Extensions(apps ...string) (*ExtensionResult, error) {
 	if len(apps) == 0 {
 		apps = []string{"ocean", "radix"}
 	}
+	var reqs []runReq
+	for _, app := range apps {
+		for _, n := range engineCounts {
+			reqs = append(reqs, s.engineReq(app, n, variant{name: fmt.Sprintf("eng%d", n)}))
+		}
+		s.gather(&reqs, app, "HWC", base2())
+		for _, arch := range []string{"HWC", "PPCA", "PPC"} {
+			s.gather(&reqs, app, arch, base2())
+		}
+	}
+	s.prefetch(reqs)
+
 	res := &ExtensionResult{
 		Apps:          apps,
 		EngineScaling: map[string]map[int]float64{},
@@ -69,12 +82,8 @@ func (s *Suite) Extensions(apps ...string) (*ExtensionResult, error) {
 // own cache keys when suites are shared).
 func base2() variant { return variant{name: "base"} }
 
-// runEngines simulates app with n region-split PPC engines.
-func (s *Suite) runEngines(app string, n int, v variant) (*stats.Run, error) {
-	k := s.key(app, fmt.Sprintf("%dPPC-region", n), v)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
+// engineReq resolves the n-region-split-PPC-engines study to a request.
+func (s *Suite) engineReq(app string, n int, v variant) runReq {
 	cfg := config.Base()
 	cfg.Engine = config.PPC
 	cfg.NumEngines = n
@@ -84,11 +93,25 @@ func (s *Suite) runEngines(app string, n int, v variant) (*stats.Run, error) {
 	nodes, ppn := s.geometry(app)
 	cfg.Nodes, cfg.ProcsPerNode = nodes, ppn
 	cfg.SimLimit = 20_000_000_000
-	r, err := s.simulate(cfg, app)
+	size := workload.SizeBase
+	if s.Size == workload.SizeTest {
+		size = workload.SizeTest
+	}
+	return runReq{key: s.key(app, fmt.Sprintf("%dPPC-region", n), v),
+		cfg: cfg, app: app, size: size}
+}
+
+// runEngines simulates app with n region-split PPC engines.
+func (s *Suite) runEngines(app string, n int, v variant) (*stats.Run, error) {
+	req := s.engineReq(app, n, v)
+	if r, ok := s.cache[req.key]; ok {
+		return r, nil
+	}
+	r, art, err := simulateDetached(req, s.CollectArtifacts)
 	if err != nil {
 		return nil, err
 	}
-	s.cache[k] = r
+	s.commit(req, r, art)
 	return r, nil
 }
 

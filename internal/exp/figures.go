@@ -50,6 +50,15 @@ func (f *FigureResult) PPPenalty(app string) float64 {
 // normalized builds a figure over the given apps and variants, normalizing
 // by each app's baseline run (HWC under baseVariant).
 func (s *Suite) normalized(title string, apps []string, archs []string, v variant, baseVariant variant) (*FigureResult, error) {
+	var reqs []runReq
+	for _, app := range apps {
+		s.gather(&reqs, app, "HWC", baseVariant)
+		for _, arch := range archs {
+			s.gather(&reqs, app, arch, v)
+		}
+	}
+	s.prefetch(reqs)
+
 	f := &FigureResult{Title: title, Apps: apps, Archs: archs, Series: map[string]map[string]float64{}}
 	for _, arch := range archs {
 		f.Series[arch] = map[string]float64{}
@@ -168,6 +177,23 @@ func (f *Figure10Result) Render() string {
 // paper does.
 func (s *Suite) Figure10() (*Figure10Result, error) {
 	widths := []int{1, 2, 4, 8}
+	var reqs []runReq
+	for _, app := range workload.PaperApps {
+		baseNodes, basePPN := s.geometry(app)
+		total := baseNodes * basePPN
+		s.gather(&reqs, app, "HWC", base())
+		for _, wdt := range widths {
+			if total/wdt < 1 {
+				continue
+			}
+			v := variant{name: fmt.Sprintf("ppn%d", wdt), nodes: total / wdt, ppn: wdt}
+			for _, arch := range allArchs {
+				s.gather(&reqs, app, arch, v)
+			}
+		}
+	}
+	s.prefetch(reqs)
+
 	f := &Figure10Result{Apps: workload.PaperApps, Widths: widths, Archs: allArchs,
 		Series: map[string]map[int]map[string]float64{}}
 	for _, app := range f.Apps {
@@ -257,9 +283,20 @@ func (s *Suite) figurePoints() []struct {
 	return pts
 }
 
+// prefetchPoints warms the cache for the Figure 11/12 point set.
+func (s *Suite) prefetchPoints() {
+	var reqs []runReq
+	for _, pt := range s.figurePoints() {
+		s.gather(&reqs, pt.app, "HWC", pt.v)
+		s.gather(&reqs, pt.app, "PPC", pt.v)
+	}
+	s.prefetch(reqs)
+}
+
 // Figure11 computes the arrival rate of requests to each controller
 // architecture against RCCPI, showing PPC saturating below HWC.
 func (s *Suite) Figure11() (*Figure11Result, error) {
+	s.prefetchPoints()
 	f := &Figure11Result{}
 	for _, pt := range s.figurePoints() {
 		hwc, err := s.Run(pt.app, "HWC", pt.v)
@@ -298,6 +335,7 @@ func (f *Figure12Result) Render() string {
 // Figure12 computes the PP penalty against RCCPI for the standard point
 // set, the paper's prediction methodology.
 func (s *Suite) Figure12() (*Figure12Result, error) {
+	s.prefetchPoints()
 	f := &Figure12Result{}
 	for _, pt := range s.figurePoints() {
 		hwc, err := s.Run(pt.app, "HWC", pt.v)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"ccnuma/internal/config"
+	"ccnuma/internal/obs"
+	"ccnuma/internal/workload"
 )
 
 // PlacementResult compares page-placement policies (the paper's Section 3.1
@@ -19,30 +21,49 @@ type PlacementResult struct {
 
 var placementPolicies = []config.PlacementPolicy{config.PlaceRoundRobin, config.PlaceFirstTouch}
 
+// placementReq resolves the page-placement study to a request.
+func (s *Suite) placementReq(app string, pol config.PlacementPolicy) runReq {
+	cfg := config.Base()
+	cfg.Placement = pol
+	cfg.Nodes, cfg.ProcsPerNode = s.geometry(app)
+	cfg.SimLimit = 20_000_000_000
+	size := workload.SizeBase
+	if s.Size == workload.SizeTest {
+		size = workload.SizeTest
+	}
+	return runReq{key: s.key(app, "HWC", variant{name: "place-" + pol.String()}),
+		cfg: cfg, app: app, size: size}
+}
+
 // Placement runs the placement-policy comparison (defaults to the
 // communication-heavy applications whose traffic placement shifts most).
 func (s *Suite) Placement(apps ...string) (*PlacementResult, error) {
 	if len(apps) == 0 {
 		apps = []string{"ocean", "radix", "barnes", "water-nsq"}
 	}
+	var reqs []runReq
+	for _, app := range apps {
+		for _, pol := range placementPolicies {
+			reqs = append(reqs, s.placementReq(app, pol))
+		}
+	}
+	s.prefetch(reqs)
+
 	res := &PlacementResult{Apps: apps, Normalized: map[string]map[string]float64{}}
 	for _, app := range apps {
 		res.Normalized[app] = map[string]float64{}
 		var base float64
 		for _, pol := range placementPolicies {
-			k := s.key(app, "HWC", variant{name: "place-" + pol.String()})
-			r, ok := s.cache[k]
+			req := s.placementReq(app, pol)
+			r, ok := s.cache[req.key]
 			if !ok {
-				cfg := config.Base()
-				cfg.Placement = pol
-				cfg.Nodes, cfg.ProcsPerNode = s.geometry(app)
-				cfg.SimLimit = 20_000_000_000
+				var art *obs.Artifact
 				var err error
-				r, err = s.simulate(cfg, app)
+				r, art, err = simulateDetached(req, s.CollectArtifacts)
 				if err != nil {
 					return nil, fmt.Errorf("placement %s/%s: %w", app, pol, err)
 				}
-				s.cache[k] = r
+				s.commit(req, r, art)
 			}
 			if pol == config.PlaceRoundRobin {
 				base = float64(r.ExecTime)

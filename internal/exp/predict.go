@@ -52,6 +52,16 @@ func (s *Suite) Prediction() (*PredictionResult, error) {
 	}
 	calApps := []string{"water-sp", "barnes", "water-nsq", "fft", "radix", "ocean"}
 	vCal := variant{name: "cal-small", size: calSize}
+	var reqs []runReq
+	for _, app := range calApps {
+		s.gather(&reqs, app, "HWC", vCal)
+		s.gather(&reqs, app, "PPC", vCal)
+	}
+	for _, app := range workload.PaperApps {
+		s.gather(&reqs, app, "HWC", base())
+		s.gather(&reqs, app, "PPC", base())
+	}
+	s.prefetch(reqs)
 	for _, app := range calApps {
 		hwc, err := s.Run(app, "HWC", vCal)
 		if err != nil {

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
 	"ccnuma/internal/obs"
+	"ccnuma/internal/runner"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
@@ -31,6 +33,13 @@ type Suite struct {
 	// CollectArtifacts, when true, retains one machine-readable run
 	// artifact per unique simulation (memoized reruns do not duplicate).
 	CollectArtifacts bool
+	// Jobs bounds how many simulations run concurrently when an experiment
+	// prefetches its runs (<= 0 means GOMAXPROCS). Progress lines, memo
+	// cache contents, artifact order, and every rendered result are
+	// identical for any value: each simulation is self-contained, and
+	// results are always committed in the serial loop's order. Jobs == 1
+	// executes the plain serial loop with no goroutines at all.
+	Jobs int
 
 	cache     map[string]*stats.Run
 	artifacts []*obs.Artifact
@@ -39,9 +48,10 @@ type Suite struct {
 // Artifacts returns the run documents collected so far, in simulation order.
 func (s *Suite) Artifacts() []*obs.Artifact { return s.artifacts }
 
-// NewSuite creates a suite at the given size class.
+// NewSuite creates a suite at the given size class. The suite runs
+// simulations serially unless Jobs is set.
 func NewSuite(size workload.SizeClass) *Suite {
-	return &Suite{Size: size, cache: make(map[string]*stats.Run)}
+	return &Suite{Size: size, Jobs: 1, cache: make(map[string]*stats.Run)}
 }
 
 // geometry returns the machine shape for an application: the paper's base
@@ -75,18 +85,28 @@ func (s *Suite) key(app, arch string, v variant) string {
 	return fmt.Sprintf("%s/%s/%s/%d/%d/%d/%d/%d", app, arch, v.name, v.lineSize, v.netLatency, int(v.size), v.nodes, v.ppn)
 }
 
-// Run simulates one application on one architecture under a variant,
-// memoizing the result.
-func (s *Suite) Run(app, arch string, v variant) (*stats.Run, error) {
-	k := s.key(app, arch, v)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
+// runReq is one fully resolved simulation request: a cache key, the exact
+// configuration and problem size to run, and how to report it. Requests are
+// what both the serial accessors and the parallel prefetcher operate on, so
+// the two paths cannot diverge.
+type runReq struct {
+	key      string
+	cfg      config.Config
+	app      string
+	size     workload.SizeClass
+	progress bool   // write a progress line when it completes
+	arch     string // progress-line labels
+	vname    string
+}
+
+// reqFor resolves the standard (app, arch, variant) experiment to a request,
+// applying the suite geometry and variant overrides.
+func (s *Suite) reqFor(app, arch string, v variant) (runReq, error) {
 	cfg := config.Base()
 	var err error
 	cfg, err = cfg.WithArch(arch)
 	if err != nil {
-		return nil, err
+		return runReq{}, err
 	}
 	nodes, ppn := s.geometry(app)
 	if v.nodes > 0 {
@@ -110,17 +130,95 @@ func (s *Suite) Run(app, arch string, v variant) (*stats.Run, error) {
 	if s.Size == workload.SizeTest {
 		size = workload.SizeTest
 	}
+	return runReq{key: s.key(app, arch, v), cfg: cfg, app: app, size: size,
+		progress: true, arch: arch, vname: v.name}, nil
+}
 
-	r, err := s.simulateAt(cfg, app, size)
+// Run simulates one application on one architecture under a variant,
+// memoizing the result.
+func (s *Suite) Run(app, arch string, v variant) (*stats.Run, error) {
+	req, err := s.reqFor(app, arch, v)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := s.cache[req.key]; ok {
+		return r, nil
+	}
+	r, art, err := simulateDetached(req, s.CollectArtifacts)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s (%s): %w", app, arch, v.name, err)
 	}
-	if s.Progress != nil {
-		fmt.Fprintf(s.Progress, "  ran %-10s %-5s %-12s exec=%-12d 1000*RCCPI=%.2f\n",
-			app, arch, v.name, r.ExecTime, 1000*r.RCCPI())
-	}
-	s.cache[k] = r
+	s.commit(req, r, art)
 	return r, nil
+}
+
+// commit records a completed simulation: progress line, memo cache,
+// artifact. Always called in request order, on the suite's goroutine.
+func (s *Suite) commit(req runReq, r *stats.Run, art *obs.Artifact) {
+	if req.progress && s.Progress != nil {
+		fmt.Fprintf(s.Progress, "  ran %-10s %-5s %-12s exec=%-12d 1000*RCCPI=%.2f\n",
+			req.app, req.arch, req.vname, r.ExecTime, 1000*r.RCCPI())
+	}
+	s.cache[req.key] = r
+	if s.CollectArtifacts && art != nil {
+		s.artifacts = append(s.artifacts, art)
+	}
+}
+
+// gather appends the request for (app, arch, v) to reqs. A request that
+// fails to resolve (e.g. an unknown architecture) is silently skipped: the
+// serial accessor will hit the same failure and report it properly.
+func (s *Suite) gather(reqs *[]runReq, app, arch string, v variant) {
+	req, err := s.reqFor(app, arch, v)
+	if err != nil {
+		return
+	}
+	*reqs = append(*reqs, req)
+}
+
+// prefetch warms the memo cache for a set of requests, running the missing
+// simulations across the suite's worker budget. Requests must be listed in
+// the order the serial code would first execute them: completions are
+// committed (progress, cache, artifacts) in exactly that order, so the
+// observable output is byte-identical to the serial loop for any Jobs.
+//
+// Errors are deliberately ignored here: a failed request is simply not
+// cached, and the serial accessor that needs it will re-run it and report
+// the error with its usual wrapping. That keeps error text and partial
+// progress output identical to a serial run, at the cost of re-running the
+// one failing simulation.
+func (s *Suite) prefetch(reqs []runReq) {
+	if runner.Workers(s.Jobs) == 1 {
+		return
+	}
+	seen := make(map[string]bool, len(reqs))
+	todo := reqs[:0:0]
+	for _, req := range reqs {
+		if seen[req.key] {
+			continue
+		}
+		if _, ok := s.cache[req.key]; ok {
+			continue
+		}
+		seen[req.key] = true
+		todo = append(todo, req)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	type simOut struct {
+		run *stats.Run
+		art *obs.Artifact
+	}
+	collect := s.CollectArtifacts
+	_, _ = runner.MapStream(context.Background(), s.Jobs, len(todo),
+		func(i int) (simOut, error) {
+			r, art, err := simulateDetached(todo[i], collect)
+			return simOut{run: r, art: art}, err
+		},
+		func(i int, out simOut) {
+			s.commit(todo[i], out.run, out.art)
+		})
 }
 
 // simulate runs app on a fully specified configuration at the suite's size
@@ -130,32 +228,43 @@ func (s *Suite) simulate(cfg config.Config, app string) (*stats.Run, error) {
 	if s.Size == workload.SizeTest {
 		size = workload.SizeTest
 	}
-	return s.simulateAt(cfg, app, size)
+	r, art, err := simulateDetached(runReq{cfg: cfg, app: app, size: size}, s.CollectArtifacts)
+	if err != nil {
+		return nil, err
+	}
+	if s.CollectArtifacts && art != nil {
+		s.artifacts = append(s.artifacts, art)
+	}
+	return r, nil
 }
 
-func (s *Suite) simulateAt(cfg config.Config, app string, size workload.SizeClass) (*stats.Run, error) {
-	m, err := machine.New(cfg, app)
+// simulateDetached executes one simulation without touching any suite
+// state, so it is safe to call from runner workers. The artifact (if
+// requested) is returned rather than recorded; commit attaches it in order.
+func simulateDetached(req runReq, collectArtifact bool) (*stats.Run, *obs.Artifact, error) {
+	m, err := machine.New(req.cfg, req.app)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	w, err := workload.New(app, size, m.NProcs())
+	w, err := workload.New(req.app, req.size, m.NProcs())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := w.Setup(m); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r, err := m.Run(w.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := w.Verify(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if s.CollectArtifacts {
-		s.artifacts = append(s.artifacts, obs.NewArtifact("cctables", size.String(), &cfg, r))
+	var art *obs.Artifact
+	if collectArtifact {
+		art = obs.NewArtifact("cctables", req.size.String(), &req.cfg, r)
 	}
-	return r, nil
+	return r, art, nil
 }
 
 // base returns the base-configuration variant.

@@ -163,6 +163,13 @@ type Table6Row struct {
 
 // Table6 computes the communication statistics from the base runs.
 func (s *Suite) Table6() ([]Table6Row, error) {
+	var reqs []runReq
+	for _, app := range workload.PaperApps {
+		s.gather(&reqs, app, "HWC", base())
+		s.gather(&reqs, app, "PPC", base())
+	}
+	s.prefetch(reqs)
+
 	var rows []Table6Row
 	for _, app := range workload.PaperApps {
 		hwc, err := s.Run(app, "HWC", base())
@@ -237,6 +244,14 @@ type Table7Row struct {
 
 // Table7 computes the two-engine utilization and distribution statistics.
 func (s *Suite) Table7() ([]Table7Row, error) {
+	var reqs []runReq
+	for _, app := range workload.PaperApps {
+		for _, arch := range []string{"2HWC", "2PPC"} {
+			s.gather(&reqs, app, arch, base())
+		}
+	}
+	s.prefetch(reqs)
+
 	var rows []Table7Row
 	for _, app := range workload.PaperApps {
 		for _, arch := range []string{"2HWC", "2PPC"} {

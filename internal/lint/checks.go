@@ -62,6 +62,19 @@ var retryPackages = map[string]bool{
 // retryNamePat matches declarations that name recovery tuning values.
 var retryNamePat = regexp.MustCompile(`(?i)retry|timeout|backoff|nack`)
 
+// goroutineAllowed lists the only packages that may contain a go
+// statement: the worker pool itself (the single sanctioned home of
+// concurrency) and the workload-handoff shims, where each compute
+// processor runs its program body on a goroutine that yields control back
+// to the engine synchronously. Everywhere else — model code, experiment
+// drivers, tools — a go statement breaks the determinism argument: results
+// must be committed on one goroutine in a fixed order.
+var goroutineAllowed = map[string]bool{
+	"ccnuma/internal/runner": true,
+	"ccnuma/internal/cpu":    true, // workload handoff: Proc runs program bodies
+	"ccnuma/internal/pram":   true, // workload handoff: PRAM reference driver
+}
+
 // bannedTimeFuncs are the wall-clock entry points of package time.
 var bannedTimeFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
@@ -82,6 +95,7 @@ func Check(pkgs []*Package) []Finding {
 		raw = append(raw, checkSchedNoop(pkg)...)
 		raw = append(raw, checkEnumStrings(pkg)...)
 		raw = append(raw, checkConfigLiterals(pkg)...)
+		raw = append(raw, checkNoGoroutines(pkg)...)
 		for _, f := range raw {
 			if !sup.covers(f) {
 				out = append(out, f)
@@ -425,6 +439,29 @@ func checkEnumStrings(pkg *Package) []Finding {
 			out = append(out, pkg.finding(obj.Pos(), "enum-string",
 				"enum %s has no String method; handlers/traces/stats print it as a bare integer", name))
 		}
+	}
+	return out
+}
+
+// checkNoGoroutines flags go statements outside the sanctioned concurrency
+// homes (internal/runner and the workload handoff). A goroutine anywhere
+// else undermines the parallel runner's determinism argument: simulations
+// stay embarrassingly parallel only while every model component runs
+// exclusively on its engine's goroutine and every result is committed in
+// job-index order.
+func checkNoGoroutines(pkg *Package) []Finding {
+	if goroutineAllowed[pkg.ImportPath] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				out = append(out, pkg.finding(g.Pos(), "no-goroutine",
+					"go statement outside internal/runner and the workload handoff; fan work out through the runner pool instead"))
+			}
+			return true
+		})
 	}
 	return out
 }

@@ -134,3 +134,30 @@ func TestConfigLiteralCheck(t *testing.T) {
 		}
 	}
 }
+
+// TestNoGoroutineCheck pins the goroutine ban on its fixture: the go
+// statement in badgo must be flagged, and the sanctioned packages
+// (internal/runner and the cpu/pram workload handoff) must stay exempt.
+func TestNoGoroutineCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badgo")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var got []Finding
+	for _, f := range Check(pkgs) {
+		if f.Check == "no-goroutine" {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("no-goroutine findings = %d, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Pos, "badgo.go") {
+		t.Errorf("finding anchored at %s, want badgo.go", got[0].Pos)
+	}
+	for _, path := range []string{"ccnuma/internal/runner", "ccnuma/internal/cpu", "ccnuma/internal/pram"} {
+		if !goroutineAllowed[path] {
+			t.Errorf("%s missing from the goroutine allowlist", path)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Artifact struct {
 	// Recovery records fault-injection and NACK/retry recovery activity.
 	// Absent when the robustness knobs were off and no faults were injected.
 	Recovery *RecoveryDoc `json:"recovery,omitempty"`
+
+	// Perf records host engine throughput (events/sec, allocs/event) when
+	// the producing tool measured it. It describes the host rather than the
+	// simulated machine, so it is absent from artifacts that must be
+	// byte-identical across runs.
+	Perf *PerfDoc `json:"perf,omitempty"`
 }
 
 // RecoveryDoc is the fault/recovery section of a run artifact: the

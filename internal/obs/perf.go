@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// PerfDoc is the engine-throughput section of a run artifact: how fast the
+// host executed simulated events and how much heap it allocated per event.
+// Unlike every other artifact section it describes the host, not the
+// simulated machine, so identical simulations produce different PerfDoc
+// values; tools that need byte-identical artifacts (the determinism tests)
+// must leave it unset.
+type PerfDoc struct {
+	// Events is the number of engine events the measured section executed.
+	Events uint64 `json:"events"`
+	// WallMs is the measured wall-clock duration in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// EventsPerSec is Events divided by the wall-clock duration.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvent is heap allocations (runtime mallocs) per event.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// BytesPerEvent is heap bytes allocated per event.
+	BytesPerEvent float64 `json:"bytes_per_event"`
+}
+
+func (p PerfDoc) String() string {
+	return fmt.Sprintf("%d events in %.1f ms: %.2f Mevents/s, %.2f allocs/event, %.0f B/event",
+		p.Events, p.WallMs, p.EventsPerSec/1e6, p.AllocsPerEvent, p.BytesPerEvent)
+}
+
+// MeasurePerf times fn and charges the heap allocations made during it to
+// the engine events it reports executing. fn returns the event count (for
+// a whole simulation, Engine.Executed after the run). Allocation counters
+// come from runtime.ReadMemStats, so concurrent goroutines' allocations
+// would be charged too: measure on an otherwise idle process, one
+// simulation at a time.
+func MeasurePerf(fn func() uint64) PerfDoc {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	events := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	d := PerfDoc{
+		Events: events,
+		WallMs: float64(wall.Nanoseconds()) / 1e6,
+	}
+	if events > 0 {
+		if wall > 0 {
+			d.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		d.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		d.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	return d
+}

@@ -1,0 +1,262 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapStreamDoneInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var seen []int
+		_, err := MapStream(context.Background(), workers, 50, func(i int) (int, error) {
+			// Finish out of order: later jobs are faster.
+			time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+			return i, nil
+		}, func(i, v int) {
+			if i != v {
+				t.Errorf("done(%d, %d): index/result mismatch", i, v)
+			}
+			seen = append(seen, i)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 50 {
+			t.Fatalf("workers=%d: done fired %d times, want 50", workers, len(seen))
+		}
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("workers=%d: done order %v not ascending", workers, seen)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapSerialRunsInline(t *testing.T) {
+	// workers == 1 must execute on the calling goroutine: jobs can observe
+	// and mutate caller state without synchronization.
+	before := runtime.NumGoroutine()
+	sum := 0
+	_, err := Map(context.Background(), 1, 10, func(i int) (int, error) {
+		sum += i
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("serial path grew goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		boom := errors.New("boom")
+		_, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("workers=%d: error %v is not a *JobError", workers, err)
+		}
+		if je.Index != 7 {
+			t.Fatalf("workers=%d: failing index = %d, want 7", workers, je.Index)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v does not unwrap to boom", workers, err)
+		}
+	}
+}
+
+func TestMapErrorSkipsOnlyHigherIndices(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var ran [200]atomic.Bool
+		_, err := Map(context.Background(), workers, 200, func(i int) (int, error) {
+			ran[i].Store(true)
+			if i == 50 {
+				return 0, errors.New("fail")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		for i := 0; i <= 50; i++ {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: job %d below the failure never ran", workers, i)
+			}
+		}
+		skipped := 0
+		for i := 51; i < 200; i++ {
+			if !ran[i].Load() {
+				skipped++
+			}
+		}
+		if workers > 1 && skipped == 0 {
+			t.Logf("workers=%d: no jobs were skipped after cancellation (slow machine?)", workers)
+		}
+	}
+}
+
+func TestMapPanicCaptured(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 20, func(i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a *PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: got index=%d value=%v", workers, pe.Index, pe.Value)
+		}
+		if !strings.Contains(pe.Stack, "runner_test.go") {
+			t.Fatalf("workers=%d: stack does not name the panic site:\n%s", workers, pe.Stack)
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var completed atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 4, 1000, func(i int) (int, error) {
+			if i == 0 {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			completed.Add(1)
+			return i, nil
+		})
+		errc <- err
+	}()
+	<-started
+	cancel()
+	err := <-errc
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	if n := completed.Load(); n == 1000 {
+		t.Fatal("cancellation did not skip any jobs")
+	}
+}
+
+func TestMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(ctx, workers, 10, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) != 3")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(0) != GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers(-1) != GOMAXPROCS")
+	}
+}
+
+// TestStress is the dedicated -race stress test from the issue: many tiny
+// jobs, cancellation mid-flight, and a panicking job, all interleaved
+// across repeated rounds to shake out pool races.
+func TestStress(t *testing.T) {
+	ctx := context.Background()
+	for round := 0; round < 20; round++ {
+		// Many tiny jobs, plain success path.
+		if _, err := Map(ctx, 8, 500, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+
+		// One panicking job at a varying position.
+		pos := round * 17 % 300
+		_, err := Map(ctx, 8, 300, func(i int) (int, error) {
+			if i == pos {
+				panic(fmt.Sprintf("round %d", round))
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != pos {
+			t.Fatalf("round %d: got %v, want panic at %d", round, err, pos)
+		}
+
+		// Cancellation mid-flight.
+		cctx, cancel := context.WithCancel(ctx)
+		var n atomic.Int64
+		go func() {
+			for n.Load() < 50 {
+				runtime.Gosched()
+			}
+			cancel()
+		}()
+		_, err = Map(cctx, 8, 5000, func(i int) (int, error) {
+			n.Add(1)
+			return i, nil
+		})
+		cancel()
+		// Either the whole sweep finished before cancel landed (fast
+		// machine) or we got a cancellation error; both are legal, races
+		// in either path are what -race is here to catch.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		}
+	}
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -21,45 +20,48 @@ func (t Time) Nanoseconds() float64 { return float64(t) * 5.0 }
 
 // event is a scheduled closure. seq breaks ties between events scheduled for
 // the same cycle so execution order is insertion order (deterministic).
+// Events are stored by value inside the engine's heap slab: scheduling one
+// performs no per-event heap allocation (the closure the caller passes is
+// the only allocation on the scheduling path).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
+// before reports whether e orders ahead of o in (time, sequence) order.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// heapArity is the fan-out of the event heap. A 4-ary heap halves the tree
+// depth of a binary heap, trading a few extra sibling comparisons (which hit
+// the same cache line, since events are stored by value) for fewer
+// level-to-level moves — the winning trade for the short-horizon reschedule
+// pattern that dominates the machine model.
+const heapArity = 4
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with NewEngine. Engine is not safe for concurrent use: all model code
 // runs on the single goroutine that called Run (workload goroutines hand off
 // control synchronously and never touch the engine while it is stepping).
+// Independent simulations each own their engine, so whole runs can execute
+// concurrently (see internal/runner).
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	// events is a value-typed heapArity-ary min-heap ordered by (at, seq).
+	// The backing array doubles as the event slab: pops shrink the slice
+	// without releasing capacity, so a simulation reaches its high-water
+	// queue depth once and then schedules allocation-free.
+	events []event
 	// stopped is set by Stop; Run drains no further events once set.
 	stopped bool
-	// executed counts events run, for debugging and runaway detection.
+	// executed counts events run, for debugging, runaway detection, and
+	// events-per-second throughput accounting (obs.MeasurePerf).
 	executed uint64
+	// maxPending tracks the heap's high-water mark (slab size reporting).
+	maxPending int
 	// limitHit records that the run ended because Limit was exceeded.
 	limitHit bool
 	// Limit optionally bounds simulated time; Run returns an error if the
@@ -78,6 +80,10 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have been executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// MaxPending reports the event queue's high-water mark: the slab capacity a
+// simulation of this shape needs.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug rather than a recoverable condition.
 func (e *Engine) At(t Time, fn func()) {
@@ -85,7 +91,10 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
 }
 
 // After schedules fn to run d cycles from now.
@@ -94,6 +103,61 @@ func (e *Engine) After(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	e.At(e.now+d, fn)
+}
+
+// push appends ev and sifts it up to its heap position.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	e.events = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !ev.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum event. The vacated slot at the slab
+// tail is zeroed so the engine does not pin the popped closure alive.
+func (e *Engine) pop() event {
+	h := e.events
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			c := heapArity*i + 1
+			if c >= n {
+				break
+			}
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return min
 }
 
 // Stop halts the run loop after the current event completes.
@@ -110,7 +174,7 @@ func (e *Engine) Step() bool {
 		e.limitHit = true
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.executed++
 	ev.fn()

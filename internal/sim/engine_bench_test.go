@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEngineScheduleStep exercises the schedule/step hot loop: a
+// steady-state queue of pending events where every executed event schedules
+// a replacement at a pseudo-random future time. This is the engine's
+// dominant workload shape under the machine model (every component re-arms
+// itself as it progresses).
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	const depth = 1024 // steady-state pending events
+	rng := rand.New(rand.NewSource(1))
+	e := NewEngine()
+	var fire func()
+	fire = func() {
+		e.After(Time(rng.Intn(64)+1), fire)
+	}
+	for i := 0; i < depth; i++ {
+		e.At(Time(rng.Intn(64)), fire)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("queue drained unexpectedly")
+		}
+	}
+}
+
+// BenchmarkEngineMixedHorizon mixes near events (the common case: bus and
+// engine occupancies a few cycles out) with a tail of far-future events
+// (timeouts), the mix that stresses heap reordering.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	const depth = 4096
+	rng := rand.New(rand.NewSource(2))
+	e := NewEngine()
+	var fire func()
+	fire = func() {
+		if rng.Intn(8) == 0 {
+			e.After(Time(rng.Intn(100_000)+10_000), fire) // timeout-like
+		} else {
+			e.After(Time(rng.Intn(16)+1), fire) // occupancy-like
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.At(Time(rng.Intn(64)), fire)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("queue drained unexpectedly")
+		}
+	}
+}
+
+// BenchmarkEngineSameCycleBurst measures bursts of same-cycle events (the
+// FIFO tie-break path): snoop fan-outs and zero-latency handoffs schedule
+// many events at the current time.
+func BenchmarkEngineSameCycleBurst(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		t := e.Now() + 1
+		for j := 0; j < 64; j++ {
+			e.At(t, nop)
+		}
+		for j := 0; j < 64; j++ {
+			if !e.Step() {
+				b.Fatal("queue drained unexpectedly")
+			}
+		}
+	}
+}

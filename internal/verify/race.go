@@ -1,9 +1,11 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"ccnuma/internal/cache"
+	pool "ccnuma/internal/runner"
 	"ccnuma/internal/sim"
 )
 
@@ -26,13 +28,21 @@ type opRecord struct {
 	done  bool
 }
 
-// runRaces drives phase B, appending to res.
+// runRaces drives phase B, appending to res. Races within one (state, s1)
+// group fan out across c.Jobs workers (each race replays on its own rebuilt
+// machine); results fold in the serial loop's order, so race counts,
+// truncation, and violation order are identical for any Jobs value.
 func runRaces(c *Config, states [][]Step, res *Result) {
 	ops := c.allSteps()
+	type raceJob struct {
+		s2 Step
+		d  sim.Time
+	}
 	for si, path := range states {
 		for _, s1 := range ops {
 			var offsets []sim.Time
 			haveOffsets := false
+			var group []raceJob
 			for _, s2 := range ops {
 				if s2.Proc == s1.Proc {
 					continue
@@ -42,24 +52,46 @@ func runRaces(c *Config, states [][]Step, res *Result) {
 					haveOffsets = true
 				}
 				for _, d := range offsets {
-					if res.Races >= c.MaxRaces {
-						res.RacesTruncated = true
-						return
-					}
-					if len(res.Violations) >= c.MaxViolations {
-						return
-					}
-					res.Races++
-					rs2 := s2
-					rs2.Delay = d
-					full := append(append([]Step{}, path...), s1, rs2)
+					group = append(group, raceJob{s2: s2, d: d})
+				}
+			}
+			if len(group) == 0 {
+				continue
+			}
+			// Only races inside the remaining budget can execute; the fold
+			// below re-applies the serial loop's budget check, which fires
+			// exactly at the first job past the slice.
+			remaining := c.MaxRaces - res.Races
+			if remaining < 0 {
+				remaining = 0
+			}
+			run := group
+			if len(run) > remaining {
+				run = group[:remaining]
+			}
+			s1 := s1
+			path := path
+			vios, _ := pool.Map(context.Background(), c.Jobs, len(run),
+				func(j int) (*Violation, error) {
 					_, vio := protect(func() (string, *Violation) {
-						return "", raceRun(c, path, s1, s2, d)
+						return "", raceRun(c, path, s1, run[j].s2, run[j].d)
 					})
-					if vio != nil {
-						vio.Path = full
-						res.Violations = append(res.Violations, *vio)
-					}
+					return vio, nil
+				})
+			for j := range group {
+				if res.Races >= c.MaxRaces {
+					res.RacesTruncated = true
+					return
+				}
+				if len(res.Violations) >= c.MaxViolations {
+					return
+				}
+				res.Races++
+				if vio := vios[j]; vio != nil {
+					rs2 := group[j].s2
+					rs2.Delay = group[j].d
+					vio.Path = append(append([]Step{}, path...), s1, rs2)
+					res.Violations = append(res.Violations, *vio)
 				}
 			}
 		}

@@ -1,10 +1,12 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"ccnuma/internal/interconnect"
 	"ccnuma/internal/machine"
+	pool "ccnuma/internal/runner"
 )
 
 // SweepResult summarizes a single-fault sweep: a canonical operation path
@@ -74,25 +76,40 @@ func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
 		stride = (total + maxRuns - 1) / maxRuns
 		res.Truncated = true
 	}
+	var idxs []int
 	for i := 0; i < total; i += stride {
-		target, kind := uint64(i/len(sweepKinds)), sweepKinds[i%len(sweepKinds)]
-		c.Fault = func(m *machine.Machine) {
-			var idx uint64
-			m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
-				var d interconnect.Decision
-				if idx == target {
-					switch kind {
-					case "drop":
-						d.Drop = true
-					default:
-						d.Duplicate = true
+		idxs = append(idxs, i)
+	}
+	// Replays are independent, so the grid fans out across c.Jobs workers.
+	// Each job gets its own Config copy carrying its own Fault closure (the
+	// injected-fault coordinates are per-replay state); results fold in grid
+	// order, so Runs counting, violation order, and log lines match the
+	// serial sweep exactly.
+	vios, _ := pool.Map(context.Background(), c.Jobs, len(idxs),
+		func(j int) (*Violation, error) {
+			target, kind := uint64(idxs[j]/len(sweepKinds)), sweepKinds[idxs[j]%len(sweepKinds)]
+			cj := c
+			cj.Fault = func(m *machine.Machine) {
+				var idx uint64
+				m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
+					var d interconnect.Decision
+					if idx == target {
+						switch kind {
+						case "drop":
+							d.Drop = true
+						default:
+							d.Duplicate = true
+						}
 					}
+					idx++
+					return d
 				}
-				idx++
-				return d
 			}
-		}
-		_, vio := protect(func() (string, *Violation) { return runPath(&c, path) })
+			_, vio := protect(func() (string, *Violation) { return runPath(&cj, path) })
+			return vio, nil
+		})
+	for j, vio := range vios {
+		target, kind := uint64(idxs[j]/len(sweepKinds)), sweepKinds[idxs[j]%len(sweepKinds)]
 		res.Runs++
 		if vio != nil {
 			vio.Detail = fmt.Sprintf("%s [injected %s@msg%d]", vio.Detail, kind, target)

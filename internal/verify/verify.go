@@ -35,11 +35,13 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"ccnuma/internal/machine"
+	pool "ccnuma/internal/runner"
 	"ccnuma/internal/sim"
 )
 
@@ -121,6 +123,14 @@ type Config struct {
 	// request timeouts, and link-level reliable delivery. The single-fault
 	// sweep uses it to assert that injected faults are survivable.
 	Robust bool
+
+	// Jobs bounds how many replays run concurrently (<= 0 = GOMAXPROCS,
+	// 1 = serial). Replays are independent rebuilt machines and results are
+	// always folded in replay order, so the Result is identical for any
+	// value. A non-nil Fault must then be safe to apply to machines being
+	// replayed concurrently (the stock mutation seams are: each installs
+	// per-machine hooks).
+	Jobs int
 
 	// Fault, when non-nil, is applied to every rebuilt machine before
 	// replay. It exists to seed protocol mutations (e.g. dropping an
@@ -220,29 +230,42 @@ func Run(vc Config) (*Result, error) {
 	visited[h] = nil
 	order = append(order, nil)
 
+	type edge struct {
+		path []Step
+		h    string
+		vio  *Violation
+	}
 	for i := 0; i < len(order); i++ {
 		if len(res.Violations) >= c.MaxViolations {
 			break
 		}
 		src := order[i]
-		for _, s := range ops {
-			path := append(append([]Step{}, src...), s)
-			h, vio := protect(func() (string, *Violation) { return runPath(&c, path) })
+		// Expand every op out of src concurrently — each expansion rebuilds
+		// its own machine and replays independently — then fold the edges in
+		// op order, so edge counts, violation order, and frontier growth are
+		// identical to the serial loop for any Jobs value.
+		edges, _ := pool.Map(context.Background(), c.Jobs, len(ops),
+			func(j int) (edge, error) {
+				path := append(append([]Step{}, src...), ops[j])
+				h, vio := protect(func() (string, *Violation) { return runPath(&c, path) })
+				return edge{path: path, h: h, vio: vio}, nil
+			})
+		for _, e := range edges {
 			res.Edges++
-			if vio != nil {
-				res.Violations = append(res.Violations, *vio)
+			if e.vio != nil {
+				res.Violations = append(res.Violations, *e.vio)
 				if len(res.Violations) >= c.MaxViolations {
 					break
 				}
 				continue
 			}
-			if _, seen := visited[h]; !seen {
+			if _, seen := visited[e.h]; !seen {
 				if len(visited) >= c.MaxStates {
 					res.Truncated = true
 					continue
 				}
-				visited[h] = path
-				order = append(order, path)
+				visited[e.h] = e.path
+				order = append(order, e.path)
 			}
 		}
 		if i%32 == 0 {
