@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos scenario clean
 
 all: build
 
@@ -17,7 +17,7 @@ build:
 # the model checker must close the 2-node state space with zero
 # violations, and ccbench's smoke run must finish without a gross
 # performance regression against the committed BENCH artifact.
-check: fmt vet lint race verify bench
+check: fmt vet lint race verify bench scenario
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -58,6 +58,16 @@ race:
 # flags performs the full run and writes a new artifact.
 bench:
 	$(GO) run ./cmd/ccbench -smoke
+
+# scenario smoke-tests the declarative layer end to end: run a committed
+# spec, replay the artifact it wrote, and require the replayed artifact
+# to be byte-identical to the original.
+scenario:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run ./cmd/ccsim -spec examples/scenarios/base.json -json "$$tmp/run.json" >/dev/null && \
+	$(GO) run ./cmd/ccsim -replay "$$tmp/run.json" -json "$$tmp/replay.json" >/dev/null && \
+	cmp "$$tmp/run.json" "$$tmp/replay.json" && echo "scenario: replay byte-identical"; \
+	status=$$?; rm -rf "$$tmp"; exit $$status
 
 # microbench runs the go-test benchmark suites (paper artifacts at SizeTest
 # plus the engine hot-loop benchmarks in internal/sim).

@@ -2,7 +2,7 @@
 // itself: it times the event engine's hot loops (events/sec, allocs/event)
 // and SizeTest end-to-end regenerations (tables, chaos campaigns) both
 // serially and across the parallel runner, writes a versioned
-// ccnuma-bench/v1 artifact (BENCH_<date>.json), and compares the numbers
+// ccnuma-bench/v1 artifact (BENCH_<date>_<fp>.json), and compares the numbers
 // against the previous artifact, failing when a metric regressed past a
 // configurable threshold.
 //
@@ -12,10 +12,10 @@
 //
 // Usage:
 //
-//	ccbench                   # full run, writes BENCH_<date>.json, compares vs newest previous
+//	ccbench                   # full run, writes BENCH_<date>_<fp>.json, compares vs newest previous
 //	ccbench -smoke            # quick gate for make check: no file written, generous threshold
 //	ccbench -jobs 4           # parallel-section worker count
-//	ccbench -baseline BENCH_2026-08-01.json -threshold 10
+//	ccbench -baseline BENCH_2026-08-01_0011223344556677.json -threshold 10
 package main
 
 import (
@@ -27,13 +27,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"time"
 
 	"ccnuma/internal/chaos"
-	"ccnuma/internal/config"
 	"ccnuma/internal/exp"
 	"ccnuma/internal/obs"
+	"ccnuma/internal/scenario"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/workload"
 )
@@ -56,6 +55,12 @@ type Doc struct {
 	E2E []E2EEntry `json:"e2e"`
 	// Parallel re-times the E2E workloads across the runner pool.
 	Parallel []ParallelEntry `json:"parallel"`
+
+	// Scenario embeds the canonical scenario the chaos section ran, and
+	// ScenarioFingerprint is its stable hash (also the artifact-name
+	// suffix, so same-day runs of different scenarios never collide).
+	Scenario            json.RawMessage `json:"scenario,omitempty"`
+	ScenarioFingerprint string          `json:"scenarioFingerprint,omitempty"`
 
 	// Baseline names the artifact these numbers were compared against
 	// (empty on the first run).
@@ -94,28 +99,68 @@ type ParallelEntry struct {
 }
 
 func main() {
-	outDir := flag.String("out", ".", "directory for BENCH_<date>.json and baseline discovery")
-	outFile := flag.String("o", "", "explicit output path (default <out>/BENCH_<date>.json)")
-	baseline := flag.String("baseline", "", "baseline artifact to compare against (default: newest other BENCH_*.json in -out)")
+	outDir := flag.String("out", ".", "directory for BENCH_<date>_<fingerprint>.json and baseline discovery")
+	outFile := flag.String("o", "", "explicit output path (default <out>/BENCH_<date>_<fingerprint>.json)")
+	baseline := flag.String("baseline", "", "baseline artifact to compare against (default: newest other BENCH_*.json in -out by mtime)")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent; a metric this much worse than the baseline fails the run")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel section")
 	smoke := flag.Bool("smoke", false, "gate mode: no artifact written, threshold x4 (budgets stay identical so every metric is comparable with the committed artifact)")
+	specPath := flag.String("spec", "", "drive the chaos section from a ccnuma-scenario/v1 file instead of the built-in campaign")
+	printSpec := flag.Bool("print-spec", false, "print the resolved canonical chaos scenario and exit without benchmarking")
 	flag.Parse()
 
+	// The chaos section is a scenario like any other run: the built-in
+	// campaign is the ccchaos default machine (4x2 robust) doing 10 fft
+	// schedules, and -spec substitutes a different one. Jobs stays out of
+	// the spec so the fingerprint is host-independent.
+	spec := scenario.Default()
+	if *specPath != "" {
+		var err error
+		spec, err = scenario.Load(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec.Machine.Nodes, spec.Machine.ProcsPerNode = 4, 2
+		spec.Workload = scenario.Workload{App: "fft", Size: "test"}
+		spec.Faults = &scenario.FaultPlan{Schedules: 10, BaseSeed: 1}
+	}
+	if !spec.Machine.Robust() {
+		spec.Machine = spec.Machine.WithRobustness()
+	}
+	if spec.Workload.App == "all" {
+		spec.Workload.App = "fft"
+	}
+	faults := spec.EnsureFaults()
+	canon, err := spec.Canonical()
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		os.Stdout.Write(canon)
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		fatal(err)
+	}
+
 	doc := &Doc{
-		Schema:     BenchSchema,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Go:         runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Jobs:       *jobs,
-		Smoke:      *smoke,
+		Schema:              BenchSchema,
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		Go:                  runtime.Version(),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Jobs:                *jobs,
+		Smoke:               *smoke,
+		Scenario:            canon,
+		ScenarioFingerprint: fp,
 	}
 
 	// Budgets are the same in smoke and full mode: comparison matches
 	// entries on (name, events/runs), so a reduced smoke budget would
 	// silently compare nothing against a full-run baseline.
 	const microEvents = 3_000_000
-	const chaosSchedules = 10
+	chaosSchedules := faults.Schedules
 	if *smoke {
 		*threshold *= 4
 	}
@@ -159,12 +204,12 @@ func main() {
 		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", table6Name, wallPar, *jobs, wallSerial/wallPar)
 	}
 
-	chaosName := fmt.Sprintf("chaos/fft-x%d", chaosSchedules)
-	wallSerial = timeChaos(chaosSchedules, 1)
+	chaosName := fmt.Sprintf("chaos/%s-x%d", spec.Workload.App, chaosSchedules)
+	wallSerial = timeChaos(spec, 1)
 	doc.E2E = append(doc.E2E, E2EEntry{Name: chaosName, Runs: chaosSchedules, WallMs: wallSerial})
 	fmt.Printf("  %-24s %8.0f ms serial (%d schedules)\n", chaosName, wallSerial, chaosSchedules)
 	if *jobs > 1 {
-		wallPar := timeChaos(chaosSchedules, *jobs)
+		wallPar := timeChaos(spec, *jobs)
 		doc.Parallel = append(doc.Parallel, parallelEntry(chaosName, chaosSchedules, *jobs, wallSerial, wallPar))
 		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", chaosName, wallPar, *jobs, wallSerial/wallPar)
 	}
@@ -172,7 +217,7 @@ func main() {
 	// Compare against the previous artifact.
 	outPath := *outFile
 	if outPath == "" {
-		outPath = filepath.Join(*outDir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+		outPath = artifactPath(*outDir, fp)
 	}
 	basePath := *baseline
 	if basePath == "" {
@@ -304,26 +349,32 @@ func timeTable6(jobs int) (float64, int) {
 	return float64(time.Since(start).Nanoseconds()) / 1e6, len(s.Artifacts())
 }
 
-// timeChaos runs a seeded fft chaos campaign (the ccchaos defaults: 4x2
-// robust machine) and returns the wall time in milliseconds.
-func timeChaos(schedules, jobs int) float64 {
-	cfg := config.Base()
-	cfg.Nodes, cfg.ProcsPerNode = 4, 2
-	cfg.SimLimit = 50_000_000_000
-	cfg = cfg.WithRobustness()
+// timeChaos runs the scenario's seeded chaos campaign and returns the wall
+// time in milliseconds.
+func timeChaos(spec *scenario.Spec, jobs int) float64 {
+	size, err := spec.Size()
+	if err != nil {
+		fatal(err)
+	}
+	faults := spec.Faults
+	events := faults.Events
+	if events <= 0 {
+		events = 2 + spec.Machine.Nodes
+	}
 	c := &chaos.Campaign{
-		Cfg:       cfg,
-		Size:      workload.SizeTest,
-		SizeName:  "test",
-		Schedules: schedules,
-		Events:    2 + cfg.Nodes,
-		BaseSeed:  1,
+		Cfg:       spec.Machine,
+		Size:      size,
+		SizeName:  spec.Workload.Size,
+		First:     faults.First,
+		Schedules: faults.Schedules,
+		Events:    events,
+		BaseSeed:  faults.BaseSeed,
 		Jobs:      jobs,
 		Quiet:     true,
 		Out:       io.Discard,
 	}
 	start := time.Now()
-	failed, err := c.RunApp("fft")
+	failed, err := c.RunApp(spec.Workload.App)
 	if err != nil {
 		fatal(err)
 	}
@@ -375,21 +426,44 @@ func compare(prev, next *Doc, threshold float64) []string {
 	return out
 }
 
-// newestBaseline picks the lexicographically last BENCH_*.json in dir
-// (dates in the names sort chronologically), skipping the file about to be
-// written.
+// artifactPath names the output artifact BENCH_<date>_<fp8>.json (the
+// scenario fingerprint keeps same-day runs of different scenarios apart)
+// and appends a -2, -3, ... sequence suffix instead of overwriting an
+// existing same-scenario artifact.
+func artifactPath(dir, fingerprint string) string {
+	base := "BENCH_" + time.Now().UTC().Format("2006-01-02") + "_" + fingerprint[:8]
+	path := filepath.Join(dir, base+".json")
+	for seq := 2; ; seq++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+		path = filepath.Join(dir, fmt.Sprintf("%s-%d.json", base, seq))
+	}
+}
+
+// newestBaseline picks the most recently modified BENCH_*.json in dir
+// (names no longer sort chronologically once fingerprint and sequence
+// suffixes are in play), skipping the file about to be written.
 func newestBaseline(dir, outPath string) string {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
-	if err != nil || len(matches) == 0 {
+	if err != nil {
 		return ""
 	}
-	sort.Strings(matches)
-	for i := len(matches) - 1; i >= 0; i-- {
-		if matches[i] != outPath {
-			return matches[i]
+	best := ""
+	var bestTime time.Time
+	for _, m := range matches {
+		if m == outPath {
+			continue
+		}
+		info, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if best == "" || info.ModTime().After(bestTime) {
+			best, bestTime = m, info.ModTime()
 		}
 	}
-	return ""
+	return best
 }
 
 func readDoc(path string) (*Doc, error) {

@@ -1,93 +1,117 @@
 // Command ccchaos runs workload kernels under seeded fault-injection
 // schedules on the robust machine configuration and checks that every run
-// recovers (see internal/chaos). Each schedule is generated
-// deterministically from its seed, so any failure is reproducible from the
-// printed (app, seed) pair alone; schedules run concurrently under -jobs
-// with output identical to a serial run.
+// recovers (see internal/chaos). The campaign is a ccnuma-scenario/v1
+// faults section — flags build one implicitly, -spec loads one from a
+// file. Each schedule is generated deterministically from its seed, so any
+// failure is reproducible from the printed (app, seed) pair alone;
+// schedules run concurrently under -jobs with output identical to a
+// serial run.
 //
 // Usage:
 //
 //	ccchaos -app fft -schedules 50
 //	ccchaos -app all -size test -nodes 4 -ppn 2 -schedules 25 -jobs 4
 //	ccchaos -app radix -schedules 200 -seed 1000 -json out/
+//	ccchaos -spec examples/scenarios/base.json -schedules 10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ccnuma/internal/chaos"
-	"ccnuma/internal/config"
+	"ccnuma/internal/scenario"
 	"ccnuma/internal/workload"
 )
 
 func main() {
-	app := flag.String("app", "all", fmt.Sprintf("application, or \"all\" for the paper's eight: %v", workload.PaperApps))
-	arch := flag.String("arch", "HWC", "controller architecture: HWC, PPC, PPCA, 2HWC, 2PPC, 2PPCA")
-	nodes := flag.Int("nodes", 4, "SMP nodes")
-	ppn := flag.Int("ppn", 2, "processors per node")
-	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
-	schedules := flag.Int("schedules", 25, "fault schedules per application")
-	first := flag.Int("first", 0, "index of the first schedule (repro: -first N -schedules 1 replays exactly schedule N)")
-	events := flag.Int("events", 0, "faults per schedule (0 = scale with the machine: 2 + nodes)")
-	seed := flag.Int64("seed", 1, "base seed; schedule s runs under seed base+s")
+	flag.String("app", "all", fmt.Sprintf("application, or \"all\" for the paper's eight: %v", workload.PaperApps))
+	flag.String("arch", "HWC", "controller architecture: HWC, PPC, PPCA, 2HWC, 2PPC, 2PPCA")
+	flag.Int("nodes", 4, "SMP nodes")
+	flag.Int("ppn", 2, "processors per node")
+	flag.String("size", "test", "problem size: test, base, large")
+	flag.Int("schedules", 25, "fault schedules per application")
+	flag.Int("first", 0, "index of the first schedule (repro: -first N -schedules 1 replays exactly schedule N)")
+	flag.Int("events", 0, "faults per schedule (0 = scale with the machine: 2 + nodes)")
+	flag.Int64("seed", 1, "base seed; schedule s runs under seed base+s")
+	flag.Int("jobs", 0, "schedules to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
+	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
+	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
 	jsonDir := flag.String("json", "", "write one run artifact per app (ccchaos-<app>.json) into this directory")
-	jobs := flag.Int("jobs", 0, "schedules to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
 	quiet := flag.Bool("q", false, "suppress per-schedule progress output")
 	flag.Parse()
 
-	cfg := config.Base()
-	var err error
-	cfg, err = cfg.WithArch(*arch)
+	// ccchaos's -seed seeds the fault schedules (and through the campaign
+	// the kernels), not the generic workload seed.
+	overrides := map[string]scenario.FlagFunc{
+		"seed": func(s *scenario.Spec, value string) error {
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return err
+			}
+			s.EnsureFaults().BaseSeed = v
+			return nil
+		},
+	}
+	spec, err := scenario.FromFlags(flag.CommandLine, *specPath, "", overrides)
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Nodes = *nodes
-	cfg.ProcsPerNode = *ppn
-	cfg.SimLimit = 50_000_000_000
-	cfg = cfg.WithRobustness()
-	if err := cfg.Validate(); err != nil {
+	faults := spec.EnsureFaults()
+	// Chaos always runs on a robust machine: a spec without the recovery
+	// knobs gets the standard robustness preset, exactly as the flag path
+	// always has.
+	if !spec.Machine.Robust() {
+		spec.Machine = spec.Machine.WithRobustness()
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		os.Stdout.Write(canon)
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
 		fatal(err)
 	}
 
-	var size workload.SizeClass
-	switch *sizeFlag {
-	case "test":
-		size = workload.SizeTest
-	case "base":
-		size = workload.SizeBase
-	case "large":
-		size = workload.SizeLarge
-	default:
-		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	cfg := spec.Machine
+	size, err := spec.Size()
+	if err != nil {
+		fatal(err)
 	}
 
-	apps := []string{*app}
-	if *app == "all" {
+	apps := []string{spec.Workload.App}
+	if spec.Workload.App == "all" {
 		apps = workload.PaperApps
 	}
-	nEvents := *events
+	nEvents := faults.Events
 	if nEvents <= 0 {
 		nEvents = 2 + cfg.Nodes
 	}
 
 	fmt.Printf("ccchaos: %s on %s (%d nodes x %d procs), %d schedules/app, %d faults/schedule, base seed %d\n",
-		strings.Join(apps, ","), cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, *schedules, nEvents, *seed)
+		strings.Join(apps, ","), cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, faults.Schedules, nEvents, faults.BaseSeed)
 
 	c := &chaos.Campaign{
-		Cfg:       cfg,
-		Size:      size,
-		SizeName:  *sizeFlag,
-		First:     *first,
-		Schedules: *schedules,
-		Events:    nEvents,
-		BaseSeed:  *seed,
-		Jobs:      *jobs,
-		JSONDir:   *jsonDir,
-		Quiet:     *quiet,
-		Out:       os.Stdout,
+		Cfg:                 cfg,
+		Size:                size,
+		SizeName:            spec.Workload.Size,
+		First:               faults.First,
+		Schedules:           faults.Schedules,
+		Events:              nEvents,
+		BaseSeed:            faults.BaseSeed,
+		Jobs:                spec.Jobs,
+		JSONDir:             *jsonDir,
+		ScenarioJSON:        canon,
+		ScenarioFingerprint: fp,
+		Quiet:               *quiet,
+		Out:                 os.Stdout,
 	}
 	failures := 0
 	for _, name := range apps {
@@ -98,10 +122,10 @@ func main() {
 		failures += n
 	}
 	if failures > 0 {
-		fmt.Printf("FAIL: %d/%d chaos runs did not recover\n", failures, *schedules*len(apps))
+		fmt.Printf("FAIL: %d/%d chaos runs did not recover\n", failures, faults.Schedules*len(apps))
 		os.Exit(1)
 	}
-	fmt.Printf("PASS: %d chaos runs, all recovered\n", *schedules*len(apps))
+	fmt.Printf("PASS: %d chaos runs, all recovered\n", faults.Schedules*len(apps))
 }
 
 func fatal(err error) {

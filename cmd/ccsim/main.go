@@ -1,11 +1,17 @@
 // Command ccsim runs a single CC-NUMA simulation — one application on one
-// coherence-controller architecture under explicit parameters — and prints
-// a full statistics report.
+// coherence-controller architecture — and prints a full statistics report.
+// The run is described by a ccnuma-scenario/v1 document: flags build one
+// implicitly, -spec loads one from a file (with explicit flags overriding
+// individual fields), and -replay re-runs the scenario embedded in a
+// previously written run artifact, reproducing it byte for byte.
 //
 // Usage:
 //
 //	ccsim -app ocean -arch PPC
 //	ccsim -app fft -arch 2HWC -nodes 8 -ppn 4 -line 32 -netlat 200 -size large
+//	ccsim -spec examples/scenarios/base.json -netlat 200
+//	ccsim -spec examples/scenarios/base.json -print-spec
+//	ccsim -replay out/run.json -json out/run2.json
 package main
 
 import (
@@ -14,99 +20,72 @@ import (
 	"os"
 	"sort"
 
-	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
 	"ccnuma/internal/obs"
+	"ccnuma/internal/scenario"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
 )
 
 func main() {
-	app := flag.String("app", "ocean", fmt.Sprintf("application: %v", workload.Names()))
-	arch := flag.String("arch", "HWC", "controller architecture: HWC, PPC, PPCA, 2HWC, 2PPC, 2PPCA")
-	engines := flag.Int("engines", 0, "override the protocol engine count (>2 requires -split region)")
-	nodes := flag.Int("nodes", 16, "SMP nodes")
-	ppn := flag.Int("ppn", 4, "processors per node")
-	line := flag.Int("line", 128, "cache line size in bytes")
-	netlat := flag.Int("netlat", 14, "network point-to-point latency in CPU cycles")
-	sizeFlag := flag.String("size", "base", "problem size: test, base, large")
-	split := flag.String("split", "local-remote", "engine split policy: local-remote, round-robin, or region")
-	arb := flag.String("arb", "paper", "dispatch arbitration: paper or fifo")
-	topo := flag.String("topo", "crossbar", "interconnect topology: crossbar or mesh")
-	directPath := flag.Bool("directpath", true, "enable the direct bus/network data path for write-backs")
-	dirCache := flag.Int("dircache", 8192, "directory cache entries (0 disables)")
+	flag.String("app", "ocean", fmt.Sprintf("application: %v", workload.Names()))
+	flag.String("arch", "HWC", "controller architecture: HWC, PPC, PPCA, 2HWC, 2PPC, 2PPCA")
+	flag.Int("engines", 0, "override the protocol engine count (>2 requires -split region)")
+	flag.String("node-archs", "", "comma-separated per-node architectures (e.g. HWC,HWC,PPC,PPC); empty = homogeneous -arch")
+	flag.Int("nodes", 16, "SMP nodes")
+	flag.Int("ppn", 4, "processors per node")
+	flag.Int("line", 128, "cache line size in bytes")
+	flag.Int("netlat", 14, "network point-to-point latency in CPU cycles")
+	flag.String("size", "base", "problem size: test, base, large")
+	flag.String("split", "local-remote", "engine split policy: local-remote, round-robin, or region")
+	flag.String("arb", "paper", "dispatch arbitration: paper or fifo")
+	flag.String("topo", "crossbar", "interconnect topology: crossbar or mesh")
+	flag.Bool("directpath", true, "enable the direct bus/network data path for write-backs")
+	flag.Int("dircache", 8192, "directory cache entries (0 disables)")
+	flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
+	flag.Bool("robust", false, "enable the robustness knobs: finite queues, NACK/retry, request timeouts, reliable link layer")
+	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
+	replayPath := flag.String("replay", "", "re-run the scenario embedded in a run artifact")
+	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
 	counters := flag.Bool("counters", false, "dump all raw counters")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto) to this file")
 	traceBuf := flag.Int("tracebuf", 1<<18, "trace ring-buffer capacity in events")
 	sampleEvery := flag.Int64("sample", 0, "sample machine state every N simulated cycles (0 = off)")
 	sampleOut := flag.String("sample-out", "", "time-series output file (.json = JSON, else CSV; default samples.csv)")
 	jsonPath := flag.String("json", "", "write the machine-readable run artifact to this file")
-	seed := flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
-	robust := flag.Bool("robust", false, "enable the robustness knobs: finite queues, NACK/retry, request timeouts, reliable link layer")
+	perfOut := flag.Bool("perf", false, "include host engine-throughput numbers in the artifact (makes it host-dependent)")
 	flag.Parse()
 
-	cfg := config.Base()
-	var err error
-	cfg, err = cfg.WithArch(*arch)
+	spec, err := scenario.FromFlags(flag.CommandLine, *specPath, *replayPath, nil)
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Nodes = *nodes
-	cfg.ProcsPerNode = *ppn
-	cfg.LineSize = *line
-	cfg.NetLatency = sim.Time(*netlat)
-	cfg.DirectDataPath = *directPath
-	cfg.DirCacheEntries = *dirCache
-	cfg.SimLimit = 50_000_000_000
-	cfg.NumEngines = *engines
-	if *robust {
-		cfg = cfg.WithRobustness()
+	canon, err := spec.Canonical()
+	if err != nil {
+		fatal(err)
 	}
-	switch *split {
-	case "local-remote":
-		cfg.Split = config.SplitLocalRemote
-	case "round-robin":
-		cfg.Split = config.SplitRoundRobin
-	case "region":
-		cfg.Split = config.SplitRegion
-	default:
-		fatal(fmt.Errorf("unknown split %q", *split))
+	if *printSpec {
+		os.Stdout.Write(canon)
+		return
 	}
-	switch *topo {
-	case "crossbar":
-		cfg.Topology = config.TopoCrossbar
-	case "mesh":
-		cfg.Topology = config.TopoMesh2D
-	default:
-		fatal(fmt.Errorf("unknown topology %q", *topo))
-	}
-	switch *arb {
-	case "paper":
-		cfg.Arbitration = config.ArbPaper
-	case "fifo":
-		cfg.Arbitration = config.ArbFIFO
-	default:
-		fatal(fmt.Errorf("unknown arbitration %q", *arb))
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		fatal(err)
 	}
 
-	var size workload.SizeClass
-	switch *sizeFlag {
-	case "test":
-		size = workload.SizeTest
-	case "base":
-		size = workload.SizeBase
-	case "large":
-		size = workload.SizeLarge
-	default:
-		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	cfg := spec.Machine
+	app := spec.Workload.App
+	size, err := spec.Size()
+	if err != nil {
+		fatal(err)
 	}
 
 	var tr *obs.Tracer
 	if *tracePath != "" {
 		tr = obs.NewTracer(obs.WithBuffer(*traceBuf))
 	}
-	m, err := machine.NewTraced(cfg, *app, tr)
+	m, err := machine.NewTraced(cfg, app, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +94,7 @@ func main() {
 		sampler = obs.NewSampler(sim.Time(*sampleEvery))
 		m.AttachSampler(sampler)
 	}
-	w, err := workload.NewSeeded(*app, size, m.NProcs(), *seed)
+	w, err := workload.NewSeeded(app, size, m.NProcs(), spec.Workload.Seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,9 +132,15 @@ func main() {
 			out, len(sampler.Samples()), sampler.Interval)
 	}
 	if *jsonPath != "" {
-		art := obs.NewArtifact("ccsim", *sizeFlag, &cfg, r)
-		art.Seed = *seed
-		art.Perf = &perf
+		art := obs.NewArtifact("ccsim", spec.Workload.Size, &cfg, r)
+		art.Seed = spec.Workload.Seed
+		art.Scenario = canon
+		art.ScenarioFingerprint = fp
+		// Host timing is excluded by default so that -replay of the
+		// artifact reproduces it byte for byte.
+		if *perfOut {
+			art.Perf = &perf
+		}
 		if cfg.Robust() {
 			art.Recovery = obs.NewRecoveryDoc(&cfg, r, nil)
 		}
@@ -165,7 +150,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "artifact: %s\n", *jsonPath)
 	}
 
-	fmt.Printf("application:        %s (%s)\n", *app, *sizeFlag)
+	fmt.Printf("scenario:           %s\n", fp)
+	fmt.Printf("application:        %s (%s)\n", app, spec.Workload.Size)
 	fmt.Printf("architecture:       %s (%d nodes x %d procs, %dB lines, %d-cycle network)\n",
 		cfg.ArchName(), cfg.Nodes, cfg.ProcsPerNode, cfg.LineSize, cfg.NetLatency)
 	fmt.Printf("execution time:     %d cycles (%.2f us)\n", r.ExecTime, r.ExecTime.Nanoseconds()/1000)

@@ -1,15 +1,17 @@
 // Command ccsweep sweeps one architectural parameter across values and
 // architectures, emitting CSV for plotting (the raw material behind the
-// paper's sensitivity figures). Grid cells are independent simulations, so
-// they run concurrently (-jobs); rows are still emitted in grid order, so
-// the CSV, artifacts, and error behaviour are identical for any -jobs.
+// paper's sensitivity figures). The grid is a ccnuma-scenario/v1 sweep
+// section — flags build one implicitly, -spec loads one from a file — and
+// grid cells are independent simulations, so they run concurrently
+// (-jobs); rows are still emitted in grid order, so the CSV, artifacts,
+// and error behaviour are identical for any -jobs.
 //
 // Usage:
 //
 //	ccsweep -app ocean -param netlat -values 14,50,100,200 -archs HWC,PPC
 //	ccsweep -app fft -param line -values 32,64,128
 //	ccsweep -app radix -param ppn -values 1,2,4,8 -jobs 4
-//	ccsweep -app ocean -param engines -values 1,2,4 -archs PPC
+//	ccsweep -spec examples/scenarios/2hwc-vs-2ppc.json -json out/sweep.json
 package main
 
 import (
@@ -18,101 +20,105 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/machine"
 	"ccnuma/internal/obs"
 	"ccnuma/internal/runner"
-	"ccnuma/internal/sim"
+	"ccnuma/internal/scenario"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/workload"
 )
 
 func main() {
-	app := flag.String("app", "ocean", "application to sweep")
-	param := flag.String("param", "netlat", "parameter: netlat, line, ppn, engines, dircache, banks, hoplat (mesh)")
-	values := flag.String("values", "14,50,100,200", "comma-separated parameter values")
-	archs := flag.String("archs", "HWC,PPC", "comma-separated architectures")
-	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
-	nodes := flag.Int("nodes", 4, "SMP nodes (ignored by -param ppn, which fixes total processors)")
-	ppn := flag.Int("ppn", 2, "processors per node")
+	flag.String("app", "ocean", "application to sweep")
+	flag.String("param", "netlat", "parameter: netlat, line, ppn, engines, dircache, banks, hoplat (mesh)")
+	flag.String("values", "14,50,100,200", "comma-separated parameter values")
+	flag.String("archs", "HWC,PPC", "comma-separated architectures")
+	flag.String("size", "test", "problem size: test, base, large")
+	flag.Int("nodes", 4, "SMP nodes (ignored by -param ppn, which fixes total processors)")
+	flag.Int("ppn", 2, "processors per node")
+	flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
+	flag.Int("jobs", 0, "grid cells to simulate concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
+	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
+	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
 	jsonPath := flag.String("json", "", "also write an array of run-artifact documents to this file")
-	seed := flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
-	jobs := flag.Int("jobs", 0, "grid cells to simulate concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
 	flag.Parse()
 
-	var size workload.SizeClass
-	switch *sizeFlag {
-	case "test":
-		size = workload.SizeTest
-	case "base":
-		size = workload.SizeBase
-	case "large":
-		size = workload.SizeLarge
-	default:
-		fatal(fmt.Errorf("unknown size %q", *sizeFlag))
+	spec, err := scenario.FromFlags(flag.CommandLine, *specPath, "", nil)
+	if err != nil {
+		fatal(err)
+	}
+	sweep := spec.EnsureSweep()
+	canon, err := spec.Canonical()
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		os.Stdout.Write(canon)
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		fatal(err)
+	}
+
+	app := spec.Workload.App
+	size, err := spec.Size()
+	if err != nil {
+		fatal(err)
 	}
 
 	// The sweep grid, value-major: the first architecture of each value
 	// group is that group's penalty baseline.
 	type cell struct {
-		valueStr string
-		arch     string
+		value int
+		arch  string
 	}
 	var cells []cell
-	valueList := strings.Split(*values, ",")
-	archList := strings.Split(*archs, ",")
-	for _, vs := range valueList {
-		for _, arch := range archList {
-			cells = append(cells, cell{valueStr: vs, arch: strings.TrimSpace(arch)})
+	for _, v := range sweep.Values {
+		for _, arch := range sweep.Archs {
+			cells = append(cells, cell{value: v, arch: arch})
 		}
 	}
 
 	type cellOut struct {
-		value int
-		cfg   config.Config
-		run   *stats.Run
+		cfg config.Config
+		run *stats.Run
 	}
 	var artifacts []*obs.Artifact
 	var baseline *stats.Run
 	fmt.Println("app,param,value,arch,exec_cycles,rccpi_x1000,util_pct,queue_ns,penalty_vs_first_arch_pct")
-	_, err := runner.MapStream(context.Background(), *jobs, len(cells),
+	_, err = runner.MapStream(context.Background(), spec.Jobs, len(cells),
 		func(i int) (cellOut, error) {
 			c := cells[i]
-			v, err := strconv.Atoi(strings.TrimSpace(c.valueStr))
+			cfg, err := spec.Machine.WithArch(c.arch)
 			if err != nil {
 				return cellOut{}, err
 			}
-			cfg := config.Base()
-			cfg, err = cfg.WithArch(c.arch)
+			if err := scenario.ApplySweepValue(&cfg, sweep.Param, c.value); err != nil {
+				return cellOut{}, err
+			}
+			r, err := run(cfg, app, size, spec.Workload.Seed)
 			if err != nil {
 				return cellOut{}, err
 			}
-			cfg.Nodes, cfg.ProcsPerNode = *nodes, *ppn
-			cfg.SimLimit = 50_000_000_000
-			if err := apply(&cfg, *param, v); err != nil {
-				return cellOut{}, err
-			}
-			r, err := run(cfg, *app, size, *seed)
-			if err != nil {
-				return cellOut{}, err
-			}
-			return cellOut{value: v, cfg: cfg, run: r}, nil
+			return cellOut{cfg: cfg, run: r}, nil
 		},
 		func(i int, out cellOut) {
-			if i%len(archList) == 0 {
+			if i%len(sweep.Archs) == 0 {
 				baseline = out.run
 			}
 			penalty := 100 * stats.Penalty(baseline, out.run)
 			r := out.run
 			fmt.Printf("%s,%s,%d,%s,%d,%.3f,%.2f,%.0f,%.1f\n",
-				*app, *param, out.value, cells[i].arch, r.ExecTime, 1000*r.RCCPI(),
+				app, sweep.Param, cells[i].value, cells[i].arch, r.ExecTime, 1000*r.RCCPI(),
 				100*r.AvgUtilization(-1), r.AvgQueueDelayNs(-1), penalty)
 			if *jsonPath != "" {
-				a := obs.NewArtifact("ccsweep", *sizeFlag, &out.cfg, r)
-				a.Seed = *seed
+				a := obs.NewArtifact("ccsweep", spec.Workload.Size, &out.cfg, r)
+				a.Seed = spec.Workload.Seed
+				a.Scenario = canon
+				a.ScenarioFingerprint = fp
 				p := penalty
 				a.PenaltyVsBaselinePct = &p
 				artifacts = append(artifacts, a)
@@ -137,37 +143,6 @@ func unwrapJob(err error) error {
 		return je.Err
 	}
 	return err
-}
-
-// apply sets the swept parameter on the configuration.
-func apply(cfg *config.Config, param string, v int) error {
-	switch param {
-	case "netlat":
-		cfg.NetLatency = sim.Time(v)
-	case "line":
-		cfg.LineSize = v
-	case "ppn":
-		total := cfg.Nodes * cfg.ProcsPerNode
-		if total%v != 0 {
-			return fmt.Errorf("ppn %d does not divide %d processors", v, total)
-		}
-		cfg.Nodes, cfg.ProcsPerNode = total/v, v
-	case "engines":
-		cfg.NumEngines = v
-		if v > 2 {
-			cfg.Split = config.SplitRegion
-		}
-	case "dircache":
-		cfg.DirCacheEntries = v
-	case "banks":
-		cfg.MemBanks = v
-	case "hoplat":
-		cfg.Topology = config.TopoMesh2D
-		cfg.NetHopLatency = sim.Time(v)
-	default:
-		return fmt.Errorf("unknown parameter %q", param)
-	}
-	return nil
 }
 
 func run(cfg config.Config, app string, size workload.SizeClass, seed int64) (*stats.Run, error) {

@@ -10,6 +10,7 @@
 //	ccverify -nodes 2 -procs 1
 //	ccverify -nodes 3 -procs 1 -states 10000 -races 20000
 //	ccverify -nodes 2 -procs 1 -json
+//	ccverify -spec examples/scenarios/base.json -states 10000
 package main
 
 import (
@@ -18,31 +19,50 @@ import (
 	"fmt"
 	"os"
 
+	"ccnuma/internal/scenario"
 	"ccnuma/internal/verify"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 2, "SMP nodes in the checked machine")
-	procs := flag.Int("procs", 1, "processors per node")
+	flag.Int("nodes", 2, "SMP nodes in the checked machine")
+	flag.Int("procs", 1, "processors per node")
 	states := flag.Int("states", 0, "phase-A state budget (0 = default)")
 	races := flag.Int("races", 0, "phase-B race budget (0 = default, -1 skips phase B)")
 	offsets := flag.Int("offsets", 0, "race injection offsets per pair (0 = default, -1 = every event boundary)")
 	maxViol := flag.Int("maxviol", 0, "stop after this many violations (0 = default)")
 	sweepFaults := flag.Bool("sweep-faults", false, "instead of the state-space walk, replay the canonical path once per (message, drop/dup) pair with one fault injected on the robust configuration and assert recovery")
 	sweepRuns := flag.Int("sweep-runs", 0, "fault-sweep replay budget (0 = default; larger grids are stride-sampled)")
+	specPath := flag.String("spec", "", "take the checked machine's geometry from a ccnuma-scenario/v1 file; explicit flags override")
+	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without checking")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
-	jobs := flag.Int("jobs", 0, "replays to run concurrently (0 = GOMAXPROCS; 1 = serial; the result is identical for any value)")
+	flag.Int("jobs", 0, "replays to run concurrently (0 = GOMAXPROCS; 1 = serial; the result is identical for any value)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
+	spec, err := scenario.FromFlags(flag.CommandLine, *specPath, "", nil)
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		canon, err := spec.Canonical()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(canon)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
 	vc := verify.Config{
-		Nodes:          *nodes,
-		ProcsPerNode:   *procs,
+		Nodes:          spec.Machine.Nodes,
+		ProcsPerNode:   spec.Machine.ProcsPerNode,
 		MaxStates:      *states,
 		MaxRaces:       *races,
 		MaxRaceOffsets: *offsets,
 		MaxViolations:  *maxViol,
-		Jobs:           *jobs,
+		Jobs:           spec.Jobs,
 	}
 	if !*quiet && !*jsonOut {
 		vc.Log = func(format string, args ...interface{}) {
@@ -77,7 +97,7 @@ func main() {
 			fixpoint = "fixpoint reached, race budget exhausted"
 		}
 		fmt.Printf("ccverify: %dx%d machine: %d states, %d edges, %d races (%s)\n",
-			*nodes, *procs, res.States, res.Edges, res.Races, fixpoint)
+			vc.Nodes, vc.ProcsPerNode, res.States, res.Edges, res.Races, fixpoint)
 		for i := range res.Violations {
 			fmt.Printf("violation: %s\n", res.Violations[i].String())
 		}
@@ -86,6 +106,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccverify: %d violation(s)\n", len(res.Violations))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccverify:", err)
+	os.Exit(2)
 }
 
 // runSweep executes the single-fault recovery sweep and exits non-zero on

@@ -50,6 +50,10 @@ type Campaign struct {
 	// JSONDir, when non-empty, receives one run artifact per app
 	// (ccchaos-<app>.json).
 	JSONDir string
+	// ScenarioJSON and ScenarioFingerprint, when set, are embedded in every
+	// artifact so the campaign is replayable from its own output.
+	ScenarioJSON        []byte
+	ScenarioFingerprint string
 	// Quiet suppresses per-schedule progress lines.
 	Quiet bool
 	// Out receives all progress and summary output (required).
@@ -75,7 +79,7 @@ func (c *Campaign) RunApp(name string) (int, error) {
 		Horizon:  pilotExec,
 		Messages: pilotMsgs,
 		Nodes:    c.Cfg.Nodes,
-		Engines:  c.Cfg.EngineCount(),
+		Engines:  c.Cfg.MaxEngineCount(),
 	}
 
 	// One schedule = one job. A schedule that fails to recover is a result,
@@ -128,6 +132,8 @@ func (c *Campaign) RunApp(name string) (int, error) {
 	if c.JSONDir != "" && lastRun != nil {
 		art := obs.NewArtifact("ccchaos", c.SizeName, &c.Cfg, lastRun)
 		art.Seed = c.BaseSeed
+		art.Scenario = c.ScenarioJSON
+		art.ScenarioFingerprint = c.ScenarioFingerprint
 		art.Recovery = obs.NewRecoveryDoc(&c.Cfg, lastRun, applied)
 		path := filepath.Join(c.JSONDir, "ccchaos-"+name+".json")
 		if err := art.WriteFile(path); err != nil {

@@ -6,7 +6,10 @@
 package config
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"ccnuma/internal/sim"
 )
@@ -49,6 +52,39 @@ func (k EngineKind) String() string {
 	}
 }
 
+// MarshalText renders the engine kind as its paper name, so scenario
+// documents say "PPC" instead of an opaque integer.
+func (k EngineKind) MarshalText() ([]byte, error) {
+	if k < 0 || k >= EngineKind(numEngineKinds) {
+		return nil, fmt.Errorf("config: unknown engine kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses a paper engine-kind name.
+func (k *EngineKind) UnmarshalText(text []byte) error {
+	kind, err := ParseEngineKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = kind
+	return nil
+}
+
+// ParseEngineKind resolves an engine-kind name (HWC, PPC, PPCA).
+func ParseEngineKind(name string) (EngineKind, error) {
+	switch name {
+	case "HWC":
+		return HWC, nil
+	case "PPC":
+		return PPC, nil
+	case "PPCA":
+		return PPCA, nil
+	default:
+		return 0, fmt.Errorf("config: unknown engine kind %q", name)
+	}
+}
+
 // SplitPolicy selects how requests are distributed over two protocol
 // engines.
 type SplitPolicy int
@@ -88,6 +124,42 @@ func (p SplitPolicy) String() string {
 	}
 }
 
+// MarshalText renders the split policy for scenario documents; the
+// canonical form is the flag spelling ("local-remote", not "local/remote").
+func (p SplitPolicy) MarshalText() ([]byte, error) {
+	if p == SplitLocalRemote {
+		return []byte("local-remote"), nil
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses a split-policy name.
+func (p *SplitPolicy) UnmarshalText(text []byte) error {
+	pol, err := ParseSplit(string(text))
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
+}
+
+// ParseSplit resolves a split-policy name; "local/remote" and
+// "local-remote" are synonyms.
+func ParseSplit(name string) (SplitPolicy, error) {
+	switch name {
+	case "local-remote", "local/remote":
+		return SplitLocalRemote, nil
+	case "round-robin":
+		return SplitRoundRobin, nil
+	case "region":
+		return SplitRegion, nil
+	case "dynamic":
+		return SplitDynamic, nil
+	default:
+		return 0, fmt.Errorf("config: unknown split policy %q", name)
+	}
+}
+
 // ArbPolicy selects the dispatch arbitration between the controller's three
 // input queues.
 type ArbPolicy int
@@ -107,6 +179,31 @@ func (p ArbPolicy) String() string {
 		return "fifo"
 	}
 	return "paper"
+}
+
+// MarshalText renders the arbitration policy for scenario documents.
+func (p ArbPolicy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses an arbitration-policy name.
+func (p *ArbPolicy) UnmarshalText(text []byte) error {
+	pol, err := ParseArb(string(text))
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
+}
+
+// ParseArb resolves an arbitration-policy name.
+func ParseArb(name string) (ArbPolicy, error) {
+	switch name {
+	case "paper":
+		return ArbPaper, nil
+	case "fifo":
+		return ArbFIFO, nil
+	default:
+		return 0, fmt.Errorf("config: unknown arbitration %q", name)
+	}
 }
 
 // SubOp enumerates the protocol-engine sub-operations of the paper's
@@ -186,6 +283,34 @@ func (op SubOp) String() string {
 // NumSubOps is the number of defined sub-operations.
 const NumSubOps = int(numSubOps)
 
+// subOpKeys are the compact scenario-schema keys of the sub-operations, in
+// SubOp order (the long forms in subOpNames stay the human-readable table
+// labels).
+var subOpKeys = [...]string{
+	"dispatch",
+	"readBusReg",
+	"writeBusReg",
+	"readNIReg",
+	"writeNIReg",
+	"latchHeader",
+	"assocSearch",
+	"dirCacheRead",
+	"dirCacheWrite",
+	"sendHeader",
+	"startDataXfer",
+	"bitField",
+	"condition",
+	"compute",
+}
+
+// Key returns the scenario-schema key of the sub-operation.
+func (op SubOp) Key() string {
+	if op >= 0 && int(op) < len(subOpKeys) {
+		return subOpKeys[op]
+	}
+	return fmt.Sprintf("subOp%d", int(op))
+}
+
 // CostTable gives the occupancy of each sub-operation for each engine kind,
 // in compute-processor cycles (Table 2 of the paper, plus the PPCA
 // extension column).
@@ -193,6 +318,52 @@ type CostTable [numSubOps][numEngineKinds]sim.Time
 
 // Cost returns the occupancy of op on engine kind k.
 func (t *CostTable) Cost(k EngineKind, op SubOp) sim.Time { return t[op][k] }
+
+// MarshalJSON renders the table as an object keyed by sub-operation, each
+// value the [HWC, PPC, PPCA] occupancy row — the scenario schema's Table 2
+// representation. Keys are emitted in SubOp order, so the canonical bytes
+// are stable.
+func (t CostTable) MarshalJSON() ([]byte, error) {
+	var b []byte
+	b = append(b, '{')
+	for op := SubOp(0); op < numSubOps; op++ {
+		if op > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, fmt.Sprintf("%q:[%d,%d,%d]", op.Key(),
+			int64(t[op][HWC]), int64(t[op][PPC]), int64(t[op][PPCA]))...)
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
+// UnmarshalJSON merges a keyed cost object into the table: rows present in
+// the document replace the current values (so a scenario can override a
+// single Table 2 row and inherit the rest), unknown keys are rejected.
+func (t *CostTable) UnmarshalJSON(data []byte) error {
+	var rows map[string][]int64
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return fmt.Errorf("config: costs: %w", err)
+	}
+	index := make(map[string]SubOp, numSubOps)
+	for op := SubOp(0); op < numSubOps; op++ {
+		index[op.Key()] = op
+	}
+	for key, row := range rows {
+		op, ok := index[key]
+		if !ok {
+			return fmt.Errorf("config: costs: unknown sub-operation %q", key)
+		}
+		if len(row) != NumEngineKinds {
+			return fmt.Errorf("config: costs: %q has %d columns, want %d (HWC, PPC, PPCA)",
+				key, len(row), NumEngineKinds)
+		}
+		for k := 0; k < NumEngineKinds; k++ {
+			t[op][k] = sim.Time(row[k])
+		}
+	}
+	return nil
+}
 
 // DefaultCosts reflects the paper's Table 2 assumptions:
 //   - HWC accesses to on-chip registers take one system cycle (2 CPU
@@ -231,87 +402,98 @@ func DefaultCosts() CostTable {
 
 // Config is the complete parameter set for one simulation. Use Base() and
 // mutate copies; the struct is plain data and safe to copy.
+//
+// Every exported field carries a JSON tag: the struct doubles as the
+// machine section of the ccnuma-scenario/v1 document (internal/scenario),
+// and cclint's config-schema check rejects fields that would silently
+// bypass -spec.
 type Config struct {
 	// Geometry.
-	Nodes        int // SMP nodes in the machine
-	ProcsPerNode int // compute processors per node
+	Nodes        int `json:"nodes"`        // SMP nodes in the machine
+	ProcsPerNode int `json:"procsPerNode"` // compute processors per node
 
 	// Controller architecture.
-	Engine EngineKind
+	Engine EngineKind `json:"engine"`
 	// TwoEngines selects the paper's two-engine designs (2HWC / 2PPC).
-	TwoEngines bool
+	TwoEngines bool `json:"twoEngines"`
 	// NumEngines, when positive, overrides TwoEngines with an arbitrary
 	// engine count (the paper's Section 5 extension); more than two
 	// engines require the region or round-robin split.
-	NumEngines  int
-	Split       SplitPolicy
-	Arbitration ArbPolicy
+	NumEngines  int         `json:"numEngines"`
+	Split       SplitPolicy `json:"split"`
+	Arbitration ArbPolicy   `json:"arbitration"`
+	// NodeArchs, when non-empty, configures heterogeneous controllers:
+	// entry i names node i's architecture ("HWC", "2PPC", ...; an empty
+	// entry inherits Engine/TwoEngines/NumEngines). The paper's Section 5
+	// discussion of asymmetric designs — e.g. custom-hardware home nodes
+	// serving commodity protocol-processor remotes — is expressed here.
+	NodeArchs []string `json:"nodeArchs,omitempty"`
 	// RegionBytes is the interleaving granularity of SplitRegion.
-	RegionBytes int
+	RegionBytes int `json:"regionBytes"`
 	// LivelockLimit is the number of consecutive network-request dispatches
 	// after which a waiting bus request is served first (paper: "e.g. four").
-	LivelockLimit int
+	LivelockLimit int `json:"livelockLimit"`
 	// DirectDataPath enables the direct bus-interface/network-interface
 	// path that forwards dirty-remote write-backs to the home node without
 	// waiting for handler dispatch.
-	DirectDataPath bool
+	DirectDataPath bool `json:"directDataPath"`
 
 	// Cache hierarchy.
-	LineSize int // bytes per cache line (base: 128)
-	L1Size   int // bytes (16 KB)
-	L1Assoc  int
-	L2Size   int // bytes (1 MB)
-	L2Assoc  int
+	LineSize int `json:"lineSize"` // bytes per cache line (base: 128)
+	L1Size   int `json:"l1Size"`   // bytes (16 KB)
+	L1Assoc  int `json:"l1Assoc"`
+	L2Size   int `json:"l2Size"` // bytes (1 MB)
+	L2Assoc  int `json:"l2Assoc"`
 	// L1HitTime and L2HitTime are load-to-use latencies; L2MissDetect is
 	// the time to discover an L2 miss and issue the bus request (Table 3:
 	// "detect L2 miss" = 8).
-	L1HitTime    sim.Time
-	L2HitTime    sim.Time
-	L2MissDetect sim.Time
+	L1HitTime    sim.Time `json:"l1HitTime"`
+	L2HitTime    sim.Time `json:"l2HitTime"`
+	L2MissDetect sim.Time `json:"l2MissDetect"`
 
 	// SMP bus (100 MHz, 16 bytes wide, fully pipelined, split transaction,
 	// separate address and data buses).
-	BusCycle       sim.Time // CPU cycles per bus cycle (2)
-	AddrStrobe     sim.Time // address strobe to next address strobe (4)
-	BusArb         sim.Time // arbitration before the strobe
-	SnoopLatch     sim.Time // strobe to controller queue insertion
-	MemAccess      sim.Time // address strobe to start of data from memory (20)
-	CacheToCache   sim.Time // address strobe to start of data from another cache
-	CriticalQuad   sim.Time // data start to critical quad word delivered
-	FillRestart    sim.Time // L2/L1 fill to processor restart
-	BusRetry       sim.Time // back-off before re-arbitrating a retried transaction
-	MemBanks       int      // interleaved banks per node
-	BankBusy       sim.Time // bank occupancy per line access
-	WriteBackDepth int      // write-back buffer entries per processor
+	BusCycle       sim.Time `json:"busCycle"`       // CPU cycles per bus cycle (2)
+	AddrStrobe     sim.Time `json:"addrStrobe"`     // address strobe to next address strobe (4)
+	BusArb         sim.Time `json:"busArb"`         // arbitration before the strobe
+	SnoopLatch     sim.Time `json:"snoopLatch"`     // strobe to controller queue insertion
+	MemAccess      sim.Time `json:"memAccess"`      // address strobe to start of data from memory (20)
+	CacheToCache   sim.Time `json:"cacheToCache"`   // address strobe to start of data from another cache
+	CriticalQuad   sim.Time `json:"criticalQuad"`   // data start to critical quad word delivered
+	FillRestart    sim.Time `json:"fillRestart"`    // L2/L1 fill to processor restart
+	BusRetry       sim.Time `json:"busRetry"`       // back-off before re-arbitrating a retried transaction
+	MemBanks       int      `json:"memBanks"`       // interleaved banks per node
+	BankBusy       sim.Time `json:"bankBusy"`       // bank occupancy per line access
+	WriteBackDepth int      `json:"writeBackDepth"` // write-back buffer entries per processor
 
 	// Network (Table 1: point-to-point 14 cycles = 70 ns; 32-byte links).
-	NetLatency   sim.Time // point-to-point latency (crossbar) / router cut-through (mesh)
-	NetFlitBytes int      // link width per flit
-	NetFlitTime  sim.Time // cycles per flit on a port (100 MHz link: 2)
-	NetHeader    int      // header bytes per message
+	NetLatency   sim.Time `json:"netLatency"`   // point-to-point latency (crossbar) / router cut-through (mesh)
+	NetFlitBytes int      `json:"netFlitBytes"` // link width per flit
+	NetFlitTime  sim.Time `json:"netFlitTime"`  // cycles per flit on a port (100 MHz link: 2)
+	NetHeader    int      `json:"netHeader"`    // header bytes per message
 	// Topology selects the interconnect structure; NetHopLatency is the
 	// per-hop router+wire latency of the 2-D mesh.
-	Topology      Topology
-	NetHopLatency sim.Time
+	Topology      Topology `json:"topology"`
+	NetHopLatency sim.Time `json:"netHopLatency"`
 
 	// Directory.
-	DirCacheEntries int      // write-through directory cache entries (8K)
-	DirDRAMRead     sim.Time // controller-side DRAM directory read
-	DirDRAMWrite    sim.Time // controller-side DRAM directory write
+	DirCacheEntries int      `json:"dirCacheEntries"` // write-through directory cache entries (8K)
+	DirDRAMRead     sim.Time `json:"dirDRAMRead"`     // controller-side DRAM directory read
+	DirDRAMWrite    sim.Time `json:"dirDRAMWrite"`    // controller-side DRAM directory write
 
 	// Protocol-engine sub-operation occupancies (Table 2).
-	Costs CostTable
+	Costs CostTable `json:"costs"`
 
 	// Memory layout.
-	PageSize  int // bytes per page for placement
-	Placement PlacementPolicy
+	PageSize  int             `json:"pageSize"` // bytes per page for placement
+	Placement PlacementPolicy `json:"placement"`
 
 	// Synchronization.
-	BarrierCost sim.Time // fixed cost of a barrier episode
-	LockRetry   sim.Time // back-off before a queued lock retry
+	BarrierCost sim.Time `json:"barrierCost"` // fixed cost of a barrier episode
+	LockRetry   sim.Time `json:"lockRetry"`   // back-off before a queued lock retry
 
 	// SimLimit bounds simulated time to catch protocol livelock (0 = none).
-	SimLimit sim.Time
+	SimLimit sim.Time `json:"simLimit"`
 
 	// Robustness / flow control. The paper's model assumes infinitely deep
 	// controller queues and a lossless network; every knob below defaults to
@@ -325,36 +507,36 @@ type Config struct {
 	// on the bus (the requester sees RetryNeeded and backs off). Response
 	// queues are never limited: responses sink into reserved MSHR slots, so
 	// bounding them could deadlock the guaranteed delivery channel.
-	QueueDepth int
+	QueueDepth int `json:"queueDepth"`
 	// NIPortDepth bounds the per-node network-interface output buffer, in
 	// messages (0 = unbounded). Sends beyond the depth park in FIFO order
 	// until the port drains (back-pressure into the controller).
-	NIPortDepth int
+	NIPortDepth int `json:"niPortDepth"`
 	// NackDelay is the base back-off before a NACKed request is re-issued;
 	// it doubles per consecutive NACK up to NackBackoffMax (0 = BusRetry).
-	NackDelay sim.Time
+	NackDelay sim.Time `json:"nackDelay"`
 	// NackBackoffMax caps the exponential NACK back-off (0 = no cap).
-	NackBackoffMax sim.Time
+	NackBackoffMax sim.Time `json:"nackBackoffMax"`
 	// RetryBudget bounds consecutive NACK/timeout retries of one request
 	// before the controller declares the line unserviceable and panics with
 	// a diagnosis (0 = unbounded).
-	RetryBudget int
+	RetryBudget int `json:"retryBudget"`
 	// RequestTimeout re-issues an outstanding MSHR request that has seen no
 	// response for this many cycles, recovering transactions lost to
 	// injected faults (0 = no timeouts).
-	RequestTimeout sim.Time
+	RequestTimeout sim.Time `json:"requestTimeout"`
 	// NetReliable models link-level recovery (CRC detection, sequence
 	// numbers, a sender-side replay buffer): dropped or corrupted messages
 	// are retransmitted after NetRetryDelay and duplicated messages are
 	// discarded at the receiving interface. Without it, injected network
 	// faults reach the protocol raw (used by the verify detection tests).
-	NetReliable bool
+	NetReliable bool `json:"netReliable"`
 	// NetRetryDelay is the link-level retransmission delay (0 = NetLatency).
-	NetRetryDelay sim.Time
+	NetRetryDelay sim.Time `json:"netRetryDelay"`
 	// BusBackoffMax, when positive, turns the processors' constant BusRetry
 	// back-off into an exponential one capped at this value, shedding bus
 	// load under NACK storms.
-	BusBackoffMax sim.Time
+	BusBackoffMax sim.Time `json:"busBackoffMax"`
 }
 
 // Robust reports whether any recovery knob is enabled; the controller uses
@@ -401,6 +583,32 @@ func (t Topology) String() string {
 	return "crossbar"
 }
 
+// MarshalText renders the topology for scenario documents.
+func (t Topology) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses a topology name.
+func (t *Topology) UnmarshalText(text []byte) error {
+	topo, err := ParseTopology(string(text))
+	if err != nil {
+		return err
+	}
+	*t = topo
+	return nil
+}
+
+// ParseTopology resolves a topology name; "mesh" is the flag spelling of
+// "mesh2d".
+func ParseTopology(name string) (Topology, error) {
+	switch name {
+	case "crossbar":
+		return TopoCrossbar, nil
+	case "mesh", "mesh2d":
+		return TopoMesh2D, nil
+	default:
+		return 0, fmt.Errorf("config: unknown topology %q", name)
+	}
+}
+
 // PlacementPolicy selects how pages are assigned home nodes.
 type PlacementPolicy int
 
@@ -424,6 +632,33 @@ func (p PlacementPolicy) String() string {
 		return "explicit"
 	default:
 		return "round-robin"
+	}
+}
+
+// MarshalText renders the placement policy for scenario documents.
+func (p PlacementPolicy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a placement-policy name.
+func (p *PlacementPolicy) UnmarshalText(text []byte) error {
+	pol, err := ParsePlacement(string(text))
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
+}
+
+// ParsePlacement resolves a placement-policy name.
+func ParsePlacement(name string) (PlacementPolicy, error) {
+	switch name {
+	case "round-robin":
+		return PlaceRoundRobin, nil
+	case "first-touch":
+		return PlaceFirstTouch, nil
+	case "explicit":
+		return PlaceExplicit, nil
+	default:
+		return 0, fmt.Errorf("config: unknown placement policy %q", name)
 	}
 }
 
@@ -508,44 +743,129 @@ func (c *Config) BusDataTime() sim.Time {
 	return sim.Time(cycles) * c.BusCycle
 }
 
-// Validate checks internal consistency and returns a descriptive error for
-// the first problem found.
+// FieldError is a validation failure that names the offending
+// configuration field; callers can errors.As it out of Validate's result
+// to map a failure back to the scenario-schema field.
+type FieldError struct {
+	Field string // Config field name (e.g. "Nodes", "NodeArchs[3]")
+	Err   error
+}
+
+func (e *FieldError) Error() string { return "config: " + e.Field + ": " + e.Err.Error() }
+
+func (e *FieldError) Unwrap() error { return e.Err }
+
+// fieldErr builds a FieldError for field with a formatted description.
+func fieldErr(field, format string, args ...interface{}) error {
+	return &FieldError{Field: field, Err: fmt.Errorf(format, args...)}
+}
+
+// Validate checks internal consistency and returns a *FieldError naming
+// the offending field for the first problem found.
 func (c *Config) Validate() error {
 	switch {
 	case c.Nodes <= 0:
-		return fmt.Errorf("config: Nodes must be positive, got %d", c.Nodes)
+		return fieldErr("Nodes", "must be positive, got %d", c.Nodes)
 	case c.ProcsPerNode <= 0:
-		return fmt.Errorf("config: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+		return fieldErr("ProcsPerNode", "must be positive, got %d", c.ProcsPerNode)
 	case c.Nodes&(c.Nodes-1) != 0 && c.Topology != TopoCrossbar:
-		return fmt.Errorf("config: Nodes must be a power of two for topology %v, got %d", c.Topology, c.Nodes)
+		return fieldErr("Nodes", "must be a power of two for topology %v, got %d", c.Topology, c.Nodes)
 	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
-		return fmt.Errorf("config: LineSize must be a positive power of two, got %d", c.LineSize)
+		return fieldErr("LineSize", "must be a positive power of two, got %d", c.LineSize)
 	case c.PageSize < c.LineSize || c.PageSize&(c.PageSize-1) != 0:
-		return fmt.Errorf("config: PageSize must be a power of two >= LineSize, got %d", c.PageSize)
-	case c.L1Size%(c.L1Assoc*c.LineSize) != 0:
-		return fmt.Errorf("config: L1 geometry %d/%d-way/%dB does not divide evenly", c.L1Size, c.L1Assoc, c.LineSize)
-	case c.L2Size%(c.L2Assoc*c.LineSize) != 0:
-		return fmt.Errorf("config: L2 geometry %d/%d-way/%dB does not divide evenly", c.L2Size, c.L2Assoc, c.LineSize)
+		return fieldErr("PageSize", "must be a power of two >= LineSize, got %d", c.PageSize)
+	case c.L1Assoc <= 0:
+		return fieldErr("L1Assoc", "must be positive, got %d", c.L1Assoc)
+	case c.L2Assoc <= 0:
+		return fieldErr("L2Assoc", "must be positive, got %d", c.L2Assoc)
+	case c.L1Size <= 0 || c.L1Size%(c.L1Assoc*c.LineSize) != 0:
+		return fieldErr("L1Size", "geometry %d/%d-way/%dB does not divide evenly", c.L1Size, c.L1Assoc, c.LineSize)
+	case c.L2Size <= 0 || c.L2Size%(c.L2Assoc*c.LineSize) != 0:
+		return fieldErr("L2Size", "geometry %d/%d-way/%dB does not divide evenly", c.L2Size, c.L2Assoc, c.LineSize)
 	case c.MemBanks <= 0:
-		return fmt.Errorf("config: MemBanks must be positive, got %d", c.MemBanks)
+		return fieldErr("MemBanks", "must be positive, got %d", c.MemBanks)
 	case c.Engine < 0 || c.Engine >= EngineKind(numEngineKinds):
-		return fmt.Errorf("config: unknown engine kind %d", int(c.Engine))
+		return fieldErr("Engine", "unknown engine kind %d", int(c.Engine))
 	case c.NumEngines < 0:
-		return fmt.Errorf("config: NumEngines must be non-negative, got %d", c.NumEngines)
+		return fieldErr("NumEngines", "must be non-negative, got %d", c.NumEngines)
 	case c.NumEngines > 2 && c.Split == SplitLocalRemote:
-		return fmt.Errorf("config: %d engines require the region or round-robin split", c.NumEngines)
+		return fieldErr("Split", "%d engines require the region or round-robin split", c.NumEngines)
 	case c.Split == SplitRegion && (c.RegionBytes < c.LineSize || c.RegionBytes&(c.RegionBytes-1) != 0):
-		return fmt.Errorf("config: RegionBytes must be a power of two >= LineSize, got %d", c.RegionBytes)
+		return fieldErr("RegionBytes", "must be a power of two >= LineSize, got %d", c.RegionBytes)
 	case c.LivelockLimit <= 0:
-		return fmt.Errorf("config: LivelockLimit must be positive, got %d", c.LivelockLimit)
+		return fieldErr("LivelockLimit", "must be positive, got %d", c.LivelockLimit)
 	case c.NetFlitBytes <= 0:
-		return fmt.Errorf("config: NetFlitBytes must be positive, got %d", c.NetFlitBytes)
-	case c.QueueDepth < 0 || c.NIPortDepth < 0 || c.RetryBudget < 0:
-		return fmt.Errorf("config: queue depths and retry budget must be non-negative")
-	case c.NackDelay < 0 || c.NackBackoffMax < 0 || c.RequestTimeout < 0 || c.NetRetryDelay < 0 || c.BusBackoffMax < 0:
-		return fmt.Errorf("config: robustness delays must be non-negative")
+		return fieldErr("NetFlitBytes", "must be positive, got %d", c.NetFlitBytes)
+	case c.QueueDepth < 0:
+		return fieldErr("QueueDepth", "must be non-negative, got %d", c.QueueDepth)
+	case c.NIPortDepth < 0:
+		return fieldErr("NIPortDepth", "must be non-negative, got %d", c.NIPortDepth)
+	case c.RetryBudget < 0:
+		return fieldErr("RetryBudget", "must be non-negative, got %d", c.RetryBudget)
+	case c.NackDelay < 0:
+		return fieldErr("NackDelay", "must be non-negative, got %d", int64(c.NackDelay))
+	case c.NackBackoffMax < 0:
+		return fieldErr("NackBackoffMax", "must be non-negative, got %d", int64(c.NackBackoffMax))
+	case c.RequestTimeout < 0:
+		return fieldErr("RequestTimeout", "must be non-negative, got %d", int64(c.RequestTimeout))
+	case c.NetRetryDelay < 0:
+		return fieldErr("NetRetryDelay", "must be non-negative, got %d", int64(c.NetRetryDelay))
+	case c.BusBackoffMax < 0:
+		return fieldErr("BusBackoffMax", "must be non-negative, got %d", int64(c.BusBackoffMax))
 	case c.QueueDepth > 0 && c.QueueDepth < 2:
-		return fmt.Errorf("config: QueueDepth below 2 cannot hold a request and its replay, got %d", c.QueueDepth)
+		return fieldErr("QueueDepth", "below 2 cannot hold a request and its replay, got %d", c.QueueDepth)
+	}
+	if err := c.validateCosts(); err != nil {
+		return err
+	}
+	return c.validateNodeArchs()
+}
+
+// validateCosts rejects occupancy overrides outside the model's range: no
+// negative occupancy, and a positive dispatch cost for every engine kind —
+// a zero-cost dispatch would let handlers complete in zero cycles, which
+// the dispatch loop treats as a protocol bug.
+func (c *Config) validateCosts() error {
+	for op := SubOp(0); op < numSubOps; op++ {
+		for k := EngineKind(0); k < numEngineKinds; k++ {
+			if c.Costs[op][k] < 0 {
+				return fieldErr(fmt.Sprintf("Costs[%s][%s]", op.Key(), k),
+					"occupancy must be non-negative, got %d", int64(c.Costs[op][k]))
+			}
+		}
+	}
+	for k := EngineKind(0); k < numEngineKinds; k++ {
+		if c.Costs[OpDispatch][k] <= 0 {
+			return fieldErr(fmt.Sprintf("Costs[%s][%s]", OpDispatch.Key(), k),
+				"dispatch occupancy must be positive, got %d", int64(c.Costs[OpDispatch][k]))
+		}
+	}
+	return nil
+}
+
+// validateNodeArchs checks the heterogeneous-node overrides: the list must
+// be empty or exactly node-length, every entry must parse, and a node with
+// more than two engines needs a split policy that reaches them all.
+func (c *Config) validateNodeArchs() error {
+	if len(c.NodeArchs) == 0 {
+		return nil
+	}
+	if len(c.NodeArchs) != c.Nodes {
+		return fieldErr("NodeArchs", "has %d entries for %d nodes (must be empty or one entry per node)",
+			len(c.NodeArchs), c.Nodes)
+	}
+	for n, name := range c.NodeArchs {
+		if name == "" {
+			continue
+		}
+		_, count, err := ParseArch(name)
+		if err != nil {
+			return fieldErr(fmt.Sprintf("NodeArchs[%d]", n), "%v", err)
+		}
+		if count > 2 && c.Split == SplitLocalRemote {
+			return fieldErr(fmt.Sprintf("NodeArchs[%d]", n),
+				"%d engines require the region or round-robin split", count)
+		}
 	}
 	return nil
 }
@@ -571,37 +891,154 @@ func (c *Config) RegionShift() uint {
 }
 
 // ArchName returns the paper's name for the controller architecture
-// selected by this configuration: HWC, PPC, 2HWC, 2PPC, or nXXX for the
-// extended engine counts.
+// selected by this configuration: HWC, PPC, 2HWC, 2PPC, nXXX for the
+// extended engine counts, or a mixed(...) summary for heterogeneous
+// machines.
 func (c *Config) ArchName() string {
-	name := c.Engine.String()
-	if n := c.EngineCount(); n > 1 {
-		return fmt.Sprintf("%d%s", n, name)
+	if c.Heterogeneous() {
+		return c.mixedArchName()
 	}
-	return name
+	return archName(c.Engine, c.EngineCount())
 }
 
-// WithArch returns a copy of c configured for the named architecture
-// ("HWC", "PPC", "2HWC", "2PPC").
-func (c Config) WithArch(name string) (Config, error) {
-	c.NumEngines = 0
-	switch name {
-	case "HWC":
-		c.Engine, c.TwoEngines = HWC, false
-	case "PPC":
-		c.Engine, c.TwoEngines = PPC, false
-	case "PPCA":
-		c.Engine, c.TwoEngines = PPCA, false
-	case "2HWC":
-		c.Engine, c.TwoEngines = HWC, true
-	case "2PPC":
-		c.Engine, c.TwoEngines = PPC, true
-	case "2PPCA":
-		c.Engine, c.TwoEngines = PPCA, true
-	default:
-		return c, fmt.Errorf("config: unknown architecture %q", name)
+// archName renders the paper-style name for one (kind, count) pair.
+func archName(k EngineKind, count int) string {
+	if count > 1 {
+		return fmt.Sprintf("%d%s", count, k)
 	}
+	return k.String()
+}
+
+// mixedArchName summarizes a heterogeneous machine deterministically:
+// per-node architecture names with node counts, ordered by first
+// appearance in node order, e.g. "mixed(HWCx4,2PPCx12)".
+func (c *Config) mixedArchName() string {
+	counts := map[string]int{}
+	var order []string
+	for n := 0; n < c.Nodes; n++ {
+		name := c.NodeArchName(n)
+		if counts[name] == 0 {
+			order = append(order, name)
+		}
+		counts[name]++
+	}
+	parts := make([]string, 0, len(order))
+	for _, name := range order {
+		parts = append(parts, fmt.Sprintf("%sx%d", name, counts[name]))
+	}
+	return "mixed(" + strings.Join(parts, ",") + ")"
+}
+
+// ParseArch resolves a controller architecture name — an engine kind with
+// an optional leading engine count: "HWC", "PPC", "2HWC", "2PPCA", "4PPC".
+func ParseArch(name string) (EngineKind, int, error) {
+	digits := 0
+	for digits < len(name) && name[digits] >= '0' && name[digits] <= '9' {
+		digits++
+	}
+	count := 1
+	if digits > 0 {
+		n, err := strconv.Atoi(name[:digits])
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("config: unknown architecture %q", name)
+		}
+		count = n
+	}
+	kind, err := ParseEngineKind(name[digits:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("config: unknown architecture %q", name)
+	}
+	return kind, count, nil
+}
+
+// WithArch returns a copy of c configured for the named homogeneous
+// architecture ("HWC", "PPC", "2HWC", "2PPC", ... with optional engine
+// count prefix). Any per-node overrides are cleared.
+func (c Config) WithArch(name string) (Config, error) {
+	kind, count, err := ParseArch(name)
+	if err != nil {
+		return c, err
+	}
+	c.Engine = kind
+	c.TwoEngines = count == 2
+	c.NumEngines = 0
+	if count > 2 {
+		c.NumEngines = count
+	}
+	c.NodeArchs = nil
 	return c, nil
+}
+
+// Heterogeneous reports whether any node carries a per-node architecture
+// override.
+func (c *Config) Heterogeneous() bool {
+	base, baseCount := c.Engine, c.EngineCount()
+	for n := range c.NodeArchs {
+		if c.NodeArchs[n] == "" {
+			continue
+		}
+		if kind, count := c.nodeArch(n); kind != base || count != baseCount {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeArchName returns node n's architecture name, honouring NodeArchs.
+func (c *Config) NodeArchName(n int) string {
+	if n < len(c.NodeArchs) && c.NodeArchs[n] != "" {
+		return c.NodeArchs[n]
+	}
+	return archName(c.Engine, c.EngineCount())
+}
+
+// nodeArch resolves node n's engine kind and count. Config must have
+// passed Validate; an unparsable override is a programming error here.
+func (c *Config) nodeArch(n int) (EngineKind, int) {
+	if n < len(c.NodeArchs) && c.NodeArchs[n] != "" {
+		kind, count, err := ParseArch(c.NodeArchs[n])
+		if err != nil {
+			panic(fmt.Sprintf("config: NodeArchs[%d] = %q not validated: %v", n, c.NodeArchs[n], err))
+		}
+		return kind, count
+	}
+	return c.Engine, c.EngineCount()
+}
+
+// NodeEngineKind returns the protocol-engine implementation of node n's
+// controller.
+func (c *Config) NodeEngineKind(n int) EngineKind {
+	kind, _ := c.nodeArch(n)
+	return kind
+}
+
+// NodeEngineCount returns the number of protocol engines on node n's
+// controller.
+func (c *Config) NodeEngineCount(n int) int {
+	_, count := c.nodeArch(n)
+	return count
+}
+
+// EngineCounts returns the per-node engine counts (what stats.NewRun
+// sizes its per-controller slices from).
+func (c *Config) EngineCounts() []int {
+	counts := make([]int, c.Nodes)
+	for n := range counts {
+		counts[n] = c.NodeEngineCount(n)
+	}
+	return counts
+}
+
+// MaxEngineCount returns the largest engine count of any node's
+// controller (the fault generator's engine-index range).
+func (c *Config) MaxEngineCount() int {
+	max := c.EngineCount()
+	for n := range c.NodeArchs {
+		if count := c.NodeEngineCount(n); count > max {
+			max = count
+		}
+	}
+	return max
 }
 
 // Architectures lists the four controller architectures in the paper's

@@ -122,6 +122,10 @@ type Controller struct {
 	st    *stats.ControllerStats
 	tr    *obs.Tracer // nil when tracing is disabled
 
+	// kind is this node's protocol-engine implementation; on heterogeneous
+	// machines (Config.NodeArchs) it differs per controller, so occupancy
+	// lookups must go through it rather than cfg.Engine.
+	kind    config.EngineKind
 	engines []*engine
 	rr      int
 
@@ -165,10 +169,11 @@ func New(eng *sim.Engine, cfg *config.Config, node int, bus *smpbus.Bus,
 		space:   space,
 		st:      st,
 		tr:      tr,
+		kind:    cfg.NodeEngineKind(node),
 		homeOps: make(map[uint64]*homeOp),
 		mshr:    make(map[uint64]*mshrEntry),
 	}
-	for i := 0; i < cfg.EngineCount(); i++ {
+	for i := 0; i < cfg.NodeEngineCount(node); i++ {
 		cc.engines = append(cc.engines, &engine{cc: cc, idx: i})
 	}
 	bus.AttachController(cc)
@@ -267,7 +272,7 @@ func (cc *Controller) StateSnapshot() string {
 func (cc *Controller) costs() *config.CostTable { return &cc.cfg.Costs }
 
 func (cc *Controller) cost(op config.SubOp) sim.Time {
-	return cc.cfg.Costs.Cost(cc.cfg.Engine, op)
+	return cc.cfg.Costs.Cost(cc.kind, op)
 }
 
 // engineFor selects the engine serving a line per the split policy.
@@ -590,7 +595,7 @@ func (e *engine) dispatch(w *work) {
 // before the action; extraInvals adds per-invalidation fan-out work.
 func (cc *Controller) charge(h protocol.Handler, dirExtra sim.Time, extraInvals int) (occ sim.Time, actionAt sim.Time) {
 	cc.handlerCounts[h]++
-	k := cc.cfg.Engine
+	k := cc.kind
 	disp := cc.cfg.Costs.Cost(k, config.OpDispatch)
 	// Handlers that fetch the line over the local bus keep the engine
 	// occupied for the no-contention access time (the paper's handler
@@ -614,7 +619,7 @@ func (cc *Controller) homeFetchStall() sim.Time {
 func (cc *Controller) perInvalCost() sim.Time {
 	var t sim.Time
 	for _, op := range protocol.PerInvalOps {
-		t += cc.cfg.Costs.Cost(cc.cfg.Engine, op)
+		t += cc.cfg.Costs.Cost(cc.kind, op)
 	}
 	return t
 }

@@ -40,7 +40,7 @@ func newRig(t *testing.T, mutate func(*config.Config)) *rig {
 	r := &rig{eng: sim.NewEngine(), cfg: cfg}
 	r.space = memaddr.NewSpace(&r.cfg)
 	r.net = interconnect.New(r.eng, &r.cfg, nil)
-	r.runs = stats.NewRun(cfg.ArchName(), "rig", cfg.Nodes, cfg.EngineCount())
+	r.runs = stats.NewRun(cfg.ArchName(), "rig", cfg.EngineCounts())
 	for n := 0; n < cfg.Nodes; n++ {
 		bus := smpbus.New(r.eng, &r.cfg, n, nil)
 		dir := directory.New(r.eng, &r.cfg, n, nil)

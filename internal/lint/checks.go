@@ -6,6 +6,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -62,6 +63,16 @@ var retryPackages = map[string]bool{
 // retryNamePat matches declarations that name recovery tuning values.
 var retryNamePat = regexp.MustCompile(`(?i)retry|timeout|backoff|nack`)
 
+// configSchemaPackages are the packages whose Config struct feeds the
+// ccnuma-scenario/v1 schema: every exported field must carry a json tag,
+// or a knob silently becomes unrepresentable in scenario files and
+// invisible to `ccsim -replay`. The testdata entry is the lint suite's own
+// fixture.
+var configSchemaPackages = map[string]bool{
+	"ccnuma/internal/config":                      true,
+	"ccnuma/internal/lint/testdata/src/badconfig": true,
+}
+
 // goroutineAllowed lists the only packages that may contain a go
 // statement: the worker pool itself (the single sanctioned home of
 // concurrency) and the workload-handoff shims, where each compute
@@ -95,6 +106,7 @@ func Check(pkgs []*Package) []Finding {
 		raw = append(raw, checkSchedNoop(pkg)...)
 		raw = append(raw, checkEnumStrings(pkg)...)
 		raw = append(raw, checkConfigLiterals(pkg)...)
+		raw = append(raw, checkConfigSchema(pkg)...)
 		raw = append(raw, checkNoGoroutines(pkg)...)
 		for _, f := range raw {
 			if !sup.covers(f) {
@@ -441,6 +453,92 @@ func checkEnumStrings(pkg *Package) []Finding {
 		}
 	}
 	return out
+}
+
+// checkConfigSchema requires every exported field of the package's Config
+// struct — and, transitively, of any in-package struct type reachable
+// through its fields — to carry a json tag. The scenario layer serializes
+// Config verbatim, so an untagged field would marshal under its Go name,
+// drift out of the documented camelCase schema, and break the
+// canonical-form fingerprint the replay machinery depends on. Types with
+// their own MarshalJSON/MarshalText control their representation directly
+// and are not descended into.
+func checkConfigSchema(pkg *Package) []Finding {
+	if !configSchemaPackages[pkg.ImportPath] {
+		return nil
+	}
+	obj, ok := pkg.Types.Scope().Lookup("Config").(*types.TypeName)
+	if !ok {
+		return []Finding{{
+			Pos:     pkg.ImportPath,
+			Check:   "config-schema",
+			Message: "expected type Config is not declared (update the lint target list)",
+		}}
+	}
+	var out []Finding
+	seen := map[*types.Named]bool{}
+	var audit func(named *types.Named)
+	audit = func(named *types.Named) {
+		if seen[named] {
+			return
+		}
+		seen[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag, tagged := reflect.StructTag(st.Tag(i)).Lookup("json")
+			if !tagged || tag == "-" || strings.HasPrefix(tag, ",") {
+				out = append(out, pkg.finding(f.Pos(), "config-schema",
+					"exported field %s.%s has no json tag; every config knob must be representable in the ccnuma-scenario/v1 schema",
+					named.Obj().Name(), f.Name()))
+			}
+			if nested, ok := fieldStruct(f.Type(), pkg.Types); ok {
+				audit(nested)
+			}
+		}
+	}
+	if named, ok := obj.Type().(*types.Named); ok {
+		audit(named)
+	}
+	return out
+}
+
+// fieldStruct resolves a field type (through pointers, slices, arrays, and
+// maps) to a named struct declared in the given package that does not
+// define its own JSON representation.
+func fieldStruct(t types.Type, in *types.Package) (*types.Named, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() != in {
+				return nil, false
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return nil, false
+			}
+			for _, m := range []string{"MarshalJSON", "MarshalText"} {
+				if fn, _, _ := types.LookupFieldOrMethod(named, true, in, m); fn != nil {
+					return nil, false
+				}
+			}
+			return named, true
+		}
+	}
 }
 
 // checkNoGoroutines flags go statements outside the sanctioned concurrency

@@ -135,6 +135,45 @@ func TestConfigLiteralCheck(t *testing.T) {
 	}
 }
 
+// TestConfigSchemaCheck pins the config-schema analysis on its fixture:
+// untagged exported fields are flagged at the top level, through the `-`
+// exclusion, and transitively through nested struct fields, while tagged,
+// unexported, and unreachable declarations stay silent.
+func TestConfigSchemaCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badconfig")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var got []Finding
+	for _, f := range Check(pkgs) {
+		if f.Check == "config-schema" {
+			got = append(got, f)
+		}
+	}
+	want := []string{"Config.Engines", "Config.Name", "Timing.HopCost"}
+	if len(got) != len(want) {
+		t.Errorf("config-schema findings = %d, want %d: %v", len(got), len(want), got)
+	}
+	for _, name := range want {
+		found := false
+		for _, f := range got {
+			if strings.Contains(f.Message, name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("untagged field %s was not flagged: %v", name, got)
+		}
+	}
+	for _, f := range got {
+		for _, silent := range []string{"Config.Nodes", "Config.Net", "Timing.Latency", "Ignored", "hidden"} {
+			if strings.Contains(f.Message, silent) {
+				t.Errorf("allowed field %s was flagged: %s", silent, f)
+			}
+		}
+	}
+}
+
 // TestNoGoroutineCheck pins the goroutine ban on its fixture: the go
 // statement in badgo must be flagged, and the sanctioned packages
 // (internal/runner and the cpu/pram workload handoff) must stay exempt.

@@ -1,0 +1,30 @@
+// Package badconfig is a deliberately broken fixture for the
+// config-schema check: its Config struct mixes properly tagged fields
+// with untagged ones, at the top level and inside a nested struct.
+package badconfig
+
+// Timing has a tagged and an untagged exported field; the untagged one
+// must be flagged because Config reaches it through the Net field.
+type Timing struct {
+	Latency int `json:"latency"`
+	HopCost int // missing tag: flagged transitively
+}
+
+// Ignored is never referenced from Config, so its untagged field is not a
+// finding.
+type Ignored struct {
+	Whatever int
+}
+
+// Config is the fixture's schema root.
+type Config struct {
+	Nodes   int    `json:"nodes"`
+	Engines int    // missing tag: flagged
+	Name    string `json:"-"` // explicitly excluded counts as untagged: flagged
+	Net     Timing `json:"net"`
+
+	hidden int // unexported: ignored
+}
+
+// Use the unexported field so the fixture compiles vet-clean.
+func (c *Config) Hidden() int { return c.hidden }

@@ -77,7 +77,7 @@ func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) 
 		Tracer:    tr,
 		locks:     make(map[int]*lockState),
 		lockAddrs: make(map[int]uint64),
-		run:       stats.NewRun(cfg.ArchName(), app, cfg.Nodes, cfg.EngineCount()),
+		run:       stats.NewRun(cfg.ArchName(), app, cfg.EngineCounts()),
 	}
 	m.Space = memaddr.NewSpace(&m.Cfg)
 	m.Net = interconnect.New(eng, &m.Cfg, tr)
@@ -213,8 +213,10 @@ func (m *Machine) Snapshot() string {
 func (m *Machine) startSampler() {
 	s := m.sampler
 	nodes := m.Cfg.Nodes
-	nEng := m.Cfg.EngineCount()
-	prevEng := make([]sim.Time, nodes*nEng)
+	prevEng := make([][]sim.Time, nodes)
+	for n := range prevEng {
+		prevEng[n] = make([]sim.Time, m.Cfg.NodeEngineCount(n))
+	}
 	prevAddr := make([]sim.Time, nodes)
 	prevData := make([]sim.Time, nodes)
 	prevBank := make([]sim.Time, nodes)
@@ -247,14 +249,14 @@ func (m *Machine) startSampler() {
 			nackDelta := nacks - prevNacks[n]
 			retryDelta := retries - prevRetries[n]
 			prevNacks[n], prevRetries[n] = nacks, retries
-			for i := 0; i < nEng; i++ {
+			for i := range prevEng[n] {
 				busy := m.run.Controllers[n].Engines[i].Busy
 				resp, req, busQ := m.CCs[n].QueueDepths(i)
 				s.Add(obs.Sample{
 					At:             int64(now),
 					Node:           n,
 					Engine:         i,
-					EngineUtilPct:  s.UtilPct(busy - prevEng[n*nEng+i]),
+					EngineUtilPct:  s.UtilPct(busy - prevEng[n][i]),
 					EngineBusy:     m.CCs[n].EngineBusy(i),
 					RespQ:          resp,
 					ReqQ:           req,
@@ -271,7 +273,7 @@ func (m *Machine) startSampler() {
 					Retries:        retryDelta,
 					Overflows:      ovDelta,
 				})
-				prevEng[n*nEng+i] = busy
+				prevEng[n][i] = busy
 			}
 			prevAddr[n], prevData[n], prevBank[n], prevDir[n] = addr, data, bank, dram
 		}

@@ -27,6 +27,14 @@ type Artifact struct {
 	// tool ran unseeded); with it, any chaos run replays exactly.
 	Seed int64 `json:"seed,omitempty"`
 
+	// Scenario embeds the canonical ccnuma-scenario/v1 document that
+	// produced this run, byte-for-byte as internal/scenario canonicalized
+	// it, and ScenarioFingerprint is its stable hash. Together they make
+	// every artifact self-describing: `ccsim -replay artifact.json` re-runs
+	// the embedded scenario and reproduces the artifact exactly.
+	Scenario            json.RawMessage `json:"scenario,omitempty"`
+	ScenarioFingerprint string          `json:"scenarioFingerprint,omitempty"`
+
 	Config  ArtifactConfig  `json:"config"`
 	Metrics ArtifactMetrics `json:"metrics"`
 
@@ -149,16 +157,19 @@ func ParseVerifyReport(data []byte) (*VerifyReport, error) {
 
 // ArtifactConfig echoes the architectural parameters that shaped the run.
 type ArtifactConfig struct {
-	Nodes           int    `json:"nodes"`
-	ProcsPerNode    int    `json:"procsPerNode"`
-	Engines         int    `json:"engines"`
-	Split           string `json:"split"`
-	Arbitration     string `json:"arbitration"`
-	LineSize        int    `json:"lineSize"`
-	NetLatency      int64  `json:"netLatencyCycles"`
-	Topology        string `json:"topology"`
-	DirCacheEntries int    `json:"dirCacheEntries"`
-	DirectDataPath  bool   `json:"directDataPath"`
+	Nodes        int `json:"nodes"`
+	ProcsPerNode int `json:"procsPerNode"`
+	Engines      int `json:"engines"`
+	// NodeArchs echoes the per-node controller overrides of heterogeneous
+	// machines (empty for the homogeneous configurations).
+	NodeArchs       []string `json:"nodeArchs,omitempty"`
+	Split           string   `json:"split"`
+	Arbitration     string   `json:"arbitration"`
+	LineSize        int      `json:"lineSize"`
+	NetLatency      int64    `json:"netLatencyCycles"`
+	Topology        string   `json:"topology"`
+	DirCacheEntries int      `json:"dirCacheEntries"`
+	DirectDataPath  bool     `json:"directDataPath"`
 }
 
 // ArtifactMetrics carries the headline quantities of Tables 6 and 7.
@@ -228,6 +239,7 @@ func NewArtifact(tool, size string, cfg *config.Config, r *stats.Run) *Artifact 
 			Nodes:           cfg.Nodes,
 			ProcsPerNode:    cfg.ProcsPerNode,
 			Engines:         cfg.EngineCount(),
+			NodeArchs:       cfg.NodeArchs,
 			Split:           cfg.Split.String(),
 			Arbitration:     cfg.Arbitration.String(),
 			LineSize:        cfg.LineSize,

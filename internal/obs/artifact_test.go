@@ -23,7 +23,7 @@ func syntheticRun() (*config.Config, *stats.Run) {
 	cfg, _ = cfg.WithArch("PPC")
 	cfg.Nodes, cfg.ProcsPerNode = 4, 2
 
-	r := stats.NewRun(cfg.ArchName(), "ocean", cfg.Nodes, cfg.EngineCount())
+	r := stats.NewRun(cfg.ArchName(), "ocean", cfg.EngineCounts())
 	r.ExecTime = 47083
 	r.Instructions = 64704
 	for n := range r.Controllers {

@@ -126,20 +126,22 @@ type Run struct {
 	Counters map[string]uint64
 }
 
-// NewRun creates an empty Run for n controllers with enginesPer engines
-// each.
-func NewRun(arch, app string, controllers, enginesPer int) *Run {
-	if enginesPer < 1 {
-		enginesPer = 1
-	}
+// NewRun creates an empty Run with one controller per entry of
+// engineCounts, controller i holding engineCounts[i] engines — the counts
+// may differ per node on heterogeneous machines (config.EngineCounts).
+func NewRun(arch, app string, engineCounts []int) *Run {
 	r := &Run{
 		Arch:        arch,
 		App:         app,
-		Controllers: make([]ControllerStats, controllers),
+		Controllers: make([]ControllerStats, len(engineCounts)),
 		Counters:    make(map[string]uint64),
 	}
 	for i := range r.Controllers {
-		r.Controllers[i].Engines = make([]EngineStats, enginesPer)
+		n := engineCounts[i]
+		if n < 1 {
+			n = 1
+		}
+		r.Controllers[i].Engines = make([]EngineStats, n)
 	}
 	return r
 }

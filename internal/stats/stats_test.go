@@ -24,7 +24,7 @@ func TestNoteArrivalGaps(t *testing.T) {
 }
 
 func TestRunReductions(t *testing.T) {
-	r := NewRun("PPC", "ocean", 2, 1)
+	r := NewRun("PPC", "ocean", []int{1, 1})
 	r.ExecTime = 1000
 	r.Instructions = 10000
 	r.Controllers[0].Engines[0] = EngineStats{Busy: 500, Dispatches: 50, QueueDelay: 1000}
@@ -55,7 +55,7 @@ func TestRunReductions(t *testing.T) {
 }
 
 func TestTwoEngineReductions(t *testing.T) {
-	r := NewRun("2HWC", "fft", 1, 2)
+	r := NewRun("2HWC", "fft", []int{2})
 	r.ExecTime = 1000
 	r.Controllers[0].Engines[0] = EngineStats{Busy: 400, Dispatches: 40, QueueDelay: 400}
 	r.Controllers[0].Engines[1] = EngineStats{Busy: 100, Dispatches: 60, QueueDelay: 60}
@@ -80,10 +80,10 @@ func TestTwoEngineReductions(t *testing.T) {
 }
 
 func TestPenaltyAndOccupancyRatio(t *testing.T) {
-	hwc := NewRun("HWC", "ocean", 1, 1)
+	hwc := NewRun("HWC", "ocean", []int{1})
 	hwc.ExecTime = 1000
 	hwc.Controllers[0].Engines[0].Busy = 400
-	ppc := NewRun("PPC", "ocean", 1, 1)
+	ppc := NewRun("PPC", "ocean", []int{1})
 	ppc.ExecTime = 1930
 	ppc.Controllers[0].Engines[0].Busy = 1000
 	if got := Penalty(hwc, ppc); !almost(got, 0.93) {
@@ -98,7 +98,7 @@ func TestPenaltyAndOccupancyRatio(t *testing.T) {
 }
 
 func TestArrivalRate(t *testing.T) {
-	r := NewRun("HWC", "x", 2, 1)
+	r := NewRun("HWC", "x", []int{1, 1})
 	// Controller 0: arrivals every 100 cycles -> 2 per microsecond.
 	for i := 0; i < 5; i++ {
 		r.Controllers[0].NoteArrival(sim.Time(i * 100))
@@ -113,7 +113,7 @@ func TestArrivalRate(t *testing.T) {
 }
 
 func TestCounters(t *testing.T) {
-	r := NewRun("HWC", "x", 1, 1)
+	r := NewRun("HWC", "x", []int{1})
 	r.Add("busReads", 3)
 	r.Add("busReads", 2)
 	r.Add("netMsgs", 7)
@@ -130,7 +130,7 @@ func TestCounters(t *testing.T) {
 }
 
 func TestZeroSafety(t *testing.T) {
-	r := NewRun("HWC", "x", 0, 1)
+	r := NewRun("HWC", "x", nil)
 	if r.RCCPI() != 0 || r.AvgUtilization(-1) != 0 || r.AvgQueueDelay(-1) != 0 ||
 		r.ArrivalRatePerMicrosecond() != 0 || r.EngineShare(0) != 0 {
 		t.Fatal("zero-valued run should reduce to zeros")
@@ -261,7 +261,7 @@ func TestBucketBounds(t *testing.T) {
 }
 
 func TestQueueDelayHistogramMerge(t *testing.T) {
-	r := NewRun("HWC", "unit", 2, 2)
+	r := NewRun("HWC", "unit", []int{2, 2})
 	r.Controllers[0].Engines[0].QueueDelayHist.Add(4)
 	r.Controllers[0].Engines[1].QueueDelayHist.Add(8)
 	r.Controllers[1].Engines[0].QueueDelayHist.Add(16)
