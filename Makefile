@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos scenario clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos scenario attribution clean
 
 all: build
 
@@ -17,7 +17,7 @@ build:
 # the model checker must close the 2-node state space with zero
 # violations, and ccbench's smoke run must finish without a gross
 # performance regression against the committed BENCH artifact.
-check: fmt vet lint race verify bench scenario
+check: fmt vet lint race verify bench scenario attribution
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -67,6 +67,17 @@ scenario:
 	$(GO) run ./cmd/ccsim -spec examples/scenarios/base.json -json "$$tmp/run.json" >/dev/null && \
 	$(GO) run ./cmd/ccsim -replay "$$tmp/run.json" -json "$$tmp/replay.json" >/dev/null && \
 	cmp "$$tmp/run.json" "$$tmp/replay.json" && echo "scenario: replay byte-identical"; \
+	status=$$?; rm -rf "$$tmp"; exit $$status
+
+# attribution smoke-tests the span-tracing layer: a small kernel with
+# per-transaction attribution on must complete (machine.Run fails the run
+# if the stage spans do not partition the end-to-end latencies exactly)
+# and its artifact must carry the attribution section of the
+# ccnuma-run/v1 schema.
+attribution:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run ./cmd/ccsim -app fft -arch HWC -nodes 4 -ppn 2 -size test -attribution -json "$$tmp/attr.json" >/dev/null && \
+	grep -q '"attribution"' "$$tmp/attr.json" && echo "attribution: conservation + schema OK"; \
 	status=$$?; rm -rf "$$tmp"; exit $$status
 
 # microbench runs the go-test benchmark suites (paper artifacts at SizeTest

@@ -32,6 +32,7 @@ import (
 	"ccnuma/internal/chaos"
 	"ccnuma/internal/exp"
 	"ccnuma/internal/obs"
+	"ccnuma/internal/runner"
 	"ccnuma/internal/scenario"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/workload"
@@ -63,9 +64,12 @@ type Doc struct {
 	ScenarioFingerprint string          `json:"scenarioFingerprint,omitempty"`
 
 	// Baseline names the artifact these numbers were compared against
-	// (empty on the first run).
-	Baseline    string   `json:"baseline,omitempty"`
-	Regressions []string `json:"regressions,omitempty"`
+	// (empty on the first run). BaselineGoMaxProcs records the baseline
+	// host's GOMAXPROCS: when it differs from this run's, every wall-clock
+	// comparison is advisory and the run says so.
+	Baseline           string   `json:"baseline,omitempty"`
+	BaselineGoMaxProcs int      `json:"baselineGomaxprocs,omitempty"`
+	Regressions        []string `json:"regressions,omitempty"`
 }
 
 // MicroEntry is one engine microbenchmark result. Events is part of the
@@ -88,14 +92,17 @@ type E2EEntry struct {
 
 // ParallelEntry compares a serial regeneration against the same work on
 // the runner pool. Speedup is SerialMs/ParallelMs; on a single-core host
-// it hovers near 1.0 regardless of Jobs.
+// it hovers near 1.0 regardless of Jobs. Utilization is the pool's
+// busy-workers-over-time recording for the parallel run, which is what
+// distinguishes "the host has one core" from "the workers sat idle".
 type ParallelEntry struct {
-	Name       string  `json:"name"`
-	Runs       int     `json:"runs"`
-	Jobs       int     `json:"jobs"`
-	SerialMs   float64 `json:"serial_ms"`
-	ParallelMs float64 `json:"parallel_ms"`
-	Speedup    float64 `json:"speedup"`
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	Jobs        int                `json:"jobs"`
+	SerialMs    float64            `json:"serial_ms"`
+	ParallelMs  float64            `json:"parallel_ms"`
+	Speedup     float64            `json:"speedup"`
+	Utilization *obs.RunnerUtilDoc `json:"utilization,omitempty"`
 }
 
 func main() {
@@ -199,9 +206,15 @@ func main() {
 	doc.E2E = append(doc.E2E, E2EEntry{Name: table6Name, Runs: runs, WallMs: wallSerial})
 	fmt.Printf("  %-24s %8.0f ms serial (%d sims)\n", table6Name, wallSerial, runs)
 	if *jobs > 1 {
+		u := &runner.Usage{}
+		stop := runner.Observe(u)
 		wallPar, _ := timeTable6(*jobs)
-		doc.Parallel = append(doc.Parallel, parallelEntry(table6Name, runs, *jobs, wallSerial, wallPar))
-		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", table6Name, wallPar, *jobs, wallSerial/wallPar)
+		stop()
+		e := parallelEntry(table6Name, runs, *jobs, wallSerial, wallPar)
+		e.Utilization = obs.NewRunnerUtilDoc(u, utilBuckets)
+		doc.Parallel = append(doc.Parallel, e)
+		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx%s)\n",
+			table6Name, wallPar, *jobs, wallSerial/wallPar, utilNote(e.Utilization, *jobs))
 	}
 
 	chaosName := fmt.Sprintf("chaos/%s-x%d", spec.Workload.App, chaosSchedules)
@@ -209,9 +222,15 @@ func main() {
 	doc.E2E = append(doc.E2E, E2EEntry{Name: chaosName, Runs: chaosSchedules, WallMs: wallSerial})
 	fmt.Printf("  %-24s %8.0f ms serial (%d schedules)\n", chaosName, wallSerial, chaosSchedules)
 	if *jobs > 1 {
+		u := &runner.Usage{}
+		stop := runner.Observe(u)
 		wallPar := timeChaos(spec, *jobs)
-		doc.Parallel = append(doc.Parallel, parallelEntry(chaosName, chaosSchedules, *jobs, wallSerial, wallPar))
-		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx)\n", chaosName, wallPar, *jobs, wallSerial/wallPar)
+		stop()
+		e := parallelEntry(chaosName, chaosSchedules, *jobs, wallSerial, wallPar)
+		e.Utilization = obs.NewRunnerUtilDoc(u, utilBuckets)
+		doc.Parallel = append(doc.Parallel, e)
+		fmt.Printf("  %-24s %8.0f ms at jobs=%d (speedup %.2fx%s)\n",
+			chaosName, wallPar, *jobs, wallSerial/wallPar, utilNote(e.Utilization, *jobs))
 	}
 
 	// Compare against the previous artifact.
@@ -236,6 +255,11 @@ func main() {
 			fatal(fmt.Errorf("baseline %s: %w", basePath, err))
 		}
 		doc.Baseline = filepath.Base(basePath)
+		doc.BaselineGoMaxProcs = base.GoMaxProcs
+		if base.GoMaxProcs != doc.GoMaxProcs {
+			fmt.Printf("warning: baseline %s was recorded at GOMAXPROCS=%d, this run is GOMAXPROCS=%d; wall-clock comparison is advisory — re-record the baseline on this host\n",
+				filepath.Base(basePath), base.GoMaxProcs, doc.GoMaxProcs)
+		}
 		doc.Regressions = compare(base, doc, *threshold)
 		if len(doc.Regressions) == 0 {
 			fmt.Printf("baseline %s: no regressions past %.0f%%\n", basePath, *threshold)
@@ -265,6 +289,19 @@ func parallelEntry(name string, runs, jobs int, serialMs, parallelMs float64) Pa
 		SerialMs: serialMs, ParallelMs: parallelMs,
 		Speedup: serialMs / parallelMs,
 	}
+}
+
+// utilBuckets is the busy-workers series resolution stored per parallel
+// entry.
+const utilBuckets = 32
+
+// utilNote renders the pool-utilization suffix of a parallel progress
+// line: mean and peak busy workers over the pooled phase.
+func utilNote(u *obs.RunnerUtilDoc, jobs int) string {
+	if u == nil {
+		return ""
+	}
+	return fmt.Sprintf(", avg %.1f/%d workers busy, peak %d", u.AvgBusy, jobs, u.PeakBusy)
 }
 
 // microScheduleStep: steady-state queue where every executed event re-arms

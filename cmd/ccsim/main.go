@@ -45,6 +45,7 @@ func main() {
 	flag.Int("dircache", 8192, "directory cache entries (0 disables)")
 	flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
 	flag.Bool("robust", false, "enable the robustness knobs: finite queues, NACK/retry, request timeouts, reliable link layer")
+	flag.Bool("attribution", false, "enable per-transaction span tracing and print the miss-latency attribution")
 	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
 	replayPath := flag.String("replay", "", "re-run the scenario embedded in a run artifact")
 	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
@@ -182,6 +183,19 @@ func main() {
 		rl := r.RetryLatencyHistogram()
 		fmt.Printf("retry latency:      p50=%.0f p95=%.0f p99=%.0f max=%d cycles (n=%d)\n",
 			rl.Percentile(50), rl.Percentile(95), rl.Percentile(99), rl.MaxVal, rl.Count)
+	}
+
+	if a := r.Attribution; a != nil {
+		fmt.Printf("attribution:        %d transactions, end-to-end mean %.0f cycles, p50=%.0f p95=%.0f p99=%.0f\n",
+			a.Completed, a.EndToEnd.Mean(), a.EndToEnd.Percentile(50),
+			a.EndToEnd.Percentile(95), a.EndToEnd.Percentile(99))
+		for _, st := range a.Stages {
+			if st.Total == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s        %6.2f%%  (%d cycles, mean %.0f over %d spans)\n",
+				st.Stage, 100*a.StageShare(st.Stage), st.Total, st.Hist.Mean(), st.Hist.Count)
+		}
 	}
 
 	if *counters {

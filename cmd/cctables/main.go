@@ -23,6 +23,7 @@ import (
 func main() {
 	size := flag.String("size", "base", "problem size class: test or base")
 	only := flag.String("only", "", "regenerate one artifact: table1,table2,table3,table4,table6,table7,fig6,fig7,fig8,fig9,fig10,fig11,fig12,ext,placement,predict")
+	attribution := flag.Bool("attribution", false, "print only the latency-attribution table (per kernel x architecture, span tracing on)")
 	verbose := flag.Bool("v", false, "print per-simulation progress")
 	jsonPath := flag.String("json", "", "write one run-artifact document per simulation to this file (JSON array)")
 	jobs := flag.Int("jobs", 0, "simulations to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
@@ -51,6 +52,21 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+
+	if *attribution {
+		rows, err := s.Attribution()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderAttribution(rows))
+		if *jsonPath != "" {
+			if err := obs.WriteArtifactsFile(*jsonPath, s.Artifacts()); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "artifacts: %s (%d simulations)\n", *jsonPath, len(s.Artifacts()))
+		}
+		return
 	}
 
 	if want("table1") {

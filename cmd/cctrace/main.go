@@ -36,6 +36,7 @@ func main() {
 	ppn := flag.Int("ppn", 2, "processors per node")
 	sizeFlag := flag.String("size", "test", "problem size: test, base, large")
 	lineHex := flag.String("line", "", "only trace this cache line (hex, e.g. 0x3200)")
+	txnHex := flag.String("txn", "", "print the causal span history of one transaction (hex ID from span events; implies attribution)")
 	maxLines := flag.Int("max", 0, "stop printing after this many trace lines (0 = unlimited)")
 	chromePath := flag.String("chrome", "", "also write Chrome trace_event JSON (Perfetto) to this file")
 	flag.Parse()
@@ -69,12 +70,25 @@ func main() {
 		}
 		wantLine, filtered = v, true
 	}
+	var wantTxn uint64
+	txnFiltered := false
+	if *txnHex != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*txnHex, "0x"), 16, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -txn %q: %w", *txnHex, err))
+		}
+		wantTxn, txnFiltered = v, true
+		cfg.Attribution = true // span events only exist with the tracker on
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
 	kept := 0
 	opts := []obs.Option{obs.WithSink(func(ev *obs.Event) {
+		if txnFiltered && (ev.Kind != obs.EvSpan || uint64(ev.A) != wantTxn) {
+			return
+		}
 		if filtered && ev.Line != wantLine {
 			return
 		}

@@ -495,6 +495,14 @@ type Config struct {
 	// SimLimit bounds simulated time to catch protocol livelock (0 = none).
 	SimLimit sim.Time `json:"simLimit"`
 
+	// Attribution enables per-transaction causal latency attribution: every
+	// miss episode carries a span ID and each component checkpoints the
+	// stage it contributes (see internal/obs). Off by default; the disabled
+	// path records nothing and leaves event schedules byte-identical.
+	// omitempty keeps canonical scenario encodings (and their fingerprints)
+	// unchanged when the knob is off.
+	Attribution bool `json:"attribution,omitempty"`
+
 	// Robustness / flow control. The paper's model assumes infinitely deep
 	// controller queues and a lossless network; every knob below defaults to
 	// its zero value, which preserves that model cycle-for-cycle (pinned by

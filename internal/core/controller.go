@@ -60,8 +60,10 @@ type homeOp struct {
 	upgrade   bool        // parked transaction is an upgrade (no data)
 
 	// epoch echoes the requesting episode's tag into the grant (zero for
-	// local requesters and with the robustness knobs off).
+	// local requesters and with the robustness knobs off). txn is the
+	// remote requester's causal-span ID, echoed the same way.
 	epoch uint32
+	txn   uint64
 
 	acksLeft     int
 	needData     bool
@@ -77,6 +79,16 @@ type homeOp struct {
 	finalDir directory.Entry
 
 	waiters []*work
+}
+
+// spanTxn resolves the causal-span identity of the op's requester: local
+// requesters are identified by their parked bus transaction, remote ones
+// by the ID echoed from the request message.
+func (op *homeOp) spanTxn() (uint64, uint32) {
+	if op.parked != nil {
+		return op.parked.Attr, 0
+	}
+	return op.txn, op.epoch
 }
 
 func (op *homeOp) ready() bool {
@@ -138,6 +150,9 @@ type Controller struct {
 	// epochCtr mints request-episode tags for outgoing ReadReq/ReadExReq
 	// (see protocol.Msg.Epoch).
 	epochCtr uint32
+
+	// spans is the latency-attribution tracker (nil when attribution is off).
+	spans *obs.SpanTracker
 }
 
 // engine is one protocol engine (FSM or protocol processor) with its input
@@ -180,6 +195,10 @@ func New(eng *sim.Engine, cfg *config.Config, node int, bus *smpbus.Bus,
 	net.Attach(node, cc.deliver)
 	return cc
 }
+
+// AttachSpans attaches the latency-attribution span tracker (nil keeps
+// attribution disabled).
+func (cc *Controller) AttachSpans(sp *obs.SpanTracker) { cc.spans = sp }
 
 // HandlerCount returns how many times handler h was dispatched.
 func (cc *Controller) HandlerCount(h protocol.Handler) uint64 {
@@ -366,6 +385,7 @@ func (cc *Controller) AcceptDeferred(txn *smpbus.Txn) {
 	cc.st.NoteArrival(w.arrival)
 	e.busQ = append(e.busQ, w)
 	cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QBus, len(e.busQ), txn.Kind.String(), txn.Line)
+	cc.spans.SpanBegin(txn.Attr, obs.StageCCQueue, 0, w.arrival)
 	e.kick()
 }
 
@@ -407,6 +427,7 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 		cc.st.NoteArrival(w.arrival)
 		e.respQ = append(e.respQ, w)
 		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QResp, len(e.respQ), msg.Type.String(), msg.Line)
+		cc.spans.SpanBegin(msg.Txn, obs.StageCCQueue, msg.Epoch, w.arrival)
 	} else {
 		// Finite request queue: a NACKable request arriving at a full
 		// queue is bounced straight back by the NI, without consuming a
@@ -419,13 +440,14 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 			cc.send(w.arrival, msg.Requester, &protocol.Msg{
 				Type: protocol.MsgNack, Line: msg.Line, Src: cc.node,
 				Requester: msg.Requester, Excl: msg.Type == protocol.MsgReadExReq,
-				Epoch: msg.Epoch,
+				Epoch: msg.Epoch, Txn: msg.Txn,
 			})
 			return
 		}
 		cc.st.NoteArrival(w.arrival)
 		e.reqQ = append(e.reqQ, w)
 		cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QReq, len(e.reqQ), msg.Type.String(), msg.Line)
+		cc.spans.SpanBegin(msg.Txn, obs.StageCCQueue, msg.Epoch, w.arrival)
 	}
 	e.kick()
 }
@@ -568,6 +590,11 @@ func (e *engine) dispatch(w *work) {
 	est.Dispatches++
 	est.QueueDelay += now - w.arrival
 	est.QueueDelayHist.Add(now - w.arrival)
+	if w.txn != nil {
+		cc.spans.SpanEnd(w.txn.Attr, obs.StageCCQueue, 0, now)
+	} else {
+		cc.spans.SpanEnd(w.msg.Txn, obs.StageCCQueue, w.msg.Epoch, now)
+	}
 
 	e.busy = true
 	var occ sim.Time
@@ -640,12 +667,15 @@ func (cc *Controller) replay(ws []*work) {
 		if w.txn != nil {
 			e.busQ = append(e.busQ, w)
 			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QBus, len(e.busQ), w.label(), w.txn.Line)
+			cc.spans.SpanBegin(w.txn.Attr, obs.StageCCQueue, 0, w.arrival)
 		} else if w.msg.IsResponse() {
 			e.respQ = append(e.respQ, w)
 			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QResp, len(e.respQ), w.label(), w.msg.Line)
+			cc.spans.SpanBegin(w.msg.Txn, obs.StageCCQueue, w.msg.Epoch, w.arrival)
 		} else {
 			e.reqQ = append(e.reqQ, w)
 			cc.tr.Enqueue(w.arrival, cc.node, e.idx, obs.QReq, len(e.reqQ), w.label(), w.msg.Line)
+			cc.spans.SpanBegin(w.msg.Txn, obs.StageCCQueue, w.msg.Epoch, w.arrival)
 		}
 		e.kick()
 	}

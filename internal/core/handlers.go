@@ -4,10 +4,38 @@ import (
 	"fmt"
 
 	"ccnuma/internal/directory"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/protocol"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/smpbus"
 )
+
+// spanTxn resolves the causal-span identity of queued work: deferred bus
+// transactions carry the requester's episode ID with no epoch; network
+// messages echo both the ID and the request epoch.
+func (w *work) spanTxn() (uint64, uint32) {
+	if w.txn != nil {
+		return w.txn.Attr, 0
+	}
+	return w.msg.Txn, w.msg.Epoch
+}
+
+// spanEngine checkpoints the engine occupancy on the critical path of w's
+// transaction: dispatch to the handler's action point, minus any
+// directory-DRAM stall, which is attributed separately.
+func (cc *Controller) spanEngine(w *work, act, dirExtra sim.Time) {
+	txn, epoch := w.spanTxn()
+	cc.spans.SpanBegin(txn, obs.StageEngine, epoch, cc.eng.Now())
+	cc.spans.SpanEnd(txn, obs.StageEngine, epoch, act-dirExtra)
+	cc.spans.SpanEnd(txn, obs.StageDirectory, epoch, act)
+}
+
+// spanHome marks the start of the home-side wait window: the op is parked
+// from the handler's action point until finishOp issues the grant.
+func (cc *Controller) spanHome(w *work, act sim.Time) {
+	txn, epoch := w.spanTxn()
+	cc.spans.SpanBegin(txn, obs.StageHomeWait, epoch, act)
+}
 
 // handleBusTxn dispatches a deferred bus transaction and returns the
 // engine occupancy.
@@ -39,12 +67,14 @@ func (cc *Controller) handleRemoteBus(w *work) sim.Time {
 		mt = protocol.MsgReadExReq
 	}
 	occ, act := cc.charge(h, 0, 0)
+	cc.spanEngine(w, act, 0)
 	cc.epochCtr++
 	m := &mshrEntry{line: line, excl: excl, parked: txn,
 		issuedAt: cc.eng.Now(), epoch: cc.epochCtr}
 	cc.mshr[line] = m
+	cc.spans.SetEpoch(txn.Attr, m.epoch)
 	cc.send(act, home, &protocol.Msg{Type: mt, Line: line, Src: cc.node,
-		Requester: cc.node, Epoch: m.epoch})
+		Requester: cc.node, Epoch: m.epoch, Txn: txn.Attr})
 	cc.armTimeout(m)
 	return occ
 }
@@ -92,6 +122,8 @@ func (cc *Controller) homeLocalRead(w *work) sim.Time {
 	line := txn.Line
 	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
 	occ, act := cc.charge(protocol.HBusReadLocalDirtyRemote, dirExtra, 0)
+	cc.spanEngine(w, act, dirExtra)
+	cc.spanHome(w, act)
 
 	op := &homeOp{line: line, requester: -1, parked: txn}
 	cc.homeOps[line] = op
@@ -103,6 +135,7 @@ func (cc *Controller) homeLocalRead(w *work) sim.Time {
 			Sharers: directory.Bitmap(0).Set(entry.Owner)}
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: cc.node,
+			Txn: txn.Attr,
 		})
 	case directory.NoRemote, directory.SharedRemote:
 		// The directory changed while the request was queued: the line is
@@ -137,6 +170,8 @@ func (cc *Controller) homeLocalReadEx(w *work) sim.Time {
 			extra = 0
 		}
 		occ, act := cc.charge(protocol.HBusReadExLocalCachedRemote, dirExtra, extra)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		op.acksLeft = invals
 		cc.sendInvals(act, entry.Sharers, line)
@@ -148,14 +183,19 @@ func (cc *Controller) homeLocalReadEx(w *work) sim.Time {
 		return occ
 	case directory.DirtyRemote:
 		occ, act := cc.charge(protocol.HBusReadExLocalDirtyRemote, dirExtra, 0)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		op.intervention = true
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: cc.node,
+			Txn: txn.Attr,
 		})
 		return occ
 	case directory.NoRemote: // state changed while queued
 		occ, act := cc.charge(protocol.HBusReadExLocalCachedRemote, dirExtra, 0)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		if upgrade {
 			cc.eng.At(act, func() { cc.finishOp(op) })
@@ -201,6 +241,8 @@ func (cc *Controller) fetchForOp(at sim.Time, op *homeOp, exclusive bool) {
 				// fetch again once it lands.
 				cc.eng.After(cc.cfg.BusRetry, func() { cc.bus.Issue(txn) })
 			case smpbus.OK:
+				st, se := op.spanTxn()
+				cc.spans.SpanEnd(st, obs.StageMem, se, cc.eng.Now())
 				op.haveData = true
 				op.data = o.Data
 				cc.finishIfReady(op)
@@ -233,6 +275,8 @@ func (cc *Controller) finishOp(op *homeOp) {
 	}
 	op.finishing = true
 	now := cc.eng.Now()
+	st, se := op.spanTxn()
+	cc.spans.SpanEnd(st, obs.StageHomeWait, se, now)
 	if op.requester >= 0 {
 		mt := protocol.MsgDataShared
 		if op.excl {
@@ -240,7 +284,7 @@ func (cc *Controller) finishOp(op *homeOp) {
 		}
 		cc.send(now, op.requester, &protocol.Msg{
 			Type: mt, Line: op.line, Src: cc.node, Requester: op.requester,
-			Data: op.data, Epoch: op.epoch,
+			Data: op.data, Epoch: op.epoch, Txn: op.txn,
 		})
 	} else if op.parked != nil {
 		orig := op.parked.Done
@@ -320,29 +364,36 @@ func (cc *Controller) homeRead(w *work) sim.Time {
 			// NACK once the grant lands, or backs off and retries.
 			return cc.nackRetry(msg, dirExtra)
 		}
-		op := &homeOp{line: line, requester: r, epoch: msg.Epoch}
+		op := &homeOp{line: line, requester: r, epoch: msg.Epoch, txn: msg.Txn}
 		cc.homeOps[line] = op
 		if entry.Owner == r {
 			// The requester is the registered owner: its write-back is in
 			// flight; wait for it, then reply with the fresh data.
-			occ, _ := cc.charge(protocol.HRemoteReadHomeDirty, dirExtra, 0)
+			occ, act := cc.charge(protocol.HRemoteReadHomeDirty, dirExtra, 0)
+			cc.spanEngine(w, act, dirExtra)
+			cc.spanHome(w, act)
 			op.waitWB = true
 			op.finalDir = directory.Entry{State: directory.SharedRemote,
 				Sharers: directory.Bitmap(0).Set(r)}
 			return occ
 		}
 		occ, act := cc.charge(protocol.HRemoteReadHomeDirty, dirExtra, 0)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		op.intervention = true
 		op.finalDir = directory.Entry{State: directory.SharedRemote,
 			Sharers: directory.Bitmap(0).Set(entry.Owner).Set(r)}
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchReq, Line: line, Src: cc.node, Requester: r,
-			Epoch: msg.Epoch,
+			Epoch: msg.Epoch, Txn: msg.Txn,
 		})
 		return occ
 	case directory.NoRemote, directory.SharedRemote: // clean at home
 		occ, act := cc.charge(protocol.HRemoteReadHomeClean, dirExtra, 0)
-		op := &homeOp{line: line, requester: r, needData: true, epoch: msg.Epoch}
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
+		op := &homeOp{line: line, requester: r, needData: true, epoch: msg.Epoch,
+			txn: msg.Txn}
 		op.finalDir = directory.Entry{State: directory.SharedRemote,
 			Sharers: entry.Sharers.Set(r)}
 		cc.homeOps[line] = op
@@ -364,11 +415,14 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 	entry, dirExtra := cc.dir.Read(cc.eng.Now(), line)
 	r := msg.Requester
 	op := &homeOp{line: line, requester: r, excl: true, epoch: msg.Epoch,
+		txn:      msg.Txn,
 		finalDir: directory.Entry{State: directory.DirtyRemote, Owner: r}}
 
 	switch entry.State {
 	case directory.NoRemote:
 		occ, act := cc.charge(protocol.HRemoteReadExHomeUncached, dirExtra, 0)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		op.needData = true
 		cc.fetchForOp(act, op, true)
@@ -380,6 +434,8 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 			extra = 0
 		}
 		occ, act := cc.charge(protocol.HRemoteReadExHomeShared, dirExtra, extra)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		op.acksLeft = toInval.Count()
 		op.needData = true
@@ -393,17 +449,21 @@ func (cc *Controller) homeReadEx(w *work) sim.Time {
 				// write-back that may never come.
 				return cc.nackRetry(msg, dirExtra)
 			}
-			occ, _ := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
+			occ, act := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
+			cc.spanEngine(w, act, dirExtra)
+			cc.spanHome(w, act)
 			cc.homeOps[line] = op
 			op.waitWB = true
 			return occ
 		}
 		occ, act := cc.charge(protocol.HRemoteReadExHomeDirty, dirExtra, 0)
+		cc.spanEngine(w, act, dirExtra)
+		cc.spanHome(w, act)
 		cc.homeOps[line] = op
 		op.intervention = true
 		cc.send(act, entry.Owner, &protocol.Msg{
 			Type: protocol.MsgFetchExReq, Line: line, Src: cc.node, Requester: r,
-			Epoch: msg.Epoch,
+			Epoch: msg.Epoch, Txn: msg.Txn,
 		})
 		return occ
 	default:
@@ -443,12 +503,14 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 		h = protocol.HFetchOwnerRemoteReq
 	}
 	occ, act := cc.charge(h, 0, 0)
+	cc.spanEngine(w, act, 0)
 
 	kind := smpbus.Fetch
 	if exclusive {
 		kind = smpbus.FetchEx
 	}
 	requester := msg.Requester
+	spanID, spanEpoch := msg.Txn, msg.Epoch
 	var txn *smpbus.Txn
 	txn = &smpbus.Txn{
 		Kind: kind, Line: line, Src: smpbus.CCSrc, HomeLocal: false,
@@ -463,17 +525,19 @@ func (cc *Controller) ownerFetch(w *work, exclusive bool) sim.Time {
 					Type: protocol.MsgInterventionMiss, Line: line, Src: cc.node,
 				})
 			case smpbus.OK:
+				cc.spans.SpanEnd(spanID, obs.StageMem, spanEpoch, cc.eng.Now())
 				if fromHome {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
 						Type: protocol.MsgFetchDataHome, Line: line, Src: cc.node,
 						Dirty: o.Dirty, Excl: exclusive, Data: o.Data,
+						Txn: spanID, Epoch: spanEpoch,
 					})
 					return
 				}
 				cc.send(cc.eng.Now(), requester, &protocol.Msg{
 					Type: protocol.MsgOwnerData, Line: line, Src: cc.node,
 					Requester: requester, Excl: exclusive, Data: o.Data,
-					Epoch: msg.Epoch,
+					Epoch: spanEpoch, Txn: spanID,
 				})
 				if exclusive {
 					cc.send(cc.eng.Now(), home, &protocol.Msg{
@@ -568,6 +632,7 @@ func (cc *Controller) requesterData(w *work) sim.Time {
 		h = protocol.HDataRespReadEx
 	}
 	occ, act := cc.charge(h, 0, 0)
+	cc.spanEngine(w, act, 0)
 	if m.attempts > 0 {
 		cc.st.RetryLat.Add(cc.eng.Now() - m.issuedAt)
 	}
@@ -619,6 +684,7 @@ func (cc *Controller) homeFetchData(w *work) sim.Time {
 		h = protocol.HOwnerDataAtHomeReadEx
 	}
 	occ, act := cc.charge(h, 0, 0)
+	cc.spanEngine(w, act, 0)
 	if msg.Dirty && !msg.Excl {
 		// The line stays shared: home memory must absorb the dirty data.
 		cc.memoryWrite(act, msg.Line, msg.Data)

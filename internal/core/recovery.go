@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ccnuma/internal/obs"
 	"ccnuma/internal/protocol"
 	"ccnuma/internal/sim"
 )
@@ -26,6 +27,8 @@ func (cc *Controller) requesterNack(w *work) sim.Time {
 		return occ
 	}
 	cc.st.NacksRecv++
+	cc.spanEngine(w, act, 0)
+	cc.spans.SpanBegin(m.parked.Attr, obs.StageBackoff, m.epoch, act)
 	cc.noteAttempt(m, "NACKed")
 	backoff := cc.nackBackoff(m.attempts)
 	line := m.line
@@ -71,13 +74,14 @@ func (cc *Controller) reissue(line uint64, m *mshrEntry) {
 		return
 	}
 	cc.st.Retries++
+	cc.spans.SpanEnd(m.parked.Attr, obs.StageBackoff, m.epoch, cc.eng.Now())
 	mt := protocol.MsgReadReq
 	if m.excl {
 		mt = protocol.MsgReadExReq
 	}
 	cc.send(cc.eng.Now(), cc.space.Home(line), &protocol.Msg{
 		Type: mt, Line: line, Src: cc.node, Requester: cc.node,
-		Retry: true, Epoch: m.epoch,
+		Retry: true, Epoch: m.epoch, Txn: m.parked.Attr,
 	})
 	cc.armTimeout(m)
 }
@@ -97,6 +101,7 @@ func (cc *Controller) armTimeout(m *mshrEntry) {
 			return
 		}
 		cc.st.Timeouts++
+		cc.spans.SpanBegin(m.parked.Attr, obs.StageBackoff, m.epoch, cc.eng.Now())
 		cc.noteAttempt(m, "timed out")
 		cc.reissue(line, m)
 	})
@@ -115,7 +120,7 @@ func (cc *Controller) nackRetry(msg *protocol.Msg, dirExtra sim.Time) sim.Time {
 	cc.send(act, msg.Requester, &protocol.Msg{
 		Type: protocol.MsgNack, Line: msg.Line, Src: cc.node,
 		Requester: msg.Requester, Excl: msg.Type == protocol.MsgReadExReq,
-		Epoch: msg.Epoch,
+		Epoch: msg.Epoch, Txn: msg.Txn,
 	})
 	return occ
 }

@@ -101,6 +101,14 @@ type Proc struct {
 	// retryStreak counts consecutive bus aborts of the in-flight miss, for
 	// the exponential back-off gated on Config.BusBackoffMax.
 	retryStreak int
+
+	// spans is the latency-attribution tracker (nil when attribution is
+	// off). missTxn is the causal-span ID of the in-flight miss episode,
+	// minted like shadow write values: processor index in the high word,
+	// per-processor sequence in the low word.
+	spans   *obs.SpanTracker
+	missTxn uint64
+	missSeq uint64
 }
 
 // New creates a processor attached to its node's bus. tr may be nil.
@@ -124,6 +132,10 @@ func New(eng *sim.Engine, cfg *config.Config, id, node int, bus *smpbus.Bus,
 	p.src = bus.AttachSnooper(p)
 	return p
 }
+
+// AttachSpans attaches the latency-attribution span tracker (nil keeps
+// attribution disabled).
+func (p *Proc) AttachSpans(sp *obs.SpanTracker) { p.spans = sp }
 
 // ID returns the processor's global index.
 func (p *Proc) ID() int { return p.id }
@@ -308,6 +320,12 @@ func (p *Proc) access(addr uint64, write bool) {
 		p.misses++
 		p.missStart = p.eng.Now()
 		p.missActive = true
+		if p.spans.Enabled() {
+			p.missSeq++
+			p.missTxn = uint64(p.id+1)<<32 | p.missSeq
+			p.spans.Start(p.missTxn, p.node, line, p.missStart)
+			p.spans.SpanBegin(p.missTxn, obs.StageStall, 0, p.missStart)
+		}
 		kind := smpbus.Read
 		if write {
 			kind = smpbus.ReadEx
@@ -348,6 +366,10 @@ func (p *Proc) issueMiss(line uint64, kind smpbus.Kind) {
 		RequesterOwns: owns,
 		Done:          func(o smpbus.Outcome) { p.missDone(line, kind, owns, o) },
 	}
+	if p.missActive {
+		txn.Attr = p.missTxn
+		p.spans.SpanEnd(p.missTxn, obs.StageStall, 0, p.eng.Now())
+	}
 	p.bus.Issue(txn)
 }
 
@@ -376,6 +398,7 @@ func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outc
 	switch o.Status {
 	case smpbus.RetryNeeded:
 		p.retries++
+		p.spans.SpanBegin(p.missTxn, obs.StageBackoff, 0, p.eng.Now())
 		p.eng.After(p.busBackoff(), func() { p.retryAccess(line, kind) })
 		return
 	case smpbus.OK:
@@ -441,10 +464,15 @@ func (p *Proc) missDone(line uint64, kind smpbus.Kind, owned bool, o smpbus.Outc
 // retryAccess re-evaluates the cache state after a bus bounce: the line may
 // have arrived via a sibling in the meantime.
 func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
+	p.spans.SpanEnd(p.missTxn, obs.StageBackoff, 0, p.eng.Now())
 	st := p.l2.Touch(line)
 	switch kind {
 	case smpbus.Read:
 		if st != cache.Invalid {
+			// The line arrived via a sibling while we were backing off: the
+			// miss episode dissolves into a cache hit, so its span (if any)
+			// is discarded rather than finished.
+			p.spans.Abandon(p.missTxn)
 			p.readValue(line)
 			p.installL1(line)
 			p.finishAccess(p.cfg.L2HitTime)
@@ -453,6 +481,7 @@ func (p *Proc) retryAccess(line uint64, kind smpbus.Kind) {
 	case smpbus.ReadEx, smpbus.Upgrade:
 		switch st {
 		case cache.Modified, cache.Exclusive:
+			p.spans.Abandon(p.missTxn)
 			p.l2.SetState(line, cache.Modified)
 			p.writeValue(line)
 			p.installL1(line)
@@ -514,6 +543,7 @@ func (p *Proc) writeBack(line uint64) {
 // finishMiss records the completed miss's service time.
 func (p *Proc) finishMiss() {
 	if p.missActive {
+		p.spans.Finish(p.missTxn, p.eng.Now())
 		p.missLat.Add(p.eng.Now() - p.missStart)
 		p.missActive = false
 	}

@@ -1,0 +1,104 @@
+// Latency attribution: the causal decomposition of miss latency into the
+// pipeline stages a transaction crosses (span tracing, DESIGN §13). This is
+// the evaluation the paper's occupancy argument implies but never tabulates:
+// for each kernel x architecture, where do the miss cycles actually go, and
+// what share is queueing behind a busy protocol engine?
+package exp
+
+import (
+	"fmt"
+
+	"ccnuma/internal/obs"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/workload"
+)
+
+// AttributionRow is one kernel x architecture attribution result.
+type AttributionRow struct {
+	App, Arch string
+	Exec      int64
+	Attr      *stats.Attribution
+}
+
+// attrReq resolves the attributed base run for (app, arch): the standard
+// base-variant request with span tracing switched on, under its own memo key
+// so attributed runs never alias the plain Figure 6 runs.
+func (s *Suite) attrReq(app, arch string) (runReq, error) {
+	req, err := s.reqFor(app, arch, base())
+	if err != nil {
+		return runReq{}, err
+	}
+	req.cfg.Attribution = true
+	req.key += "/attr"
+	req.vname = "attr"
+	return req, nil
+}
+
+// Attribution runs every paper application on every base architecture with
+// span tracing enabled and returns the per-run latency decompositions.
+func (s *Suite) Attribution() ([]AttributionRow, error) {
+	var reqs []runReq
+	for _, app := range workload.PaperApps {
+		for _, arch := range allArchs {
+			if req, err := s.attrReq(app, arch); err == nil {
+				reqs = append(reqs, req)
+			}
+		}
+	}
+	s.prefetch(reqs)
+
+	var rows []AttributionRow
+	for _, app := range workload.PaperApps {
+		for _, arch := range allArchs {
+			req, err := s.attrReq(app, arch)
+			if err != nil {
+				return nil, err
+			}
+			r, ok := s.cache[req.key]
+			if !ok {
+				var art *obs.Artifact
+				r, art, err = simulateDetached(req, s.CollectArtifacts)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s (attr): %w", app, arch, err)
+				}
+				s.commit(req, r, art)
+			}
+			if r.Attribution == nil {
+				return nil, fmt.Errorf("%s/%s: attributed run carried no attribution stats", app, arch)
+			}
+			rows = append(rows, AttributionRow{
+				App: app, Arch: arch, Exec: int64(r.ExecTime), Attr: r.Attribution,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAttribution formats the attribution rows: end-to-end miss-latency
+// distribution plus the share of attributed cycles each stage consumed. The
+// cc-queue column is the paper's occupancy bottleneck made visible — cycles
+// a transaction spent waiting for a busy protocol engine to dispatch it.
+func RenderAttribution(rows []AttributionRow) string {
+	header := []string{"App", "Arch", "misses", "mean", "p50", "p95", "p99"}
+	for i := 0; i < obs.NumStages; i++ {
+		header = append(header, obs.StageName(i)+"%")
+	}
+	var cells [][]string
+	for _, row := range rows {
+		a := row.Attr
+		c := []string{
+			AppLabel(row.App), row.Arch,
+			fmt.Sprintf("%d", a.Completed),
+			fmt.Sprintf("%.0f", a.EndToEnd.Mean()),
+			fmt.Sprintf("%.0f", a.EndToEnd.Percentile(50)),
+			fmt.Sprintf("%.0f", a.EndToEnd.Percentile(95)),
+			fmt.Sprintf("%.0f", a.EndToEnd.Percentile(99)),
+		}
+		for i := 0; i < obs.NumStages; i++ {
+			c = append(c, fmt.Sprintf("%.1f", 100*a.StageShare(obs.StageName(i))))
+		}
+		cells = append(cells, c)
+	}
+	return renderTable("Latency attribution: miss-latency decomposition by pipeline stage (% of attributed cycles)",
+		header, cells)
+}

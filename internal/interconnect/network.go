@@ -108,7 +108,8 @@ type Network struct {
 	// bound its in-flight message multiset).
 	inFlight int
 
-	link LinkStats
+	link  LinkStats
+	spans *obs.SpanTracker // nil when attribution is disabled
 	// outQueued/outWait implement the finite NI output buffer: messages
 	// beyond Config.NIPortDepth park in outWait until the port drains.
 	// Only maintained when the depth knob is on, so fault-free runs
@@ -143,6 +144,10 @@ func New(eng *sim.Engine, cfg *config.Config, tr *obs.Tracer) *Network {
 	return n
 }
 
+// AttachSpans attaches the latency-attribution span tracker (nil keeps
+// attribution disabled).
+func (n *Network) AttachSpans(sp *obs.SpanTracker) { n.spans = sp }
+
 // Hops returns the routing distance between two nodes (1 for the
 // crossbar).
 func (n *Network) Hops(src, dst int) int {
@@ -174,6 +179,10 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	}
 	if flitCount <= 0 {
 		flitCount = 1
+	}
+	if n.spans.Enabled() {
+		txn, epoch := obs.DescribeSpan(payload)
+		n.spans.SpanBegin(txn, obs.StageNIPort, epoch, n.eng.Now())
 	}
 	if n.Fault == nil {
 		n.enqueue(src, dst, flitCount, payload, 0)
@@ -282,6 +291,11 @@ func (n *Network) transmit(src, dst, flitCount int, payload interface{}, delay s
 	}
 	ser := sim.Time(flitCount) * n.cfg.NetFlitTime
 	n.out[src].Acquire(ser, func(start sim.Time) {
+		if n.spans.Enabled() {
+			txn, epoch := obs.DescribeSpan(payload)
+			n.spans.SpanEnd(txn, obs.StageNIPort, epoch, start)
+			n.spans.SpanBegin(txn, obs.StageWire, epoch, start)
+		}
 		if track {
 			n.eng.At(start+ser, func() { n.portDrained(src) })
 		}
@@ -359,6 +373,10 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 			if n.tr != nil {
 				name, line := obs.DescribePayload(payload)
 				n.tr.NetRecv(n.eng.Now(), src, dst, name, line)
+			}
+			if n.spans.Enabled() {
+				txn, epoch := obs.DescribeSpan(payload)
+				n.spans.SpanEnd(txn, obs.StageWire, epoch, n.eng.Now())
 			}
 			sink(src, payload)
 		})

@@ -108,6 +108,7 @@ func Check(pkgs []*Package) []Finding {
 		raw = append(raw, checkConfigLiterals(pkg)...)
 		raw = append(raw, checkConfigSchema(pkg)...)
 		raw = append(raw, checkNoGoroutines(pkg)...)
+		raw = append(raw, checkSpanPairs(pkg)...)
 		for _, f := range raw {
 			if !sup.covers(f) {
 				out = append(out, f)
@@ -539,6 +540,98 @@ func fieldStruct(t types.Type, in *types.Package) (*types.Named, bool) {
 			return named, true
 		}
 	}
+}
+
+// checkSpanPairs enforces the span checkpoint pairing rule: a handler file
+// that marks a transaction's entry into an attribution stage (SpanBegin
+// with a named obs.Stage constant) must also contain a SpanEnd checkpoint
+// for the same stage constant. A begin with no end in its file means the
+// component announces a stage it never closes, so the stage's cycles
+// silently fold into whatever checkpoint happens to come next. SpanEnd
+// without SpanBegin is legal — several stages are measured end-only because
+// their entry is another component's exit. Stage arguments that are not
+// named constants (variables, expressions) are outside the rule.
+func checkSpanPairs(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		begins := map[string]token.Pos{}
+		ends := map[string]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "SpanBegin" && sel.Sel.Name != "SpanEnd") {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[sel]
+			if !ok {
+				return true
+			}
+			recv := selection.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			named, isNamed := recv.(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != "ccnuma/internal/obs" || named.Obj().Name() != "SpanTracker" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			stage, ok := stageConstName(pkg, call.Args[1])
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "SpanBegin" {
+				if _, seen := begins[stage]; !seen {
+					begins[stage] = call.Pos()
+				}
+			} else {
+				ends[stage] = true
+			}
+			return true
+		})
+		var unpaired []string
+		for stage := range begins {
+			if !ends[stage] {
+				unpaired = append(unpaired, stage)
+			}
+		}
+		sort.Strings(unpaired)
+		for _, stage := range unpaired {
+			out = append(out, pkg.finding(begins[stage], "span-pair",
+				"SpanBegin(%s) has no SpanEnd for the same stage in this file; the stage's cycles would fold into the next checkpoint",
+				stage))
+		}
+	}
+	return out
+}
+
+// stageConstName resolves an expression to the name of an obs.Stage
+// constant, reporting false for anything else.
+func stageConstName(pkg *Package, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+	default:
+		return "", false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return "", false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "ccnuma/internal/obs" || named.Obj().Name() != "Stage" {
+		return "", false
+	}
+	return c.Name(), true
 }
 
 // checkNoGoroutines flags go statements outside the sanctioned concurrency

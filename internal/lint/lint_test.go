@@ -200,3 +200,30 @@ func TestNoGoroutineCheck(t *testing.T) {
 		}
 	}
 }
+
+// TestSpanPairsCheck pins the span-pair analysis on its fixture: the
+// unpaired SpanBegin is flagged, while paired, end-only, and non-constant
+// stage calls stay silent.
+func TestSpanPairsCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badspan")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var got []Finding
+	for _, f := range Check(pkgs) {
+		if f.Check == "span-pair" {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("span-pair findings = %d, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "StageStall") {
+		t.Errorf("finding names %q, want StageStall", got[0].Message)
+	}
+	for _, silent := range []string{"StageBackoff", "StageMem"} {
+		if strings.Contains(got[0].Message, silent) {
+			t.Errorf("allowed stage %s was flagged: %s", silent, got[0])
+		}
+	}
+}

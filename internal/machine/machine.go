@@ -41,6 +41,7 @@ type Machine struct {
 
 	run     *stats.Run
 	sampler *obs.Sampler
+	spans   *obs.SpanTracker // nil unless Cfg.Attribution
 
 	// Barrier state (single global sense-counting barrier).
 	barrierParked []*cpu.Proc
@@ -81,21 +82,31 @@ func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) 
 	}
 	m.Space = memaddr.NewSpace(&m.Cfg)
 	m.Net = interconnect.New(eng, &m.Cfg, tr)
+	if cfg.Attribution {
+		m.spans = obs.NewSpanTracker(tr)
+		m.Net.AttachSpans(m.spans)
+	}
 	for n := 0; n < cfg.Nodes; n++ {
 		bus := smpbus.New(eng, &m.Cfg, n, tr)
 		dir := directory.New(eng, &m.Cfg, n, tr)
 		cc := core.New(eng, &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n], tr)
+		bus.AttachSpans(m.spans)
+		cc.AttachSpans(m.spans)
 		m.Buses = append(m.Buses, bus)
 		m.Dirs = append(m.Dirs, dir)
 		m.CCs = append(m.CCs, cc)
 		for i := 0; i < cfg.ProcsPerNode; i++ {
 			id := n*cfg.ProcsPerNode + i
 			p := cpu.New(eng, &m.Cfg, id, n, bus, m.Space, m, tr)
+			p.AttachSpans(m.spans)
 			m.Procs = append(m.Procs, p)
 		}
 	}
 	return m, nil
 }
+
+// Spans returns the machine's span tracker (nil unless Cfg.Attribution).
+func (m *Machine) Spans() *obs.SpanTracker { return m.spans }
 
 // AttachSampler registers a time-series sampler; the machine probes engine
 // utilization, queue depths, bus/bank/directory occupancy, and NI backlog
@@ -135,6 +146,12 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 		}
 	}
 	if err := m.CheckCoherence(); err != nil {
+		return nil, err
+	}
+	// Every attributed run self-checks the span conservation invariant:
+	// each completed transaction's stage segments partition its end-to-end
+	// miss latency exactly, and no transaction leaks open.
+	if err := m.spans.CheckConservation(); err != nil {
 		return nil, err
 	}
 	m.collect(execTime)
@@ -287,6 +304,7 @@ func (m *Machine) startSampler() {
 func (m *Machine) collect(execTime sim.Time) {
 	r := m.run
 	r.ExecTime = execTime
+	r.Attribution = m.spans.Stats()
 	for _, p := range m.Procs {
 		r.Instructions += p.Instructions()
 		r.MissLatency.Merge(p.MissLatencies())

@@ -59,6 +59,10 @@ type Artifact struct {
 	// Absent when the robustness knobs were off and no faults were injected.
 	Recovery *RecoveryDoc `json:"recovery,omitempty"`
 
+	// Attribution is the per-stage causal decomposition of miss latency.
+	// Absent unless the run enabled the attribution knob.
+	Attribution *AttributionDoc `json:"attribution,omitempty"`
+
 	// Perf records host engine throughput (events/sec, allocs/event) when
 	// the producing tool measured it. It describes the host rather than the
 	// simulated machine, so it is absent from artifacts that must be
@@ -93,6 +97,63 @@ type RecoveryDoc struct {
 	// RetryLatency is the issue-to-fill service-time distribution of
 	// requests that needed at least one retry.
 	RetryLatency HistogramDoc `json:"retryLatency"`
+}
+
+// AttributionDoc is the latency-attribution section of a run artifact:
+// end-to-end miss latency decomposed cycle-exactly into stage segments
+// over every completed transaction.
+type AttributionDoc struct {
+	Completed  uint64 `json:"completed"`
+	Violations uint64 `json:"violations"` // conservation failures; must be 0
+	// EndToEnd is the per-transaction end-to-end latency distribution (it
+	// matches the processor-side missLatency section for tracked misses).
+	EndToEnd HistogramDoc `json:"endToEnd"`
+	// QueueSharePct is the share of all attributed cycles spent waiting in
+	// protocol-engine input queues — the paper's occupancy bottleneck.
+	QueueSharePct float64               `json:"queueSharePct"`
+	Stages        []AttributionStageDoc `json:"stages"`
+}
+
+// AttributionStageDoc is one stage's aggregate share.
+type AttributionStageDoc struct {
+	Stage    string  `json:"stage"`
+	Cycles   int64   `json:"cycles"`
+	SharePct float64 `json:"sharePct"`
+	// Hist is the per-transaction distribution of this stage's cycles,
+	// over transactions that spent time in the stage.
+	Hist HistogramDoc `json:"hist"`
+}
+
+// NewAttributionDoc reduces a run's attribution aggregate to its document
+// form (nil in, nil out).
+func NewAttributionDoc(a *stats.Attribution) *AttributionDoc {
+	if a == nil {
+		return nil
+	}
+	doc := &AttributionDoc{
+		Completed:     a.Completed,
+		Violations:    a.Violations,
+		EndToEnd:      NewHistogramDoc(&a.EndToEnd),
+		QueueSharePct: 100 * a.StageShare("cc-queue"),
+	}
+	total := float64(a.EndToEnd.Sum)
+	for i := range a.Stages {
+		st := &a.Stages[i]
+		if st.Total == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.Total) / total
+		}
+		doc.Stages = append(doc.Stages, AttributionStageDoc{
+			Stage:    st.Stage,
+			Cycles:   int64(st.Total),
+			SharePct: share,
+			Hist:     NewHistogramDoc(&st.Hist),
+		})
+	}
+	return doc
 }
 
 // ToolingDoc groups the verification evidence attachable to an artifact.
@@ -261,6 +322,7 @@ func NewArtifact(tool, size string, cfg *config.Config, r *stats.Run) *Artifact 
 		MissLatency: NewHistogramDoc(&r.MissLatency),
 		QueueDelay:  NewHistogramDoc(&qd),
 		Counters:    r.Counters,
+		Attribution: NewAttributionDoc(r.Attribution),
 	}
 }
 

@@ -23,14 +23,18 @@ const (
 	tidNIOut      = 33
 	tidNIIn       = 34
 	tidDir        = 35
+	tidSpan       = 36
 	tidCPUBase    = 40
 )
 
 // chromeEvent is one trace_event entry. Ph "X" spans carry Dur; "i" are
-// instants; "C" counters; "M" metadata.
+// instants; "C" counters; "M" metadata; "s"/"t" flow events carry Cat/ID
+// and bind same-id slices into an arrow chain across tracks.
 type chromeEvent struct {
 	Name  string                 `json:"name"`
 	Ph    string                 `json:"ph"`
+	Cat   string                 `json:"cat,omitempty"`
+	ID    string                 `json:"id,omitempty"`
 	Ts    float64                `json:"ts"` // microseconds
 	Dur   *float64               `json:"dur,omitempty"`
 	Pid   int32                  `json:"pid"`
@@ -61,6 +65,8 @@ func trackOf(ev *Event) int32 {
 		return tidNIIn
 	case EvDirRead, EvDirWrite:
 		return tidDir
+	case EvSpan:
+		return tidSpan
 	case EvCache:
 		return tidCPUBase + ev.Track
 	default:
@@ -80,6 +86,8 @@ func trackName(tid int32) string {
 		return "ni in"
 	case tid == tidDir:
 		return "directory"
+	case tid == tidSpan:
+		return "txn spans"
 	default:
 		return fmt.Sprintf("engine %d", tid-tidEngineBase)
 	}
@@ -112,6 +120,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		}
 	}
 
+	// seenFlow tracks transaction IDs that already started a flow chain, so
+	// the first span slice of a transaction emits a flow start ("s") and
+	// every later slice a flow step ("t").
+	seenFlow := map[int64]bool{}
 	for i := range events {
 		ev := &events[i]
 		ce := chromeEvent{
@@ -174,6 +186,35 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			ce.Name = ev.Name
 			if ev.Aux != "" {
 				ce.Args["state"] = ev.Aux
+			}
+		case EvSpan:
+			txnID := fmt.Sprintf("%#x", uint64(ev.A))
+			ce.Args["txn"] = txnID
+			switch ev.B {
+			case spanMarkSlice:
+				ce.Ph = "X"
+				d := usec(int64(ev.Dur))
+				ce.Dur = &d
+				// Flow events stitch this transaction's slices into an
+				// arrow chain across nodes in Perfetto.
+				ph := "t"
+				if !seenFlow[ev.A] {
+					seenFlow[ev.A] = true
+					ph = "s"
+				}
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "txn", Ph: ph, Cat: "txn", ID: txnID,
+					Ts: ce.Ts, Pid: ev.Node, Tid: ce.Tid,
+				})
+			case spanMarkFinish:
+				ce.Ph = "i"
+				ce.Scope = "p"
+				ce.Name = "txn done"
+				ce.Args["totalCycles"] = int64(ev.Dur)
+			default:
+				ce.Ph = "i"
+				ce.Scope = "t"
+				ce.Name = "begin " + ev.Name
 			}
 		default:
 			ce.Ph = "i"

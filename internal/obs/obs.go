@@ -51,13 +51,18 @@ const (
 	// corrupt, engine stall, port brownout); Name is the fault kind, A a
 	// kind-specific argument (delay/stall cycles, message index).
 	EvFault
+	// EvSpan is a latency-attribution checkpoint of one coherence
+	// transaction: A is the transaction ID, Name the stage, B the marker
+	// kind (0 = stage begin, 1 = measured stage slice with Dur = its
+	// length, 2 = transaction finish with Dur = end-to-end latency).
+	EvSpan
 
 	numEventKinds
 )
 
 var eventKindNames = [...]string{
 	"dispatch", "enqueue", "dequeue", "bus", "send", "recv",
-	"dir-read", "dir-write", "cache", "nack", "fault",
+	"dir-read", "dir-write", "cache", "nack", "fault", "span",
 }
 
 func (k EventKind) String() string {
@@ -318,4 +323,15 @@ func (t *Tracer) Fault(at sim.Time, node int, kind string, arg int64) {
 		return
 	}
 	t.record(Event{At: at, Kind: EvFault, Node: int32(node), A: arg, Name: kind})
+}
+
+// Span records a latency-attribution checkpoint of one transaction; stage
+// is the stage name (a constant-table string), txn the transaction ID, and
+// mark the marker kind (see EvSpan).
+func (t *Tracer) Span(at, dur sim.Time, node int, stage string, line uint64, txn uint64, mark int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Dur: dur, Kind: EvSpan, Node: int32(node),
+		Line: line, A: int64(txn), B: mark, Name: stage})
 }

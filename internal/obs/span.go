@@ -1,0 +1,320 @@
+// Causal span tracing: every coherence transaction (one processor miss
+// episode) carries a stable ID from the cycle its miss is detected to the
+// cycle its processor restarts, and each component it crosses checkpoints
+// the stages of its life. The tracker tiles each transaction's lifetime
+// with half-open stage segments: a checkpoint at cycle t closes the
+// interval [cursor, t) under the named stage and advances the cursor, so
+// the stages of a completed transaction always partition its end-to-end
+// latency exactly — conservation holds by construction, and the residue
+// between the last checkpoint and the processor restart is attributed to
+// the fill stage. Checkpoints that would move the cursor backwards (stale
+// duplicates, replayed messages under fault injection) are silent no-ops;
+// the only conservation violation the tracker can record is a transaction
+// finishing before its own cursor, which would mean a component
+// checkpointed time the processor never observed.
+package obs
+
+import (
+	"fmt"
+
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+)
+
+// Stage identifies one segment class of a transaction's lifetime.
+type Stage int
+
+const (
+	// StageStall is the L2 miss-detect window before the bus request issues.
+	StageStall Stage = iota
+	// StageBusArb is SMP bus arbitration: issue to address strobe.
+	StageBusArb
+	// StageBus is bus occupancy after the strobe: snoop, data transfer,
+	// critical-quad delivery (or the bounce delay of a conflicting retry).
+	StageBus
+	// StageMem is local-memory bank access time (home memory fetches and
+	// the owner/home bus fetches a protocol handler performs).
+	StageMem
+	// StageCCQueue is coherence-controller input-queue wait: arrival at a
+	// protocol engine's queue to handler dispatch — the paper's occupancy
+	// bottleneck.
+	StageCCQueue
+	// StageEngine is protocol-engine occupancy up to the handler's action
+	// point (the Table 2 sub-operation sequence actually on the critical
+	// path of this transaction).
+	StageEngine
+	// StageDirectory is directory/DRAM access stalled on under a handler.
+	StageDirectory
+	// StageHomeWait is home-side transient-op wait: the window where the
+	// home has dispatched the request but is collecting invalidation acks,
+	// owner data, or an eviction write-back before it can grant.
+	StageHomeWait
+	// StageNIPort is network-interface port buffering (output-port queue
+	// and serialization wait, including reliable-link retransmission holds).
+	StageNIPort
+	// StageWire is network flight time: out-port grant to last flit drained
+	// into the destination NI.
+	StageWire
+	// StageBackoff is recovery wait: NACK back-off and timeout windows
+	// between a bounced request and its re-issue.
+	StageBackoff
+	// StageFill is the residue between the last checkpoint and the
+	// processor's restart: cache fill and restart scheduling.
+	StageFill
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"stall", "bus-arb", "bus-xfer", "mem", "cc-queue", "engine",
+	"directory", "home-wait", "ni-port", "wire", "backoff", "fill",
+}
+
+func (s Stage) String() string {
+	if s >= 0 && s < numStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// NumStages is the number of attribution stages.
+const NumStages = int(numStages)
+
+// StageName returns the report name of stage index i.
+func StageName(i int) string { return Stage(i).String() }
+
+// SpanDescriber lets payloads that are opaque to a carrier (the network
+// sees only interface{}) expose their transaction ID and episode epoch for
+// span checkpointing. Payloads that do not implement it (fault-wrapped
+// frames, raw test payloads) are simply not checkpointed.
+type SpanDescriber interface {
+	SpanTxn() (txn uint64, epoch uint32)
+}
+
+// DescribeSpan extracts (txn, epoch) from an opaque payload, returning
+// zeros when the payload cannot describe itself.
+func DescribeSpan(p interface{}) (uint64, uint32) {
+	if d, ok := p.(SpanDescriber); ok {
+		return d.SpanTxn()
+	}
+	return 0, 0
+}
+
+// EvSpan marker kinds (Event.B).
+const (
+	spanMarkBegin  = 0 // stage entry marker, Dur = 0
+	spanMarkSlice  = 1 // measured stage slice, Dur = its length
+	spanMarkFinish = 2 // transaction finish, Dur = end-to-end latency
+)
+
+// spanState is one open transaction's tracking state.
+type spanState struct {
+	line   uint64
+	node   int32
+	start  sim.Time
+	cursor sim.Time
+	epoch  uint32
+	segs   [numStages]sim.Time
+}
+
+// SpanTracker assigns stage segments to open transactions and aggregates
+// completed ones into per-stage latency distributions. Like *Tracer, a nil
+// *SpanTracker is the disabled tracker: every method no-ops after one nil
+// check, so call sites need no attribution-knob branches and the disabled
+// path leaves event order untouched.
+type SpanTracker struct {
+	tr   *Tracer // optional: emits EvSpan trace events (may be nil)
+	open map[uint64]*spanState
+
+	stages     [numStages]stats.Histogram
+	totals     [numStages]sim.Time
+	endToEnd   stats.Histogram
+	completed  uint64
+	violations uint64
+}
+
+// NewSpanTracker creates an enabled tracker. tr may be nil to aggregate
+// without emitting trace events.
+func NewSpanTracker(tr *Tracer) *SpanTracker {
+	return &SpanTracker{tr: tr, open: make(map[uint64]*spanState)}
+}
+
+// Enabled reports whether the tracker records spans.
+func (s *SpanTracker) Enabled() bool { return s != nil }
+
+// Start opens transaction txn at time at: the requesting processor detected
+// a miss on line. An ID of zero (untracked work) is ignored.
+func (s *SpanTracker) Start(txn uint64, node int, line uint64, at sim.Time) {
+	if s == nil || txn == 0 {
+		return
+	}
+	s.open[txn] = &spanState{line: line, node: int32(node), start: at, cursor: at}
+}
+
+// SetEpoch tags the open transaction with its current request episode so
+// checkpoints carrying a stale epoch (messages from a closed, retried
+// episode) are ignored. A new episode (timeout or NACK re-issue) simply
+// calls SetEpoch again.
+func (s *SpanTracker) SetEpoch(txn uint64, epoch uint32) {
+	if s == nil || txn == 0 {
+		return
+	}
+	if st := s.open[txn]; st != nil {
+		st.epoch = epoch
+	}
+}
+
+// match resolves a checkpoint to its open transaction. Epoch zero on
+// either side is a wildcard (bus- and CPU-side checkpoints predate epoch
+// minting; the base configuration never mints epochs at all).
+func (s *SpanTracker) match(txn uint64, epoch uint32) *spanState {
+	if s == nil || txn == 0 {
+		return nil
+	}
+	st := s.open[txn]
+	if st == nil {
+		return nil
+	}
+	if st.epoch != 0 && epoch != 0 && st.epoch != epoch {
+		return nil
+	}
+	return st
+}
+
+// SpanBegin marks the entry of txn into a stage at time at. It is an
+// informational marker (the attribution math is driven entirely by
+// SpanEnd's cursor tiling): it emits a trace event for cctrace/Perfetto
+// and anchors the lint pairing rule, but moves no cursor.
+func (s *SpanTracker) SpanBegin(txn uint64, stage Stage, epoch uint32, at sim.Time) {
+	st := s.match(txn, epoch)
+	if st == nil {
+		return
+	}
+	s.tr.Span(at, 0, int(st.node), stage.String(), st.line, txn, spanMarkBegin)
+}
+
+// SpanEnd closes the open interval [cursor, at) under the given stage and
+// advances the cursor. Checkpoints at or before the cursor (duplicate or
+// stale deliveries, same-cycle hops) are silent no-ops: they attribute
+// zero cycles rather than corrupt the tiling.
+func (s *SpanTracker) SpanEnd(txn uint64, stage Stage, epoch uint32, at sim.Time) {
+	st := s.match(txn, epoch)
+	if st == nil || at <= st.cursor {
+		return
+	}
+	s.tr.Span(st.cursor, at-st.cursor, int(st.node), stage.String(), st.line, txn, spanMarkSlice)
+	st.segs[stage] += at - st.cursor
+	st.cursor = at
+}
+
+// Finish completes transaction txn at time at (the processor restart),
+// attributing the residue past the last checkpoint to StageFill and
+// folding the transaction into the aggregate distributions. A finish
+// before the transaction's own cursor is the one true conservation
+// violation: some component checkpointed cycles past the observed
+// end-to-end latency.
+func (s *SpanTracker) Finish(txn uint64, at sim.Time) {
+	if s == nil {
+		return
+	}
+	st := s.open[txn]
+	if st == nil {
+		return
+	}
+	delete(s.open, txn)
+	if at < st.cursor {
+		s.violations++
+		return
+	}
+	if at > st.cursor {
+		s.tr.Span(st.cursor, at-st.cursor, int(st.node), StageFill.String(), st.line, txn, spanMarkSlice)
+		st.segs[StageFill] += at - st.cursor
+	}
+	for i := Stage(0); i < numStages; i++ {
+		if st.segs[i] > 0 {
+			s.stages[i].Add(st.segs[i])
+			s.totals[i] += st.segs[i]
+		}
+	}
+	s.endToEnd.Add(at - st.start)
+	s.completed++
+	s.tr.Span(st.start, at-st.start, int(st.node), "txn", st.line, txn, spanMarkFinish)
+}
+
+// Abandon discards an open transaction without aggregating it (the
+// processor dropped the miss episode: a racing snoop turned the retry into
+// a plain cache hit).
+func (s *SpanTracker) Abandon(txn uint64) {
+	if s == nil {
+		return
+	}
+	delete(s.open, txn)
+}
+
+// OpenCount returns how many transactions are currently open.
+func (s *SpanTracker) OpenCount() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.open)
+}
+
+// Completed returns how many transactions finished and were aggregated.
+func (s *SpanTracker) Completed() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.completed
+}
+
+// Violations returns how many transactions finished before their own
+// cursor (conservation failures).
+func (s *SpanTracker) Violations() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.violations
+}
+
+// Stats snapshots the aggregate attribution into the stats-layer form the
+// reports consume. Returns nil on a disabled tracker.
+func (s *SpanTracker) Stats() *stats.Attribution {
+	if s == nil {
+		return nil
+	}
+	a := &stats.Attribution{
+		Completed:  s.completed,
+		Violations: s.violations,
+		EndToEnd:   s.endToEnd,
+	}
+	for i := Stage(0); i < numStages; i++ {
+		a.Stages = append(a.Stages, stats.StageAttribution{
+			Stage: i.String(), Total: s.totals[i], Hist: s.stages[i],
+		})
+	}
+	return a
+}
+
+// CheckConservation verifies the tracker's global invariants after a run:
+// no transaction finished past its cursor, no transaction leaked open, and
+// the per-stage totals sum cycle-exactly to the end-to-end total.
+func (s *SpanTracker) CheckConservation() error {
+	if s == nil {
+		return nil
+	}
+	if s.violations > 0 {
+		return fmt.Errorf("obs: %d span conservation violations (stage cycles past end-to-end latency)", s.violations)
+	}
+	if len(s.open) > 0 {
+		return fmt.Errorf("obs: %d transaction spans leaked open after run end", len(s.open))
+	}
+	var sum sim.Time
+	for i := range s.totals {
+		sum += s.totals[i]
+	}
+	if int64(sum) != s.endToEnd.Sum {
+		return fmt.Errorf("obs: stage cycles (%d) != end-to-end cycles (%d) over %d transactions",
+			sum, s.endToEnd.Sum, s.completed)
+	}
+	return nil
+}

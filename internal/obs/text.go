@@ -38,6 +38,18 @@ func (ev *Event) Text() string {
 		return prefix + fmt.Sprintf("nack e%d %s line=%#x", ev.Track, ev.Name, ev.Line)
 	case EvFault:
 		return prefix + fmt.Sprintf("fault %s arg=%d", ev.Name, ev.A)
+	case EvSpan:
+		switch ev.B {
+		case spanMarkSlice:
+			return prefix + fmt.Sprintf("span txn=%#x %s line=%#x +%d cycles",
+				uint64(ev.A), ev.Name, ev.Line, int64(ev.Dur))
+		case spanMarkFinish:
+			return prefix + fmt.Sprintf("span txn=%#x done line=%#x total=%d cycles",
+				uint64(ev.A), ev.Line, int64(ev.Dur))
+		default:
+			return prefix + fmt.Sprintf("span txn=%#x begin %s line=%#x",
+				uint64(ev.A), ev.Name, ev.Line)
+		}
 	default:
 		return prefix + fmt.Sprintf("%s line=%#x", ev.Kind, ev.Line)
 	}

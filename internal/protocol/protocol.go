@@ -117,6 +117,11 @@ type Msg struct {
 	// reads and lost write-backs); it rides along with the timing model at
 	// zero cost and is checked by the ccverify model checker.
 	Data uint64
+	// Txn is the causal-span transaction ID of the miss episode this
+	// message serves (zero for untracked traffic: fan-out invalidations,
+	// completion acks, write-backs). Like Epoch and Data it rides along at
+	// zero timing cost; it is only consulted when attribution is on.
+	Txn uint64
 }
 
 // CarriesData reports whether the message includes a full cache line (and
@@ -164,6 +169,10 @@ func (m *Msg) TraceName() string { return m.Type.String() }
 
 // TraceLine reports the cache line for tracing (obs.TraceDescriber).
 func (m *Msg) TraceLine() uint64 { return m.Line }
+
+// SpanTxn exposes the message's transaction ID and episode epoch for span
+// checkpointing (obs.SpanDescriber).
+func (m *Msg) SpanTxn() (uint64, uint32) { return m.Txn, m.Epoch }
 
 // Flits returns the network occupancy of the message under cfg.
 func (m *Msg) Flits(cfg *config.Config) int {

@@ -182,8 +182,12 @@ func MapStream[T any](ctx context.Context, workers, n int, fn func(int) (T, erro
 	return results, firstErr
 }
 
-// runJob invokes fn(i) with panic capture.
+// runJob invokes fn(i) with panic capture, reporting the job's busy window
+// to the installed usage recorder (if any).
 func runJob[T any](i int, fn func(int) (T, error)) (result T, err error) {
+	if end := jobBegin(); end != nil {
+		defer end()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			buf := make([]byte, 16<<10)

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestUsageRecordsPool checks the utilization recorder end to end: jobs
+// running on a 2-worker pool are observed with plausible wall/busy
+// integrals, peak concurrency never exceeds the worker count, and the
+// bucketed series accounts for the busy time.
+func TestUsageRecordsPool(t *testing.T) {
+	u := &Usage{}
+	stop := Observe(u)
+	_, err := Map(context.Background(), 2, 6, func(i int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, wallMs, busyMs, peak, series := u.Summary(8)
+	if jobs != 6 {
+		t.Errorf("jobs = %d, want 6", jobs)
+	}
+	if wallMs <= 0 || busyMs <= 0 {
+		t.Fatalf("wallMs=%v busyMs=%v, want both positive", wallMs, busyMs)
+	}
+	if peak < 1 || peak > 2 {
+		t.Errorf("peak = %d, want within [1,2] for a 2-worker pool", peak)
+	}
+	// 6 jobs x ~2ms of work cannot fit in less wall-time than busy/peak.
+	if busyMs > float64(peak)*wallMs*1.01 {
+		t.Errorf("busy integral %vms exceeds peak %d x wall %vms", busyMs, peak, wallMs)
+	}
+	if len(series) != 8 {
+		t.Fatalf("series has %d buckets, want 8", len(series))
+	}
+	var mean float64
+	for _, s := range series {
+		if s.Busy < 0 || s.Busy > float64(peak)+0.01 {
+			t.Errorf("bucket busy %v out of range [0,%d]", s.Busy, peak)
+		}
+		mean += s.Busy
+	}
+	mean /= float64(len(series))
+	if mean <= 0 {
+		t.Error("series mean busy is zero despite recorded work")
+	}
+}
+
+// TestUsageOffByDefault checks that with no recorder installed the pool
+// records nothing and Summary is empty.
+func TestUsageOffByDefault(t *testing.T) {
+	u := &Usage{}
+	_, err := Map(context.Background(), 2, 3, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, wallMs, _, _, _ := u.Summary(4); jobs != 0 || wallMs != 0 {
+		t.Errorf("uninstalled recorder captured jobs=%d wallMs=%v", jobs, wallMs)
+	}
+}

@@ -172,6 +172,12 @@ func ApplyFlag(s *Spec, name, value string) (bool, error) {
 		if v {
 			s.Machine = s.Machine.WithRobustness()
 		}
+	case "attribution":
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return true, err
+		}
+		s.Machine.Attribution = v
 	case "jobs":
 		v, err := strconv.Atoi(value)
 		if err != nil {

@@ -127,6 +127,11 @@ type Txn struct {
 	// Data is the shadow cache-line value carried by the transaction
 	// (write-back payloads, controller deferred replies).
 	Data uint64
+	// Attr is the causal-span transaction ID of the miss episode this
+	// transaction serves (zero for untracked work: write-backs,
+	// invalidations, controller fetches). It rides along at zero timing
+	// cost and is only consulted when attribution is on.
+	Attr uint64
 	// Done receives the outcome. It runs at the completion cycle.
 	Done func(Outcome)
 
@@ -232,6 +237,8 @@ type Bus struct {
 	counts  [numKinds]uint64
 	retries uint64
 	stalls  uint64 // injected bus outages (fault layer)
+
+	spans *obs.SpanTracker // nil when attribution is disabled
 }
 
 // New creates a bus for the given node with the configured number of
@@ -258,6 +265,10 @@ func (b *Bus) AttachSnooper(s Snooper) int {
 	b.snoopers = append(b.snoopers, s)
 	return len(b.snoopers) - 1
 }
+
+// AttachSpans attaches the latency-attribution span tracker (nil keeps
+// attribution disabled).
+func (b *Bus) AttachSpans(sp *obs.SpanTracker) { b.spans = sp }
 
 // AttachController registers the node's coherence controller.
 func (b *Bus) AttachController(cc Controller) {
@@ -336,6 +347,7 @@ func (b *Bus) Issue(txn *Txn) {
 	}
 	b.nextID++
 	txn.ID = b.nextID
+	b.spans.SpanBegin(txn.Attr, obs.StageBusArb, 0, b.eng.Now())
 	if txn.Kind == WriteBack && txn.HomeLocal {
 		// The line enters the write-back buffer now; any read serialized
 		// later is forwarded the buffered value even though the bus/bank
@@ -354,6 +366,7 @@ func (b *Bus) strobe(txn *Txn) {
 	b.counts[txn.Kind]++
 	now := b.eng.Now()
 	b.tr.BusStrobe(now, b.node, txn.Kind.String(), txn.Line, txn.Src)
+	b.spans.SpanEnd(txn.Attr, obs.StageBusArb, 0, now)
 
 	// Same-line serialization. Processor transactions register in the
 	// pending table and bounce on conflicts. Controller-issued fetches and
@@ -373,14 +386,12 @@ func (b *Bus) strobe(txn *Txn) {
 			// register in the pending table: they complete unconditionally
 			// and carry no fill to protect.
 			if prev, busy := b.pending[txn.Line]; busy && !prev.deferredToCC {
-				b.retries++
-				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				b.bounce(txn, now)
 				return
 			}
 		} else {
 			if prev, busy := b.pending[txn.Line]; busy && prev != txn {
-				b.retries++
-				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				b.bounce(txn, now)
 				return
 			}
 			b.pending[txn.Line] = txn
@@ -389,8 +400,7 @@ func (b *Bus) strobe(txn *Txn) {
 		switch txn.Kind {
 		case Fetch, FetchEx, Inval:
 			if prev, busy := b.pending[txn.Line]; busy && !prev.deferredToCC {
-				b.retries++
-				b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+				b.bounce(txn, now)
 				return
 			}
 		case WriteBack, supplyKind:
@@ -581,6 +591,7 @@ func (b *Bus) resolveFetch(txn *Txn, now sim.Time, owned, sharedSeen bool) {
 func (b *Bus) memoryRead(txn *Txn, now sim.Time, out Outcome) {
 	out.Data = b.mem[txn.Line]
 	b.bank(txn.Line).AcquireAt(now, b.cfg.BankBusy, func(bankStart sim.Time) {
+		b.spans.SpanEnd(txn.Attr, obs.StageMem, 0, bankStart+b.cfg.MemAccess)
 		b.transferData(txn, bankStart+b.cfg.MemAccess, out)
 	})
 }
@@ -593,8 +604,17 @@ func (b *Bus) transferData(txn *Txn, ready sim.Time, out Outcome) {
 	})
 }
 
+// bounce rejects a strobed transaction with RetryNeeded two cycles later
+// (the conflict-resolution window), attributing the window to the bus.
+func (b *Bus) bounce(txn *Txn, now sim.Time) {
+	b.retries++
+	b.spans.SpanEnd(txn.Attr, obs.StageBus, 0, now+2)
+	b.eng.After(2, func() { txn.Done(Outcome{Status: RetryNeeded}) })
+}
+
 // complete removes the pending entry and fires Done at time t.
 func (b *Bus) complete(txn *Txn, t sim.Time, out Outcome) {
+	b.spans.SpanEnd(txn.Attr, obs.StageBus, 0, t)
 	b.eng.At(t, func() {
 		if b.pending[txn.Line] == txn {
 			delete(b.pending, txn.Line)
@@ -615,6 +635,7 @@ func (b *Bus) Supply(parked *Txn, withData, shared bool, data uint64) {
 		Src:       CCSrc,
 		HomeLocal: parked.HomeLocal,
 		Data:      data,
+		Attr:      parked.Attr,
 		Done:      func(Outcome) {},
 		supplyFor: parked,
 		withData:  withData,
@@ -639,6 +660,7 @@ func (b *Bus) resolveSupply(s *Txn, now sim.Time) {
 // (used when the controller decides the request must be re-evaluated, e.g.
 // an upgrade whose line was invalidated while queued).
 func (b *Bus) Abort(parked *Txn) {
+	b.spans.SpanEnd(parked.Attr, obs.StageBus, 0, b.eng.Now()+2)
 	b.eng.After(2, func() {
 		if b.pending[parked.Line] == parked {
 			delete(b.pending, parked.Line)
