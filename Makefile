@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench microbench tables lint verify chaos scenario attribution clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify model chaos scenario attribution clean
 
 all: build
 
@@ -13,11 +13,13 @@ build:
 
 # check is the pre-PR gate: gofmt must report nothing, vet and cclint must
 # be clean (cclint also rejects //nolint and //cclint:ignore directives
-# that carry no reason), every test must pass with the race detector on,
-# the model checker must close the 2-node state space with zero
-# violations, and ccbench's smoke run must finish without a gross
-# performance regression against the committed BENCH artifact.
-check: fmt vet lint race verify bench scenario attribution
+# that carry no reason, and fails when the committed protocol model is
+# stale), every test must pass with the race detector on, the replay
+# checker must close the 2-node state space with zero violations, the
+# extracted-model checker must close its abstract state space, and
+# ccbench's smoke run must finish without a gross performance regression
+# against the committed BENCH artifact.
+check: fmt vet lint race verify model bench scenario attribution
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -30,6 +32,16 @@ lint:
 # machine. Must reach a fixpoint with zero invariant violations.
 verify:
 	$(GO) run ./cmd/ccverify -nodes 2 -procs 1 -q
+
+# model is the extracted-model gate: the committed ccnuma-model artifact
+# must match a fresh extraction of internal/core + internal/protocol, the
+# abstract 4-node machine (with finite-buffer NACK/backoff edges) must
+# reach a violation-free fixpoint, and a concrete replay must validate
+# its transitions against the extracted rule table.
+model:
+	$(GO) run ./cmd/ccmodel -stale
+	$(GO) run ./cmd/ccmodel -check -nodes 4 -robust
+	$(GO) run ./cmd/ccmodel -conform
 
 # chaos smoke-tests the recovery machinery: one kernel under 25 seeded
 # fault schedules plus the single-fault recovery sweep. Every run must

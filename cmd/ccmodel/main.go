@@ -1,0 +1,112 @@
+// Command ccmodel owns the statically extracted protocol model: it
+// regenerates the committed ccnuma-model/v1 artifact from the
+// implementation, checks the artifact for staleness, explores the
+// abstract nodes × lines machine with the explicit-state checker
+// (hash-compacted visited set, per-line partial-order reduction), and
+// replays concrete simulator runs through the model's transition table.
+//
+// Usage:
+//
+//	ccmodel -write             regenerate ccnuma-model.json
+//	ccmodel -stale             fail (exit 1) if the artifact is stale
+//	ccmodel -check -nodes 4 -robust
+//	ccmodel -conform           replay concrete runs through the model
+//
+// Exit status is 1 on violations, conformance failures, or a stale
+// artifact, 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccnuma/internal/extract"
+	"ccnuma/internal/model"
+)
+
+func main() {
+	write := flag.Bool("write", false, "re-extract the model and write "+extract.ArtifactPath)
+	stale := flag.Bool("stale", false, "re-extract and compare against the committed artifact")
+	check := flag.Bool("check", false, "explore the abstract machine and check invariants")
+	conform := flag.Bool("conform", false, "replay concrete simulator runs through the model")
+	dir := flag.String("dir", ".", "module root (where go.mod and the artifact live)")
+	nodes := flag.Int("nodes", 4, "abstract machine nodes (with -check)")
+	lines := flag.Int("lines", 1, "abstract machine lines (with -check)")
+	robust := flag.Bool("robust", false, "enable finite-buffer NACK/backoff edges (with -check)")
+	por := flag.Bool("por", false, "enable the partial-order reduction (with -check)")
+	maxStates := flag.Int("max-states", 0, "state bound, 0 = default (with -check)")
+	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "ccmodel: %v\n", err)
+		os.Exit(2)
+	}
+	if !*write && !*stale && !*check && !*conform {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *write {
+		m, err := extract.Extract(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Write(*dir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ccmodel: wrote %s (fingerprint %s, %d rules, %d handlers, %d messages)\n",
+			extract.ArtifactPath, m.Fingerprint, len(m.Rules), len(m.Handlers), len(m.Messages))
+	}
+
+	if *stale {
+		reason, err := extract.CheckStale(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		if reason != "" {
+			fmt.Fprintf(os.Stderr, "ccmodel: %s\n", reason)
+			os.Exit(1)
+		}
+		fmt.Println("ccmodel: committed model is fresh")
+	}
+
+	if *check || *conform {
+		m, _, err := extract.LoadArtifact(*dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "ccmodel: no committed %s; run `ccmodel -write`\n", extract.ArtifactPath)
+				os.Exit(1)
+			}
+			fatal(err)
+		}
+		ix := m.Index()
+		if *check {
+			res, err := model.Check(model.Config{
+				Nodes: *nodes, Lines: *lines, Robust: *robust, POR: *por,
+				MaxStates: *maxStates,
+			}, ix)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("ccmodel: %s\n", res)
+			if len(res.Violations) > 0 {
+				os.Exit(1)
+			}
+		}
+		if *conform {
+			c, err := model.RunConformance(ix)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("ccmodel: conformance — %d dispatches, %d sends validated, %d failure(s)\n",
+				c.Dispatches, c.Sends, len(c.Failures))
+			for _, f := range c.Failures {
+				fmt.Fprintf(os.Stderr, "ccmodel: %s\n", f)
+			}
+			if len(c.Failures) > 0 {
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -153,6 +153,18 @@ type Controller struct {
 
 	// spans is the latency-attribution tracker (nil when attribution is off).
 	spans *obs.SpanTracker
+
+	// hook observes dispatches and sends for the model conformance harness
+	// (nil in normal runs). curTrigger/curHandler identify the dispatch in
+	// progress so synchronous sends can be attributed to their rule;
+	// inDispatch distinguishes them from closure-deferred sends.
+	hook       ConformanceHook
+	inDispatch bool
+	curTrigger string
+	curHandler protocol.Handler
+
+	// forceNack counts pending one-shot forced NI bounces (ForceNackNext).
+	forceNack int
 }
 
 // engine is one protocol engine (FSM or protocol processor) with its input
@@ -224,15 +236,28 @@ func (cc *Controller) QueueDepths(i int) (resp, req, bus int) {
 func (cc *Controller) EngineBusy(i int) bool { return cc.engines[i].busy }
 
 // DumpPending describes outstanding transient state for deadlock
-// diagnostics.
+// diagnostics (map iteration is sorted by line so the dump is
+// deterministic).
 func (cc *Controller) DumpPending() string {
 	var b strings.Builder
-	for line, op := range cc.homeOps {
+	lines := make([]uint64, 0, len(cc.homeOps))
+	for line := range cc.homeOps {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		op := cc.homeOps[line]
 		fmt.Fprintf(&b, "node %d homeOp line=%#x excl=%v req=%d acks=%d needData=%v haveData=%v interv=%v waitWB=%v wbArr=%v upgrade=%v waiters=%d\n",
 			cc.node, line, op.excl, op.requester, op.acksLeft, op.needData,
 			op.haveData, op.intervention, op.waitWB, op.wbArrived, op.upgrade, len(op.waiters))
 	}
-	for line, m := range cc.mshr {
+	lines = lines[:0]
+	for line := range cc.mshr {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		m := cc.mshr[line]
 		fmt.Fprintf(&b, "node %d mshr line=%#x excl=%v filling=%v waiters=%d\n",
 			cc.node, line, m.excl, m.filling, len(m.waiters))
 	}
@@ -434,7 +459,11 @@ func (cc *Controller) deliver(src int, payload interface{}) {
 		// handler dispatch. Non-NACKable requests (forwarded interventions,
 		// invalidations, write-backs) ride guaranteed channels with
 		// reserved buffering and are always accepted.
-		if cc.cfg.QueueDepth > 0 && len(e.reqQ) >= cc.cfg.QueueDepth && msg.Nackable() {
+		full := cc.cfg.QueueDepth > 0 && len(e.reqQ) >= cc.cfg.QueueDepth
+		if msg.Nackable() && (full || cc.forceNack > 0) {
+			if !full {
+				cc.forceNack--
+			}
 			cc.st.NacksSent++
 			cc.tr.Nack(w.arrival, cc.node, e.idx, msg.Type.String(), msg.Line)
 			cc.send(w.arrival, msg.Requester, &protocol.Msg{
@@ -477,6 +506,9 @@ func (cc *Controller) send(at sim.Time, dst int, msg *protocol.Msg) {
 	}
 	if dst < 0 {
 		panic(fmt.Sprintf("core: message %v to unmapped home %d (line %#x)", msg.Type, dst, msg.Line))
+	}
+	if cc.hook != nil {
+		cc.hook.Send(cc.node, cc.inDispatch, cc.curTrigger, cc.curHandler, msg.Type)
 	}
 	cc.eng.At(at, func() {
 		cc.net.Send(cc.node, dst, msg.Flits(cc.cfg), msg)
@@ -597,12 +629,18 @@ func (e *engine) dispatch(w *work) {
 	}
 
 	e.busy = true
+	if cc.hook != nil {
+		cc.inDispatch = true
+		cc.curTrigger = w.trigger()
+		cc.curHandler = -1
+	}
 	var occ sim.Time
 	if w.txn != nil {
 		occ = cc.handleBusTxn(w)
 	} else {
 		occ = cc.handleMsg(w)
 	}
+	cc.inDispatch = false
 	if occ <= 0 {
 		panic("core: handler with non-positive occupancy")
 	}
@@ -622,6 +660,10 @@ func (e *engine) dispatch(w *work) {
 // before the action; extraInvals adds per-invalidation fan-out work.
 func (cc *Controller) charge(h protocol.Handler, dirExtra sim.Time, extraInvals int) (occ sim.Time, actionAt sim.Time) {
 	cc.handlerCounts[h]++
+	if cc.hook != nil && cc.inDispatch && cc.curHandler < 0 {
+		cc.curHandler = h
+		cc.hook.Dispatch(cc.node, cc.curTrigger, h)
+	}
 	k := cc.kind
 	disp := cc.cfg.Costs.Cost(k, config.OpDispatch)
 	// Handlers that fetch the line over the local bus keep the engine

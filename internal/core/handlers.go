@@ -729,6 +729,19 @@ func (cc *Controller) homeWriteBack(w *work) sim.Time {
 		op.wbArrived = true
 		op.haveData = true
 		op.data = msg.Data
+		if op.intervention && msg.Src == op.requester {
+			// The requester was granted ownership directly by the old
+			// owner and has already written the line back: the op must
+			// not retire recording it as dirty owner, or a later request
+			// from it would park waiting for a write-back that already
+			// came.
+			e := directory.Entry{}
+			if msg.SharedLeft {
+				e = directory.Entry{State: directory.SharedRemote,
+					Sharers: directory.Bitmap(0).Set(msg.Src)}
+			}
+			op.finalDir = e
+		}
 		cc.eng.At(act, func() { cc.finishIfReady(op) })
 		return occ
 	}

@@ -1,0 +1,231 @@
+// Package extract derives a guarded-action protocol model from the
+// coherence-controller implementation by static analysis. It walks the
+// handler methods in internal/core (via the internal/lint loader's
+// go/ast + go/types pipeline) and, for every charge site a dispatch can
+// reach, records the guard conditions on the path, the transient-state
+// updates performed, the messages sent (synchronously or from deferred
+// completion closures), the directory states written, and the occupancy
+// class (the protocol.Handler charged). The result is a versioned,
+// canonically serialized ccnuma-model/v1 artifact committed to the repo;
+// the abstract model checker (internal/model) explores it, the
+// conformance harness replays concrete simulator transitions against it,
+// and the staleness gate fails `make check` when internal/core or
+// internal/protocol changed without regenerating it.
+package extract
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Schema is the artifact's version tag.
+const Schema = "ccnuma-model/v1"
+
+// ArtifactPath is the committed artifact's module-root-relative path.
+const ArtifactPath = "ccnuma-model.json"
+
+// Model is the extracted guarded-action protocol model.
+type Model struct {
+	Schema string `json:"schema"`
+	// Fingerprint is the first 16 hex digits of the SHA-256 of the
+	// canonical serialization with this field blanked.
+	Fingerprint string `json:"fingerprint"`
+	// Sources records the hash of every implementation file the model was
+	// derived from; the staleness gate compares them against the tree.
+	Sources  []SourceHash  `json:"sources"`
+	Messages []Message     `json:"messages"`
+	Handlers []HandlerInfo `json:"handlers"`
+	Rules    []Rule        `json:"rules"`
+}
+
+// SourceHash pins one source file the extraction consumed.
+type SourceHash struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+}
+
+// Message describes one network message type and its channel attributes.
+type Message struct {
+	Name        string `json:"name"`
+	CarriesData bool   `json:"carriesData"`
+	Nackable    bool   `json:"nackable"`
+	Response    bool   `json:"response"`
+}
+
+// HandlerInfo describes one occupancy class: the handler's sub-operation
+// sequence, engine-stall kind, and the index of its action sub-op.
+type HandlerInfo struct {
+	Name        string   `json:"name"` // const identifier, e.g. HBusReadRemote
+	ID          int      `json:"id"`
+	Desc        string   `json:"desc"`
+	Sequence    []string `json:"sequence"`
+	Stall       string   `json:"stall"`
+	ActionIndex int      `json:"actionIndex"`
+}
+
+// Send is one outgoing message of a rule. Deferred marks sends reached
+// through a function literal (bus-completion callbacks, scheduled
+// closures, or iterator callbacks): they may execute after the handler's
+// occupancy window, so the conformance harness admits them outside a
+// dispatch.
+type Send struct {
+	Type     string `json:"type"`
+	Dst      string `json:"dst"`
+	Deferred bool   `json:"deferred,omitempty"`
+}
+
+// Rule is one guarded action: dispatching Trigger under Guards charges
+// Handler (the occupancy class), applies Updates to the transient state,
+// emits Sends, and commits DirWrites to the directory. Rules with an
+// empty Handler are engine-free datapaths (the NI request-queue NACK
+// bounce and the direct write-back path).
+type Rule struct {
+	Trigger   string   `json:"trigger"`
+	Fn        string   `json:"fn"`
+	Handler   string   `json:"handler"`
+	Guards    []string `json:"guards"`
+	Updates   []string `json:"updates,omitempty"`
+	Sends     []Send   `json:"sends,omitempty"`
+	DirWrites []string `json:"dirWrites,omitempty"`
+}
+
+// Canonical serializes the model with a fixed field order, two-space
+// indentation, a trailing newline, and the fingerprint computed over the
+// same bytes with the fingerprint field blanked.
+func (m *Model) Canonical() ([]byte, error) {
+	cp := *m
+	cp.Fingerprint = ""
+	cp.sortAll()
+	blank, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("extract: serializing model: %w", err)
+	}
+	sum := sha256.Sum256(append(blank, '\n'))
+	cp.Fingerprint = fmt.Sprintf("%x", sum[:8])
+	out, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("extract: serializing model: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// sortAll puts every order-insensitive section in its canonical order.
+// Messages and handlers are kept in enum order (already deterministic);
+// rules sort by (trigger, fn, handler, guards) and sends by (type, dst).
+func (m *Model) sortAll() {
+	sort.Slice(m.Sources, func(i, j int) bool { return m.Sources[i].Path < m.Sources[j].Path })
+	for _, r := range m.Rules {
+		sort.Slice(r.Sends, func(i, j int) bool {
+			a, b := r.Sends[i], r.Sends[j]
+			if a.Type != b.Type {
+				return a.Type < b.Type
+			}
+			if a.Dst != b.Dst {
+				return a.Dst < b.Dst
+			}
+			return !a.Deferred && b.Deferred
+		})
+	}
+	sort.SliceStable(m.Rules, func(i, j int) bool {
+		a, b := m.Rules[i], m.Rules[j]
+		if a.Trigger != b.Trigger {
+			return a.Trigger < b.Trigger
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Handler != b.Handler {
+			return a.Handler < b.Handler
+		}
+		return strings.Join(a.Guards, ";") < strings.Join(b.Guards, ";")
+	})
+}
+
+// Write canonicalizes the model and writes it under the module root.
+func (m *Model) Write(moduleRoot string) error {
+	b, err := m.Canonical()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(moduleRoot, ArtifactPath), b, 0o644)
+}
+
+// LoadArtifact reads and decodes the committed artifact.
+func LoadArtifact(moduleRoot string) (*Model, []byte, error) {
+	b, err := os.ReadFile(filepath.Join(moduleRoot, ArtifactPath))
+	if err != nil {
+		return nil, nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, nil, fmt.Errorf("extract: decoding %s: %w", ArtifactPath, err)
+	}
+	if m.Schema != Schema {
+		return nil, nil, fmt.Errorf("extract: %s has schema %q, want %q", ArtifactPath, m.Schema, Schema)
+	}
+	return &m, b, nil
+}
+
+// RuleKey is the admission key of a rule: what fired, and as what.
+type RuleKey struct {
+	Trigger string
+	Handler string
+}
+
+// Index builds the lookup structures the checker and the conformance
+// harness use: the admissible (trigger, handler) pairs with their rules,
+// and the set of message types that may legally be sent outside a
+// dispatch (deferred sends plus the engine-free datapath rules).
+func (m *Model) Index() *Index {
+	ix := &Index{
+		Rules:       map[RuleKey][]*Rule{},
+		HandlerByID: map[int]string{},
+		HandlerID:   map[string]int{},
+		Deferred:    map[string]bool{},
+	}
+	for _, h := range m.Handlers {
+		ix.HandlerByID[h.ID] = h.Name
+		ix.HandlerID[h.Name] = h.ID
+	}
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		ix.Rules[RuleKey{r.Trigger, r.Handler}] = append(ix.Rules[RuleKey{r.Trigger, r.Handler}], r)
+		for _, s := range r.Sends {
+			if s.Deferred || r.Handler == "" {
+				ix.Deferred[s.Type] = true
+			}
+		}
+	}
+	return ix
+}
+
+// Index is the decoded model's lookup view.
+type Index struct {
+	Rules       map[RuleKey][]*Rule
+	HandlerByID map[int]string
+	HandlerID   map[string]int
+	// Deferred is the set of message types admissible outside a dispatch.
+	Deferred map[string]bool
+}
+
+// Admits reports whether the model admits dispatching trigger as handler.
+func (ix *Index) Admits(trigger, handler string) bool {
+	return len(ix.Rules[RuleKey{trigger, handler}]) > 0
+}
+
+// AdmitsSend reports whether any rule for (trigger, handler) may send t.
+func (ix *Index) AdmitsSend(trigger, handler, t string) bool {
+	for _, r := range ix.Rules[RuleKey{trigger, handler}] {
+		for _, s := range r.Sends {
+			if s.Type == t {
+				return true
+			}
+		}
+	}
+	return false
+}

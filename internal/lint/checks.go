@@ -63,6 +63,25 @@ var retryPackages = map[string]bool{
 // retryNamePat matches declarations that name recovery tuning values.
 var retryNamePat = regexp.MustCompile(`(?i)retry|timeout|backoff|nack`)
 
+// rangeMapPackages are the simulation-affecting packages where iterating
+// a map with order-dependent effects is forbidden: Go randomizes map
+// iteration order, so any such loop makes runs irreproducible (the same
+// class of bug as wall-clock reads, but quieter — it only shows up as
+// diverging event orders). Loops whose bodies are order-insensitive
+// (key collection for sorting, deletes, counting) are allowed. The
+// testdata entry is the lint suite's own fixture.
+var rangeMapPackages = map[string]bool{
+	"ccnuma/internal/sim":                           true,
+	"ccnuma/internal/smpbus":                        true,
+	"ccnuma/internal/core":                          true,
+	"ccnuma/internal/cpu":                           true,
+	"ccnuma/internal/directory":                     true,
+	"ccnuma/internal/interconnect":                  true,
+	"ccnuma/internal/protocol":                      true,
+	"ccnuma/internal/stats":                         true,
+	"ccnuma/internal/lint/testdata/src/badrangemap": true,
+}
+
 // configSchemaPackages are the packages whose Config struct feeds the
 // ccnuma-scenario/v1 schema: every exported field must carry a json tag,
 // or a knob silently becomes unrepresentable in scenario files and
@@ -109,6 +128,7 @@ func Check(pkgs []*Package) []Finding {
 		raw = append(raw, checkConfigSchema(pkg)...)
 		raw = append(raw, checkNoGoroutines(pkg)...)
 		raw = append(raw, checkSpanPairs(pkg)...)
+		raw = append(raw, checkRangeMaps(pkg)...)
 		for _, f := range raw {
 			if !sup.covers(f) {
 				out = append(out, f)
@@ -655,4 +675,118 @@ func checkNoGoroutines(pkg *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// checkRangeMaps flags map iterations with order-dependent effects in the
+// simulation-affecting packages. Go deliberately randomizes map iteration
+// order, so any loop over a map whose body's outcome depends on visit
+// order desynchronizes otherwise-identical runs. The allowed shapes are
+// the order-insensitive ones used for the sorted-iteration idiom and for
+// bookkeeping: collecting keys/values with append (sort afterwards),
+// deleting entries, writing other map elements, and numeric/boolean
+// accumulation. Everything else must iterate sorted keys instead.
+func checkRangeMaps(pkg *Package) []Finding {
+	if !rangeMapPackages[pkg.ImportPath] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rangeBodyOrderInsensitive(pkg, rs.Body.List) {
+				return true
+			}
+			out = append(out, pkg.finding(rs.Pos(), "rangemap",
+				"map iteration with order-dependent effects; collect the keys, sort them, and iterate the sorted slice"))
+			return true
+		})
+	}
+	return out
+}
+
+// rangeBodyOrderInsensitive reports whether every statement in a range
+// body is insensitive to iteration order.
+func rangeBodyOrderInsensitive(pkg *Package, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		if !rangeStmtOrderInsensitive(pkg, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeStmtOrderInsensitive(pkg *Package, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			// x = append(x, ...): key/value collection for later sorting.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if render, ok1 := s.Lhs[0].(*ast.Ident); ok1 {
+						if arg, ok2 := call.Args[0].(*ast.Ident); ok2 && arg.Name == render.Name {
+							return true
+						}
+					}
+				}
+			}
+			// m2[k] = v: element writes land per key regardless of order.
+			if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				if t := pkg.Info.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return true
+					}
+				}
+			}
+			return false
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			// Commutative accumulation.
+			return true
+		default:
+			return false
+		}
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k) is the only order-insensitive call form.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		return rangeBodyOrderInsensitive(pkg, s.List)
+	case *ast.IfStmt:
+		// A guard is fine as long as both arms stay order-insensitive and
+		// the condition has no side effects (conditions are expressions;
+		// the risky effects live in the branches).
+		if s.Init != nil && !rangeStmtOrderInsensitive(pkg, s.Init) {
+			return false
+		}
+		if !rangeBodyOrderInsensitive(pkg, s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return rangeStmtOrderInsensitive(pkg, s.Else)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
 }

@@ -57,12 +57,46 @@ func TestFixtureFindings(t *testing.T) {
 	if n := len(byCheck["ignore-reason"]); n != 1 {
 		t.Errorf("ignore-reason findings = %d, want 1", n)
 	}
+	if n := len(byCheck["ignore-unknown"]); n != 1 {
+		t.Errorf("ignore-unknown findings = %d, want 1", n)
+	} else if !strings.Contains(byCheck["ignore-unknown"][0].Message, "switchenum") {
+		t.Errorf("ignore-unknown finding does not name the typo: %s", byCheck["ignore-unknown"][0])
+	}
 
 	// Exactly the findings above and nothing else — in particular the
 	// justified suppression in Suppressed must not surface.
-	total := len(swEnum) + len(byCheck["sched-noop"]) + len(byCheck["nolint-reason"]) + len(byCheck["ignore-reason"])
+	total := len(swEnum) + len(byCheck["sched-noop"]) + len(byCheck["nolint-reason"]) +
+		len(byCheck["ignore-reason"]) + len(byCheck["ignore-unknown"])
 	if total != len(findings) {
 		t.Errorf("unexpected extra findings: %v", findings)
+	}
+}
+
+// TestRangeMapCheck pins the rangemap analysis on its fixture: the two
+// order-dependent map iterations are flagged, and the sanctioned
+// collect/count/element-write/delete shapes stay silent.
+func TestRangeMapCheck(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badrangemap")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var got []Finding
+	for _, f := range Check(pkgs) {
+		if f.Check != "rangemap" {
+			t.Errorf("unexpected non-rangemap finding: %s", f)
+			continue
+		}
+		got = append(got, f)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rangemap findings = %d, want 2: %v", len(got), got)
+	}
+	// The two flagged loops are DrainQueues (line 13) and PickVictim
+	// (line 25); the silent shapes below them must produce nothing.
+	for i, line := range []string{":13:", ":25:"} {
+		if !strings.Contains(got[i].Pos, line) {
+			t.Errorf("finding %d at %s, want line %s", i, got[i].Pos, line)
+		}
 	}
 }
 

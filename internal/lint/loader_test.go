@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a standalone module in a temp dir so loader
+// failure modes can be exercised without planting broken files inside
+// the real module (which would trip gofmt and go vet).
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadFixture pins the happy path: the fixture package arrives
+// parsed, type-checked, and with its type info usable.
+func TestLoadFixture(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/badgo")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "ccnuma/internal/lint/testdata/src/badgo" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil || p.Fset == nil {
+		t.Fatalf("package not fully populated: %+v", p)
+	}
+	if len(p.Info.Defs) == 0 {
+		t.Error("type info carries no definitions; type checking did not run")
+	}
+}
+
+// TestLoadUnknownPattern requires a loader error (not a silent empty
+// result) when the pattern matches nothing.
+func TestLoadUnknownPattern(t *testing.T) {
+	if _, err := Load(".", "./testdata/src/no-such-package"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}
+
+// TestLoadSyntaxError requires Load to surface parse failures instead of
+// analyzing a partial AST.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"broken.go": "package tmpmod\n\nfunc Broken( {\n",
+	})
+	if _, err := Load(dir, "."); err == nil {
+		t.Fatal("Load of a syntactically broken package succeeded")
+	}
+}
+
+// TestLoadTypeError requires Load to surface type errors, since every
+// analysis depends on sound type information. (They surface from the
+// export-data listing, which compiles the package, before our own
+// types.Config.Check pass would see them.)
+func TestLoadTypeError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"ill.go": "package tmpmod\n\nfunc Ill() int { return undefinedSymbol }\n",
+	})
+	_, err := Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load of an ill-typed package succeeded")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("unexpected error shape: %v", err)
+	}
+}

@@ -66,6 +66,28 @@ func locKey(file string, line int) string {
 	return fmt.Sprintf("%s:%d", file, line)
 }
 
+// knownChecks is the vocabulary a cclint:ignore directive may name. A
+// typo here would silently suppress nothing while looking intentional,
+// so unknown names are findings. model-stale is emitted by the cclint
+// driver (the artifact staleness gate) rather than package lint, but is
+// part of the same vocabulary.
+var knownChecks = map[string]bool{
+	"config-literal": true,
+	"config-schema":  true,
+	"enum-string":    true,
+	"ignore-reason":  true,
+	"ignore-unknown": true,
+	"model-stale":    true,
+	"no-goroutine":   true,
+	"nolint-reason":  true,
+	"rangemap":       true,
+	"sched-noop":     true,
+	"sim-rand":       true,
+	"sim-time":       true,
+	"span-pair":      true,
+	"switch-enum":    true,
+}
+
 // covers reports whether a complete (check + reason) suppression matches
 // the finding's location and check name, marking it used.
 func (set *suppressionSet) covers(f Finding) bool {
@@ -101,6 +123,11 @@ func checkCommentHygiene(pkg *Package, set *suppressionSet) []Finding {
 		if s.check == "" || s.reason == "" {
 			out = append(out, pkg.finding(s.pos, "ignore-reason",
 				"cclint:ignore requires a check name and a reason: //cclint:ignore <check> <why>"))
+			continue
+		}
+		if !knownChecks[s.check] {
+			out = append(out, pkg.finding(s.pos, "ignore-unknown",
+				fmt.Sprintf("cclint:ignore names unknown check %q; it suppresses nothing", s.check)))
 		}
 	}
 	for _, file := range pkg.Files {

@@ -1,0 +1,74 @@
+// Package badrangemap is a cclint test fixture for the rangemap check.
+// The two loops marked "flagged" iterate maps with order-dependent
+// effects; everything else uses the sanctioned order-insensitive shapes
+// and must stay silent. It is excluded from normal builds by living
+// under testdata.
+package badrangemap
+
+import "sort"
+
+// DrainQueues emits every queued message, but the per-queue emission
+// order follows map iteration order: flagged by rangemap.
+func DrainQueues(qs map[int][]string, emit func(string)) {
+	for _, q := range qs {
+		for _, m := range q {
+			emit(m)
+		}
+	}
+}
+
+// PickVictim resolves ties by whichever key the iterator visits last:
+// flagged by rangemap.
+func PickVictim(ages map[uint64]int) uint64 {
+	var victim uint64
+	best := -1
+	for a, age := range ages {
+		if age >= best {
+			best = age
+			victim = a
+		}
+	}
+	return victim
+}
+
+// SortedKeys is the sanctioned idiom: collect, sort, then iterate the
+// slice. The collection loop is order-insensitive and stays silent.
+func SortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CountValid accumulates commutatively (guards and continue allowed):
+// silent.
+func CountValid(m map[int]bool) int {
+	n := 0
+	for _, ok := range m {
+		if !ok {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Invert writes map elements, which land per key in any order: silent.
+func Invert(m map[int]string) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Expire deletes entries under a guard: silent.
+func Expire(m map[int]int, now int) {
+	for k, v := range m {
+		if v < now {
+			delete(m, k)
+		}
+	}
+}

@@ -59,3 +59,9 @@ func Bare() {} //nolint
 //
 //cclint:ignore switch-enum
 func Reasonless() {}
+
+// Typoed names an unknown check, so it suppresses nothing: flagged by
+// ignore-unknown.
+//
+//cclint:ignore switchenum the check is really called switch-enum
+func Typoed() {}

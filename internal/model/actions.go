@@ -1,0 +1,279 @@
+package model
+
+import (
+	"fmt"
+
+	"ccnuma/internal/protocol"
+)
+
+// Handler occupancy-class names, as they appear in the extracted model.
+// Every transition the abstract machine takes is labeled with one of
+// these (or "" for the engine-free datapaths) and checked for admission
+// against the artifact, so a typo here — or a handler the implementation
+// no longer reaches this way — surfaces as an unmodeled transition.
+const (
+	hBusReadRemote             = "HBusReadRemote"
+	hBusReadExRemote           = "HBusReadExRemote"
+	hBusReadLocalDirtyRemote   = "HBusReadLocalDirtyRemote"
+	hBusReadExLocalCachedRem   = "HBusReadExLocalCachedRemote"
+	hBusReadExLocalDirtyRemote = "HBusReadExLocalDirtyRemote"
+	hRemoteReadHomeClean       = "HRemoteReadHomeClean"
+	hRemoteReadHomeDirty       = "HRemoteReadHomeDirty"
+	hRemoteReadExHomeUncached  = "HRemoteReadExHomeUncached"
+	hRemoteReadExHomeShared    = "HRemoteReadExHomeShared"
+	hRemoteReadExHomeDirty     = "HRemoteReadExHomeDirty"
+	hFetchOwnerFromHome        = "HFetchOwnerFromHome"
+	hFetchOwnerRemoteReq       = "HFetchOwnerRemoteReq"
+	hFetchExOwnerFromHome      = "HFetchExOwnerFromHome"
+	hFetchExOwnerRemoteReq     = "HFetchExOwnerRemoteReq"
+	hInvalAtSharer             = "HInvalAtSharer"
+	hInvalAckMore              = "HInvalAckMore"
+	hInvalAckLastLocal         = "HInvalAckLastLocal"
+	hInvalAckLastRemote        = "HInvalAckLastRemote"
+	hOwnerWBAtHomeRead         = "HOwnerWBAtHomeRead"
+	hOwnerAckAtHome            = "HOwnerAckAtHome"
+	hOwnerDataAtHomeRead       = "HOwnerDataAtHomeRead"
+	hOwnerDataAtHomeReadEx     = "HOwnerDataAtHomeReadEx"
+	hInterventionMissAtHome    = "HInterventionMissAtHome"
+	hWriteBackAtHome           = "HWriteBackAtHome"
+	hNackAtRequester           = "HNackAtRequester"
+)
+
+// succ is one enabled transition out of a state.
+type succ struct {
+	next state
+	// label renders the transition for violation traces.
+	label string
+	// trigger/handler identify the concrete dispatch this abstracts;
+	// checked against the extracted model when check is set.
+	trigger string
+	handler string
+	check   bool
+	// sends lists the message types this transition pushed, each checked
+	// for admission under (trigger, handler).
+	sends []protocol.MsgType
+	line  int8
+	// deliver marks progress on in-flight work (message deliveries and
+	// backoff reissues) as opposed to spontaneous new work (processor
+	// issues, evictions). The partial-order reduction keys off it.
+	deliver bool
+	// stale carries a freshness violation raised by taking this
+	// transition (a read served or granted from a stale copy).
+	stale string
+}
+
+type gen struct {
+	c   Config
+	s   *state
+	out []succ
+}
+
+// successors enumerates every enabled transition of s.
+func successors(c Config, s *state) []succ {
+	g := &gen{c: c, s: s}
+	for l := 0; l < c.Lines; l++ {
+		g.issues(l)
+		g.evictions(l)
+		g.reissues(l)
+	}
+	for i := 0; i < int(s.nmsgs); i++ {
+		g.delivery(i)
+	}
+	return g.out
+}
+
+func trigBus(kind string, local bool) string {
+	if local {
+		return "bus:" + kind + "/local"
+	}
+	return "bus:" + kind + "/remote"
+}
+
+func trigMsg(t protocol.MsgType) string { return "msg:" + t.String() }
+
+// ---- processor issues ------------------------------------------------------
+
+func (g *gen) issues(l int) {
+	c, s := g.c, g.s
+	h := c.home(l)
+	ls := &s.lines[l]
+	for n := 0; n < c.Nodes; n++ {
+		if ls.mshr[n].kind != mNone {
+			continue // one outstanding request per node per line
+		}
+		if ls.cache[n] != cMod {
+			g.issueRead(l, n, h)
+			g.issueWrite(l, n, h)
+		}
+	}
+}
+
+func (g *gen) issueRead(l, n, h int) {
+	ls := &g.s.lines[l]
+	if ls.cache[n] == cShared {
+		return // read hit
+	}
+	if n == h {
+		if ls.op.active {
+			return // local bus op requeues until the home op drains
+		}
+		if ls.dirState != dDirty {
+			// Memory (or a snooped local copy) services the read without
+			// engaging the coherence engine.
+			ns := *g.s
+			nl := &ns.lines[l]
+			nl.cache[n] = cShared
+			nl.fresh[n] = nl.memFresh
+			sc := succ{next: ns, line: int8(l), label: fmt.Sprintf("n%d local read l%d", n, l)}
+			if !ls.memFresh {
+				sc.stale = fmt.Sprintf("local read at home n%d served stale memory on line %d", n, l)
+			}
+			g.out = append(g.out, sc)
+			return
+		}
+		// Dirty remote: intervene at the owner on the home's behalf.
+		ns := *g.s
+		nl := &ns.lines[l]
+		nl.op = homeOp{active: true, requester: -1, fetch: true}
+		if !ns.push(msg{typ: protocol.MsgFetchReq, line: int8(l), src: int8(h), dst: ls.owner, req: -1}) {
+			return
+		}
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), check: true,
+			trigger: trigBus("Read", true), handler: hBusReadLocalDirtyRemote,
+			sends: []protocol.MsgType{protocol.MsgFetchReq},
+			label: fmt.Sprintf("n%d local read l%d -> fetch owner n%d", n, l, ls.owner),
+		})
+		return
+	}
+	// Remote read miss: park in the MSHR and request from home.
+	ns := *g.s
+	nl := &ns.lines[l]
+	nl.mshr[n] = mshrEntry{kind: mRead}
+	if !ns.push(msg{typ: protocol.MsgReadReq, line: int8(l), src: int8(n), dst: int8(h), req: int8(n)}) {
+		return
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), check: true,
+		trigger: trigBus("Read", false), handler: hBusReadRemote,
+		sends: []protocol.MsgType{protocol.MsgReadReq},
+		label: fmt.Sprintf("n%d read miss l%d", n, l),
+	})
+}
+
+func (g *gen) issueWrite(l, n, h int) {
+	ls := &g.s.lines[l]
+	kind := "ReadEx"
+	if ls.cache[n] == cShared {
+		kind = "Upgrade"
+	}
+	if n == h {
+		if ls.op.active {
+			return
+		}
+		switch ls.dirState {
+		case dNone:
+			// No remote copies: the local bus upgrade completes silently.
+			ns := *g.s
+			nl := &ns.lines[l]
+			nl.cache[n] = cMod
+			nl.fresh[n] = true
+			nl.memFresh = false
+			g.out = append(g.out, succ{next: ns, line: int8(l),
+				label: fmt.Sprintf("n%d local write l%d (no remote copies)", n, l)})
+		case dShared:
+			// Invalidate every remote sharer, then install Modified when the
+			// last ack arrives (HInvalAckLastLocal).
+			ns := *g.s
+			nl := &ns.lines[l]
+			nl.op = homeOp{active: true, requester: -1, excl: true, acksLeft: bitCount(ls.sharers)}
+			for r := 0; r < g.c.Nodes; r++ {
+				if ls.sharers&(1<<uint(r)) != 0 {
+					if !ns.push(msg{typ: protocol.MsgInval, line: int8(l), src: int8(h), dst: int8(r), req: -1}) {
+						return
+					}
+				}
+			}
+			g.out = append(g.out, succ{
+				next: ns, line: int8(l), check: true,
+				trigger: trigBus(kind, true), handler: hBusReadExLocalCachedRem,
+				sends: []protocol.MsgType{protocol.MsgInval},
+				label: fmt.Sprintf("n%d local write l%d -> inval sharers", n, l),
+			})
+		case dDirty:
+			ns := *g.s
+			nl := &ns.lines[l]
+			nl.op = homeOp{active: true, requester: -1, excl: true, fetch: true}
+			if !ns.push(msg{typ: protocol.MsgFetchExReq, line: int8(l), src: int8(h), dst: ls.owner, req: -1, excl: true}) {
+				return
+			}
+			g.out = append(g.out, succ{
+				next: ns, line: int8(l), check: true,
+				trigger: trigBus("ReadEx", true), handler: hBusReadExLocalDirtyRemote,
+				sends: []protocol.MsgType{protocol.MsgFetchExReq},
+				label: fmt.Sprintf("n%d local write l%d -> fetchEx owner n%d", n, l, ls.owner),
+			})
+		}
+		return
+	}
+	// Remote write miss/upgrade.
+	ns := *g.s
+	nl := &ns.lines[l]
+	nl.mshr[n] = mshrEntry{kind: mReadEx}
+	if !ns.push(msg{typ: protocol.MsgReadExReq, line: int8(l), src: int8(n), dst: int8(h), req: int8(n), excl: true}) {
+		return
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), check: true,
+		trigger: trigBus(kind, false), handler: hBusReadExRemote,
+		sends: []protocol.MsgType{protocol.MsgReadExReq},
+		label: fmt.Sprintf("n%d write miss l%d", n, l),
+	})
+}
+
+// ---- evictions -------------------------------------------------------------
+
+func (g *gen) evictions(l int) {
+	c, s := g.c, g.s
+	h := c.home(l)
+	ls := &s.lines[l]
+	for n := 0; n < c.Nodes; n++ {
+		if ls.mshr[n].kind != mNone {
+			continue
+		}
+		switch ls.cache[n] {
+		case cShared:
+			// Clean evictions are silent (no replacement hints): the
+			// directory keeps listing the node, which is why Inval must
+			// tolerate hitting an already-invalid copy.
+			ns := *s
+			nl := &ns.lines[l]
+			nl.cache[n] = cInv
+			nl.fresh[n] = false
+			g.out = append(g.out, succ{next: ns, line: int8(l),
+				label: fmt.Sprintf("n%d evict shared l%d", n, l)})
+		case cMod:
+			ns := *s
+			nl := &ns.lines[l]
+			wasFresh := ls.fresh[n]
+			nl.cache[n] = cInv
+			nl.fresh[n] = false
+			if n == h {
+				// Home-local dirty eviction lands directly in memory.
+				nl.memFresh = wasFresh
+				g.out = append(g.out, succ{next: ns, line: int8(l),
+					label: fmt.Sprintf("n%d evict dirty l%d (home)", n, l)})
+				continue
+			}
+			if !ns.push(msg{typ: protocol.MsgWriteBack, line: int8(l), src: int8(n), dst: int8(h), fresh: wasFresh}) {
+				continue
+			}
+			g.out = append(g.out, succ{
+				next: ns, line: int8(l), check: true,
+				trigger: "direct:WriteBack", handler: "",
+				sends: []protocol.MsgType{protocol.MsgWriteBack},
+				label: fmt.Sprintf("n%d evict dirty l%d -> writeback", n, l),
+			})
+		}
+	}
+}

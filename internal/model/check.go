@@ -1,0 +1,301 @@
+package model
+
+import (
+	"fmt"
+
+	"ccnuma/internal/extract"
+)
+
+// Violation is one invariant failure, with the action trace that
+// reaches it from the initial state.
+type Violation struct {
+	Kind   string
+	Detail string
+	Trace  []string
+}
+
+func (v *Violation) String() string {
+	out := v.Kind + ": " + v.Detail
+	for _, step := range v.Trace {
+		out += "\n  " + step
+	}
+	return out
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Config      Config
+	States      uint64
+	Transitions uint64
+	// Reductions counts transitions the partial-order reduction proved
+	// redundant and skipped.
+	Reductions uint64
+	// Depth is the BFS depth reached (the state graph's eccentricity from
+	// the initial state when Fixpoint holds).
+	Depth int
+	// Fixpoint reports that the reachable state space was exhausted:
+	// every reachable state (modulo hash compaction) was expanded without
+	// hitting MaxStates or a violation.
+	Fixpoint   bool
+	Violations []Violation
+}
+
+func (r *Result) String() string {
+	status := "fixpoint"
+	if !r.Fixpoint {
+		status = "bounded"
+	}
+	if len(r.Violations) > 0 {
+		status = "violation"
+	}
+	s := fmt.Sprintf("nodes=%d lines=%d robust=%v por=%v: %s — %d states, %d transitions, %d reduced, depth %d",
+		r.Config.Nodes, r.Config.Lines, r.Config.Robust, r.Config.POR, status,
+		r.States, r.Transitions, r.Reductions, r.Depth)
+	for i := range r.Violations {
+		s += "\n" + r.Violations[i].String()
+	}
+	return s
+}
+
+const maxTrace = 1 << 14
+
+// Check explores the abstract machine under cfg, validating every
+// labeled transition against the extracted model index and checking the
+// coherence invariants on every reached state. It stops at the first
+// violation (returning its trace) or at a fixpoint.
+func Check(cfg Config, ix *extract.Index) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+	init := cfg.initial()
+	h0 := init.hash(cfg)
+	type entry struct {
+		parent uint64
+		label  string
+	}
+	// Hash compaction: the visited set keys on the 64-bit state hash
+	// only. Parent hash + action label per entry reconstruct violation
+	// traces without storing states.
+	visited := map[uint64]entry{h0: {parent: h0}}
+	frontier := []state{init}
+
+	trace := func(h uint64, last string) []string {
+		var rev []string
+		if last != "" {
+			rev = append(rev, last)
+		}
+		for steps := 0; h != h0 && steps < maxTrace; steps++ {
+			e, ok := visited[h]
+			if !ok {
+				break
+			}
+			rev = append(rev, e.label)
+			h = e.parent
+		}
+		out := make([]string, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+	report := func(kind, detail string, h uint64, last string) {
+		res.Violations = append(res.Violations, Violation{Kind: kind, Detail: detail, Trace: trace(h, last)})
+	}
+
+	capped := false
+	for len(frontier) > 0 && len(res.Violations) == 0 && !capped {
+		res.Depth++
+		var next []state
+		for fi := range frontier {
+			if len(res.Violations) > 0 || capped {
+				break
+			}
+			s := &frontier[fi]
+			sh := s.hash(cfg)
+			succs := successors(cfg, s)
+			if len(succs) == 0 {
+				if s.pendingWork(cfg) {
+					report("deadlock", "pending work but no enabled transition in\n"+s.describe(cfg), sh, "")
+				}
+				continue
+			}
+			hs := make([]uint64, len(succs))
+			for i := range succs {
+				hs[i] = succs[i].next.hash(cfg)
+			}
+			sel := ample(cfg, succs, hs, func(h uint64) bool { _, ok := visited[h]; return ok })
+			res.Reductions += uint64(len(succs) - len(sel))
+			for _, i := range sel {
+				sc := &succs[i]
+				res.Transitions++
+				if sc.check {
+					if !ix.Admits(sc.trigger, sc.handler) {
+						report("unmodeled-transition",
+							fmt.Sprintf("extracted model admits no rule for trigger %q as handler %q", sc.trigger, sc.handler),
+							sh, sc.label)
+						break
+					}
+					for _, t := range sc.sends {
+						name := t.String()
+						if !ix.AdmitsSend(sc.trigger, sc.handler, name) && !ix.Deferred[name] {
+							report("unmodeled-send",
+								fmt.Sprintf("extracted model admits no %s send under trigger %q handler %q", name, sc.trigger, sc.handler),
+								sh, sc.label)
+							break
+						}
+					}
+					if len(res.Violations) > 0 {
+						break
+					}
+				}
+				if sc.stale != "" {
+					report("stale-read", sc.stale, sh, sc.label)
+					break
+				}
+				if _, seen := visited[hs[i]]; seen {
+					continue
+				}
+				visited[hs[i]] = entry{parent: sh, label: sc.label}
+				if kind, detail := invariant(cfg, &sc.next); kind != "" {
+					report(kind, detail+"\n"+sc.next.describe(cfg), sh, sc.label)
+					break
+				}
+				if len(visited) >= cfg.MaxStates {
+					capped = true
+					break
+				}
+				next = append(next, sc.next)
+			}
+		}
+		frontier = next
+	}
+	res.States = uint64(len(visited))
+	res.Fixpoint = !capped && len(res.Violations) == 0
+	if !res.Fixpoint {
+		res.Depth-- // the last level was not fully expanded
+	}
+	return res, nil
+}
+
+// ample selects the transitions to expand from succs — the partial-order
+// reduction. The abstract machine's lines are fully independent: every
+// transition reads and writes a single line's state plus that line's
+// slice of the message pool (push caps per line, so one line can never
+// disable another's sends). The global system is therefore a product of
+// per-line systems, and expanding only one line's transitions at a state
+// preserves reachability of every per-line invariant violation: the
+// skipped lines' transitions remain enabled and commute past the chosen
+// line's. Two provisos keep it sound:
+//
+//   - The chosen set is ALL transitions of one line (deliveries, issues,
+//     and evictions — same-line transitions do interfere), chosen as the
+//     lowest line with an enabled delivery so in-flight work drains and
+//     globally-quiescent states (where the cross-line quiescence
+//     invariants are checked) stay reachable.
+//   - The ignoring problem: if every successor in the chosen set is
+//     already visited (a cycle confined to the line, e.g. a NACK/retry
+//     loop), the reduction could starve the other lines forever, so the
+//     state is expanded fully instead.
+func ample(cfg Config, succs []succ, hs []uint64, seen func(uint64) bool) []int {
+	all := make([]int, len(succs))
+	for i := range succs {
+		all[i] = i
+	}
+	if !cfg.POR || cfg.Lines == 1 {
+		return all
+	}
+	line := int8(-1)
+	for i := range succs {
+		if succs[i].deliver && (line < 0 || succs[i].line < line) {
+			line = succs[i].line
+		}
+	}
+	if line < 0 {
+		return all
+	}
+	var amp []int
+	fresh := false
+	for i := range succs {
+		if succs[i].line == line {
+			amp = append(amp, i)
+			if !seen(hs[i]) {
+				fresh = true
+			}
+		}
+	}
+	if len(amp) == len(succs) || !fresh {
+		return all
+	}
+	return amp
+}
+
+// invariant checks a state. Single-owner is checked everywhere; the
+// freshness, lost-writeback, and directory-accounting invariants only
+// hold at quiescence (no in-flight messages, home ops, or MSHRs).
+func invariant(c Config, s *state) (kind, detail string) {
+	for l := 0; l < c.Lines; l++ {
+		ls := &s.lines[l]
+		mods, valid := 0, 0
+		for n := 0; n < c.Nodes; n++ {
+			if ls.cache[n] == cMod {
+				mods++
+			}
+			if ls.cache[n] != cInv {
+				valid++
+			}
+		}
+		if mods > 1 {
+			return "single-owner", fmt.Sprintf("%d Modified copies of line %d", mods, l)
+		}
+		if mods == 1 && valid > 1 {
+			return "single-owner", fmt.Sprintf("Modified copy of line %d coexists with %d other valid copies", l, valid-1)
+		}
+	}
+	if s.pendingWork(c) {
+		return "", ""
+	}
+	for l := 0; l < c.Lines; l++ {
+		ls := &s.lines[l]
+		h := c.home(l)
+		current := ls.memFresh
+		for n := 0; n < c.Nodes; n++ {
+			if ls.cache[n] != cInv && !ls.fresh[n] {
+				return "stale-copy", fmt.Sprintf("n%d holds a stale copy of line %d at quiescence", n, l)
+			}
+			if ls.fresh[n] && ls.cache[n] != cInv {
+				current = true
+			}
+		}
+		if !current {
+			return "lost-writeback", fmt.Sprintf("line %d has no current copy at quiescence (memory stale, no fresh cache)", l)
+		}
+		for n := 0; n < c.Nodes; n++ {
+			if n == h || ls.cache[n] == cInv {
+				continue
+			}
+			if ls.cache[n] == cMod && !(ls.dirState == dDirty && int(ls.owner) == n) {
+				return "untracked-owner", fmt.Sprintf("n%d holds line %d Modified but the directory does not record it as owner", n, l)
+			}
+			if ls.cache[n] == cShared && ls.dirState == dShared && ls.sharers&(1<<uint(n)) == 0 {
+				return "untracked-sharer", fmt.Sprintf("n%d holds line %d Shared but is not in the directory's sharer set", n, l)
+			}
+			if ls.cache[n] == cShared && ls.dirState == dNone {
+				return "untracked-sharer", fmt.Sprintf("n%d holds line %d Shared but the directory records no remote copies", n, l)
+			}
+		}
+		// The directory may legally over-approximate: a recorded owner can
+		// have written back already (the write-back raced the op that
+		// recorded it; the next request recovers via InterventionMiss). It
+		// must still name a real node, and the raced write-back must have
+		// reached memory — otherwise the value is gone.
+		if ls.dirState == dDirty && ls.owner < 0 {
+			return "dangling-owner", fmt.Sprintf("directory records line %d dirty-remote without an owner", l)
+		}
+		if ls.dirState == dDirty && ls.cache[ls.owner] != cMod && !ls.memFresh {
+			return "lost-writeback", fmt.Sprintf("line %d owner n%d wrote back but memory is stale at quiescence", l, ls.owner)
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,740 @@
+package model
+
+import (
+	"fmt"
+
+	"ccnuma/internal/protocol"
+)
+
+// delivery enumerates the transitions that consume the message at pool
+// index i. A message whose preconditions are not met generates nothing —
+// that is the abstract form of the concrete controller's requeue: the
+// message stays pooled until another transition changes the state it is
+// waiting on. (If nothing ever will, the deadlock check reports it.)
+func (g *gen) delivery(i int) {
+	m := g.s.msgs[i]
+	l := int(m.line)
+	switch m.typ {
+	case protocol.MsgReadReq:
+		g.homeRequest(i, m, l, false)
+	case protocol.MsgReadExReq:
+		g.homeRequest(i, m, l, true)
+	case protocol.MsgFetchReq:
+		g.ownerFetch(i, m, l, false)
+	case protocol.MsgFetchExReq:
+		g.ownerFetch(i, m, l, true)
+	case protocol.MsgInval:
+		g.sharerInval(i, m, l)
+	case protocol.MsgInvalAck:
+		g.homeInvalAck(i, m, l)
+	case protocol.MsgDataShared:
+		g.requesterData(i, m, l, false)
+	case protocol.MsgDataExcl:
+		g.requesterData(i, m, l, true)
+	case protocol.MsgOwnerData:
+		g.requesterData(i, m, l, m.excl)
+	case protocol.MsgFetchDone:
+		g.homeFetchDone(i, m, l)
+	case protocol.MsgFetchExDone:
+		g.homeFetchExDone(i, m, l)
+	case protocol.MsgFetchDataHome:
+		g.homeFetchDataHome(i, m, l)
+	case protocol.MsgInterventionMiss:
+		g.homeInterventionMiss(i, m, l)
+	case protocol.MsgWriteBack:
+		g.homeWriteBack(i, m, l)
+	case protocol.MsgNack:
+		g.requesterNack(i, m, l)
+	}
+}
+
+// grant builds the data response for a completed home-side operation.
+func grantMsg(excl bool, line, home, req int, fresh bool) msg {
+	t := protocol.MsgDataShared
+	if excl {
+		t = protocol.MsgDataExcl
+	}
+	return msg{typ: t, line: int8(line), src: int8(home), dst: int8(req), req: int8(req), excl: excl, fresh: fresh}
+}
+
+// installLocal commits a home-local grant: the home processor's cache
+// takes the line directly (no network message).
+func installLocal(nl *lineState, h int, excl, fresh bool) string {
+	if excl {
+		nl.cache[h] = cMod
+		nl.fresh[h] = true
+		nl.memFresh = false
+		return ""
+	}
+	nl.cache[h] = cShared
+	nl.fresh[h] = fresh
+	if !fresh {
+		return fmt.Sprintf("home n%d read granted stale data", h)
+	}
+	return ""
+}
+
+// dirFinal commits the operation's final directory state.
+func dirFinal(nl *lineState, excl bool, req int) {
+	if req < 0 {
+		// Local requester: the home processor holds the line; no remote
+		// state remains for an exclusive grant, and a read leaves whatever
+		// remote sharers the op recorded (set by the caller).
+		if excl {
+			nl.dirState = dNone
+			nl.sharers = 0
+			nl.owner = -1
+		}
+		return
+	}
+	if excl {
+		nl.dirState = dDirty
+		nl.sharers = 0
+		nl.owner = int8(req)
+	} else {
+		nl.dirState = dShared
+		nl.sharers |= 1 << uint(req)
+		nl.owner = -1
+	}
+}
+
+// ---- home request handling (ReadReq / ReadExReq) ---------------------------
+
+func (g *gen) homeRequest(i int, m msg, l int, excl bool) {
+	c := g.c
+	h := c.home(l)
+	ls := &g.s.lines[l]
+	r := int(m.req)
+	trig := trigMsg(m.typ)
+
+	// Finite-buffer edge: the home NI may bounce any nackable request
+	// instead of queueing it. Bounces are capped per requester so the
+	// NACK/retry cycle stays finite.
+	if c.Robust && r >= 0 && int(ls.mshr[r].attempts) < c.MaxAttempts {
+		ns := *g.s
+		ns.drop(i)
+		if ns.push(msg{typ: protocol.MsgNack, line: int8(l), src: int8(h), dst: int8(r), req: int8(r), excl: excl}) {
+			g.out = append(g.out, succ{
+				next: ns, line: int8(l), deliver: true, check: true,
+				trigger: "ni:request", handler: "",
+				sends: []protocol.MsgType{protocol.MsgNack},
+				label: fmt.Sprintf("home n%d nack %v from n%d l%d (queue full)", h, m.typ, r, l),
+			})
+		}
+	}
+
+	if ls.op.active {
+		// A home op is in flight: the request waits in the queue until the
+		// op drains (the concrete controller's requeue).
+		return
+	}
+
+	switch ls.dirState {
+	case dNone, dShared:
+		if excl {
+			g.homeReadEx(i, m, l, h, r)
+		} else {
+			g.homeRead(i, m, l, h, r)
+		}
+	case dDirty:
+		if int(ls.owner) == r {
+			// The requester is the recorded dirty owner: its write-back is
+			// still in flight. First attempt parks until the write-back
+			// lands; a retry is bounced so it cannot wedge the queue.
+			if m.retry {
+				handler := hRemoteReadHomeDirty
+				if excl {
+					handler = hRemoteReadExHomeDirty
+				}
+				g.nackRetry(i, m, l, h, r, handler)
+				return
+			}
+			ns := *g.s
+			ns.drop(i)
+			ns.lines[l].op = homeOp{active: true, requester: int8(r), excl: excl, waitWB: true}
+			handler := hRemoteReadHomeDirty
+			if excl {
+				handler = hRemoteReadExHomeDirty
+			}
+			g.out = append(g.out, succ{
+				next: ns, line: int8(l), deliver: true, check: true,
+				trigger: trig, handler: handler,
+				label: fmt.Sprintf("home n%d %v from dirty owner n%d l%d -> wait writeback", h, m.typ, r, l),
+			})
+			return
+		}
+		// Intervene at the owner.
+		ns := *g.s
+		ns.drop(i)
+		nl := &ns.lines[l]
+		nl.op = homeOp{active: true, requester: int8(r), excl: excl, fetch: true}
+		ft := protocol.MsgFetchReq
+		handler := hRemoteReadHomeDirty
+		if excl {
+			ft = protocol.MsgFetchExReq
+			handler = hRemoteReadExHomeDirty
+		}
+		if !ns.push(msg{typ: ft, line: int8(l), src: int8(h), dst: ls.owner, req: int8(r), excl: excl}) {
+			return
+		}
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trig, handler: handler,
+			sends: []protocol.MsgType{ft},
+			label: fmt.Sprintf("home n%d %v from n%d l%d -> fetch owner n%d", h, m.typ, r, l, ls.owner),
+		})
+	}
+}
+
+func (g *gen) nackRetry(i int, m msg, l, h, r int, handler string) {
+	ns := *g.s
+	ns.drop(i)
+	if !ns.push(msg{typ: protocol.MsgNack, line: int8(l), src: int8(h), dst: int8(r), req: int8(r), excl: m.excl}) {
+		return
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: handler,
+		sends: []protocol.MsgType{protocol.MsgNack},
+		label: fmt.Sprintf("home n%d nack retried %v from own dirty owner n%d l%d", h, m.typ, r, l),
+	})
+}
+
+// homeRead services a ReadReq when the line is home-clean.
+func (g *gen) homeRead(i int, m msg, l, h, r int) {
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	// The home CC's memory access snoops the local bus: a dirty copy in
+	// the home processor's cache is flushed to memory and downgraded.
+	if nl.cache[h] == cMod {
+		nl.memFresh = nl.fresh[h]
+		nl.cache[h] = cShared
+	}
+	fresh := nl.memFresh
+	if !ns.push(grantMsg(false, l, h, r, fresh)) {
+		return
+	}
+	dirFinal(nl, false, r)
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hRemoteReadHomeClean,
+		sends: []protocol.MsgType{protocol.MsgDataShared},
+		label: fmt.Sprintf("home n%d grant shared to n%d l%d", h, r, l),
+	})
+}
+
+// homeReadEx services a ReadExReq when the line is home-clean or shared.
+func (g *gen) homeReadEx(i int, m msg, l, h, r int) {
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	// Local bus snoop: flush a dirty home copy, invalidate any home copy.
+	if nl.cache[h] == cMod {
+		nl.memFresh = nl.fresh[h]
+	}
+	nl.cache[h] = cInv
+	nl.fresh[h] = false
+	invals := nl.sharers &^ (1 << uint(r))
+	if nl.dirState == dShared && invals != 0 {
+		nl.op = homeOp{active: true, requester: int8(r), excl: true, acksLeft: bitCount(invals)}
+		for t := 0; t < g.c.Nodes; t++ {
+			if invals&(1<<uint(t)) != 0 {
+				if !ns.push(msg{typ: protocol.MsgInval, line: int8(l), src: int8(h), dst: int8(t), req: int8(r)}) {
+					return
+				}
+			}
+		}
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(m.typ), handler: hRemoteReadExHomeShared,
+			sends: []protocol.MsgType{protocol.MsgInval},
+			label: fmt.Sprintf("home n%d inval sharers for n%d l%d", h, r, l),
+		})
+		return
+	}
+	handler := hRemoteReadExHomeUncached
+	if nl.dirState == dShared {
+		handler = hRemoteReadExHomeShared // sole sharer is the requester
+	}
+	fresh := nl.memFresh
+	if !ns.push(grantMsg(true, l, h, r, fresh)) {
+		return
+	}
+	dirFinal(nl, true, r)
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: handler,
+		sends: []protocol.MsgType{protocol.MsgDataExcl},
+		label: fmt.Sprintf("home n%d grant excl to n%d l%d", h, r, l),
+	})
+}
+
+// ---- owner-side intervention handling --------------------------------------
+
+func (g *gen) ownerFetch(i int, m msg, l int, excl bool) {
+	o := int(m.dst)
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if g.s.grantInFlight(o, l) {
+		return // the owner's own fill is arriving; the fetch requeues
+	}
+	fromHome := m.req < 0
+	var handler string
+	switch {
+	case excl && fromHome:
+		handler = hFetchExOwnerFromHome
+	case excl:
+		handler = hFetchExOwnerRemoteReq
+	case fromHome:
+		handler = hFetchOwnerFromHome
+	default:
+		handler = hFetchOwnerRemoteReq
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	if ls.cache[o] != cMod {
+		// The owner's write-back crossed the intervention in flight.
+		if excl && nl.cache[o] == cShared {
+			nl.cache[o] = cInv
+			nl.fresh[o] = false
+		}
+		if !ns.push(msg{typ: protocol.MsgInterventionMiss, line: int8(l), src: int8(o), dst: int8(h), req: m.req, excl: excl}) {
+			return
+		}
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(m.typ), handler: handler,
+			sends: []protocol.MsgType{protocol.MsgInterventionMiss},
+			label: fmt.Sprintf("owner n%d miss on %v l%d", o, m.typ, l),
+		})
+		return
+	}
+	wasFresh := ls.fresh[o]
+	var sends []protocol.MsgType
+	if excl {
+		nl.cache[o] = cInv
+		nl.fresh[o] = false
+		if fromHome {
+			if !ns.push(msg{typ: protocol.MsgFetchDataHome, line: int8(l), src: int8(o), dst: int8(h), excl: true, fresh: wasFresh}) {
+				return
+			}
+			sends = []protocol.MsgType{protocol.MsgFetchDataHome}
+		} else {
+			if !ns.push(msg{typ: protocol.MsgOwnerData, line: int8(l), src: int8(o), dst: m.req, req: m.req, excl: true, fresh: wasFresh}) {
+				return
+			}
+			if !ns.push(msg{typ: protocol.MsgFetchExDone, line: int8(l), src: int8(o), dst: int8(h), req: m.req}) {
+				return
+			}
+			sends = []protocol.MsgType{protocol.MsgOwnerData, protocol.MsgFetchExDone}
+		}
+	} else {
+		nl.cache[o] = cShared // the owner keeps a clean copy
+		if fromHome {
+			if !ns.push(msg{typ: protocol.MsgFetchDataHome, line: int8(l), src: int8(o), dst: int8(h), fresh: wasFresh}) {
+				return
+			}
+			sends = []protocol.MsgType{protocol.MsgFetchDataHome}
+		} else {
+			if !ns.push(msg{typ: protocol.MsgOwnerData, line: int8(l), src: int8(o), dst: m.req, req: m.req, fresh: wasFresh}) {
+				return
+			}
+			if !ns.push(msg{typ: protocol.MsgFetchDone, line: int8(l), src: int8(o), dst: int8(h), req: m.req, fresh: wasFresh}) {
+				return
+			}
+			sends = []protocol.MsgType{protocol.MsgOwnerData, protocol.MsgFetchDone}
+		}
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: handler, sends: sends,
+		label: fmt.Sprintf("owner n%d serve %v l%d", o, m.typ, l),
+	})
+}
+
+// ---- invalidations ---------------------------------------------------------
+
+func (g *gen) sharerInval(i int, m msg, l int) {
+	n := int(m.dst)
+	h := g.c.home(l)
+	if g.s.grantInFlight(n, l) {
+		return // fill arriving: the invalidation requeues until installed
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	// The copy may already be gone (silent clean eviction); ack anyway.
+	if nl.cache[n] == cShared {
+		nl.cache[n] = cInv
+		nl.fresh[n] = false
+	}
+	if !ns.push(msg{typ: protocol.MsgInvalAck, line: int8(l), src: int8(n), dst: int8(h), req: m.req}) {
+		return
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hInvalAtSharer,
+		sends: []protocol.MsgType{protocol.MsgInvalAck},
+		label: fmt.Sprintf("sharer n%d invalidated l%d", n, l),
+	})
+}
+
+func (g *gen) homeInvalAck(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if !ls.op.active || ls.op.acksLeft <= 0 {
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	nl.op.acksLeft--
+	if nl.op.acksLeft > 0 {
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(m.typ), handler: hInvalAckMore,
+			label: fmt.Sprintf("home n%d inval ack l%d (%d left)", h, l, nl.op.acksLeft),
+		})
+		return
+	}
+	r := int(nl.op.requester)
+	if r < 0 {
+		// Local writer: install Modified at the home processor.
+		nl.op = homeOp{}
+		nl.dirState = dNone
+		nl.sharers = 0
+		nl.owner = -1
+		nl.cache[h] = cMod
+		nl.fresh[h] = true
+		nl.memFresh = false
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(m.typ), handler: hInvalAckLastLocal,
+			label: fmt.Sprintf("home n%d last inval ack l%d -> local install", h, l),
+		})
+		return
+	}
+	fresh := nl.memFresh
+	nl.op = homeOp{}
+	if !ns.push(grantMsg(true, l, h, r, fresh)) {
+		return
+	}
+	dirFinal(nl, true, r)
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hInvalAckLastRemote,
+		sends: []protocol.MsgType{protocol.MsgDataExcl},
+		label: fmt.Sprintf("home n%d last inval ack l%d -> grant excl n%d", h, l, r),
+	})
+}
+
+// ---- requester-side responses ----------------------------------------------
+
+func (g *gen) requesterData(i int, m msg, l int, excl bool) {
+	n := int(m.dst)
+	ls := &g.s.lines[l]
+	if ls.mshr[n].kind == mNone {
+		// Stray response (a NACKed request was also serviced). The robust
+		// configuration drops it on the floor; without robustness the
+		// protocol never generates one.
+		if !g.c.Robust {
+			return
+		}
+		ns := *g.s
+		ns.drop(i)
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(m.typ), handler: hNackAtRequester,
+			label: fmt.Sprintf("n%d drop stray %v l%d", n, m.typ, l),
+		})
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	nl.mshr[n] = mshrEntry{}
+	handler := hDataRespRead
+	if excl {
+		handler = hDataRespReadEx
+	}
+	sc := succ{line: int8(l), deliver: true, check: true, trigger: trigMsg(m.typ), handler: handler}
+	if excl {
+		nl.cache[n] = cMod
+		nl.fresh[n] = true // the write commits, making this the current copy
+		nl.memFresh = false
+		if !m.fresh {
+			sc.stale = fmt.Sprintf("n%d granted exclusive with stale data l%d", n, l)
+		}
+		sc.label = fmt.Sprintf("n%d install M l%d", n, l)
+	} else {
+		nl.cache[n] = cShared
+		nl.fresh[n] = m.fresh
+		if !m.fresh {
+			sc.stale = fmt.Sprintf("n%d read granted stale data l%d", n, l)
+		}
+		sc.label = fmt.Sprintf("n%d install S l%d", n, l)
+	}
+	sc.next = ns
+	g.out = append(g.out, sc)
+}
+
+const (
+	hDataRespRead   = "HDataRespRead"
+	hDataRespReadEx = "HDataRespReadEx"
+)
+
+// ---- owner -> home completions ---------------------------------------------
+
+func (g *gen) homeFetchDone(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if !ls.op.active || !ls.op.fetch || ls.op.excl {
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	r := int(nl.op.requester)
+	oldOwner := nl.owner
+	nl.memFresh = m.fresh // the owner's data is written back to memory
+	nl.op = homeOp{}
+	nl.dirState = dShared
+	nl.sharers = 1 << uint(r)
+	if oldOwner >= 0 {
+		nl.sharers |= 1 << uint(oldOwner) // the owner kept a clean copy
+	}
+	nl.owner = -1
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hOwnerWBAtHomeRead,
+		label: fmt.Sprintf("home n%d fetch done l%d (owner wrote back)", h, l),
+	})
+}
+
+func (g *gen) homeFetchExDone(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if !ls.op.active || !ls.op.fetch || !ls.op.excl {
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	r := int(nl.op.requester)
+	wroteBack := nl.op.reqWroteBack
+	nl.op = homeOp{}
+	if wroteBack {
+		// The new owner already wrote the line back: memory is current
+		// and no dirty owner remains.
+		nl.dirState = dNone
+		nl.sharers = 0
+		nl.owner = -1
+	} else {
+		// Ownership transferred requester-to-requester: memory stays stale.
+		dirFinal(nl, true, r)
+	}
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hOwnerAckAtHome,
+		label: fmt.Sprintf("home n%d fetchEx done l%d -> owner n%d", h, l, r),
+	})
+}
+
+func (g *gen) homeFetchDataHome(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if !ls.op.active || !ls.op.fetch || ls.op.requester >= 0 {
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	oldOwner := nl.owner
+	nl.op = homeOp{}
+	sc := succ{line: int8(l), deliver: true, check: true, trigger: trigMsg(m.typ)}
+	if m.excl {
+		sc.handler = hOwnerDataAtHomeReadEx
+		nl.dirState = dNone
+		nl.sharers = 0
+		nl.owner = -1
+		nl.cache[h] = cMod
+		nl.fresh[h] = true
+		nl.memFresh = false
+		if !m.fresh {
+			sc.stale = fmt.Sprintf("home n%d local write granted stale owner data l%d", h, l)
+		}
+		sc.label = fmt.Sprintf("home n%d owner data l%d -> local M", h, l)
+	} else {
+		sc.handler = hOwnerDataAtHomeRead
+		nl.memFresh = m.fresh
+		nl.dirState = dShared
+		nl.sharers = 0
+		if oldOwner >= 0 {
+			nl.sharers = 1 << uint(oldOwner)
+		}
+		nl.owner = -1
+		nl.cache[h] = cShared
+		nl.fresh[h] = m.fresh
+		if !m.fresh {
+			sc.stale = fmt.Sprintf("home n%d local read granted stale owner data l%d", h, l)
+		}
+		sc.label = fmt.Sprintf("home n%d owner data l%d -> local S", h, l)
+	}
+	sc.next = ns
+	g.out = append(g.out, sc)
+}
+
+func (g *gen) homeInterventionMiss(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	if !ls.op.active || !ls.op.fetch {
+		return
+	}
+	if g.s.wbInFlight(l) {
+		// The crossing write-back is still traveling; the home completes
+		// the op from memory only once it lands (its delivery is enabled,
+		// so this wait cannot deadlock).
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	r := int(nl.op.requester)
+	excl := nl.op.excl
+	fresh := nl.memFresh
+	nl.op = homeOp{}
+	sc := succ{line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hInterventionMissAtHome}
+	if r < 0 {
+		nl.dirState = dNone
+		nl.sharers = 0
+		nl.owner = -1
+		if stale := installLocal(nl, h, excl, fresh); stale != "" {
+			sc.stale = stale
+		}
+		sc.label = fmt.Sprintf("home n%d intervention miss l%d -> serve local from memory", h, l)
+	} else {
+		if !ns.push(grantMsg(excl, l, h, r, fresh)) {
+			return
+		}
+		nl.owner = -1
+		nl.sharers = 0
+		nl.dirState = dNone
+		dirFinal(nl, excl, r)
+		gt := protocol.MsgDataShared
+		if excl {
+			gt = protocol.MsgDataExcl
+		}
+		sc.sends = []protocol.MsgType{gt}
+		sc.label = fmt.Sprintf("home n%d intervention miss l%d -> grant n%d from memory", h, l, r)
+	}
+	sc.next = ns
+	g.out = append(g.out, sc)
+}
+
+func (g *gen) homeWriteBack(i int, m msg, l int) {
+	h := g.c.home(l)
+	ls := &g.s.lines[l]
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	nl.memFresh = m.fresh
+	sc := succ{line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hWriteBackAtHome}
+	switch {
+	case ls.op.active && ls.op.waitWB:
+		// The write-back the pending request was waiting on: grant now.
+		r := int(nl.op.requester)
+		excl := nl.op.excl
+		fresh := nl.memFresh
+		nl.op = homeOp{}
+		nl.dirState = dNone
+		nl.sharers = 0
+		nl.owner = -1
+		if !ns.push(grantMsg(excl, l, h, r, fresh)) {
+			return
+		}
+		dirFinal(nl, excl, r)
+		gt := protocol.MsgDataShared
+		if excl {
+			gt = protocol.MsgDataExcl
+		}
+		sc.sends = []protocol.MsgType{gt}
+		sc.label = fmt.Sprintf("home n%d writeback l%d -> grant waiting n%d", h, l, r)
+	case ls.op.active:
+		// A fetch op is in flight; it writes the final directory state
+		// when it completes. Memory is fresh now either way. If the
+		// write-back came from the op's own requester (it was granted
+		// ownership owner-to-owner and gave it up already), the op must
+		// not retire naming it dirty owner.
+		if nl.op.fetch && int(m.src) == int(nl.op.requester) {
+			nl.op.reqWroteBack = true
+		}
+		sc.label = fmt.Sprintf("home n%d writeback l%d (op in flight)", h, l)
+	default:
+		if nl.dirState == dDirty && nl.owner == m.src {
+			nl.dirState = dNone
+			nl.sharers = 0
+			nl.owner = -1
+		}
+		sc.label = fmt.Sprintf("home n%d writeback l%d", h, l)
+	}
+	sc.next = ns
+	g.out = append(g.out, sc)
+}
+
+// ---- NACK handling at the requester ----------------------------------------
+
+func (g *gen) requesterNack(i int, m msg, l int) {
+	n := int(m.dst)
+	ls := &g.s.lines[l]
+	if ls.mshr[n].kind == mNone {
+		return
+	}
+	ns := *g.s
+	ns.drop(i)
+	nl := &ns.lines[l]
+	if int(nl.mshr[n].attempts) < g.c.MaxAttempts {
+		nl.mshr[n].attempts++
+	}
+	nl.mshr[n].backoff = true
+	g.out = append(g.out, succ{
+		next: ns, line: int8(l), deliver: true, check: true,
+		trigger: trigMsg(m.typ), handler: hNackAtRequester,
+		label: fmt.Sprintf("n%d nacked l%d -> backoff", n, l),
+	})
+}
+
+// reissues enumerates backoff expirations: a NACKed requester re-sends
+// its request with the retry bit. These ride the msg:Nack rule's
+// deferred sends in the extracted model.
+func (g *gen) reissues(l int) {
+	c := g.c
+	h := c.home(l)
+	ls := &g.s.lines[l]
+	for n := 0; n < c.Nodes; n++ {
+		if !ls.mshr[n].backoff {
+			continue
+		}
+		ns := *g.s
+		nl := &ns.lines[l]
+		nl.mshr[n].backoff = false
+		t := protocol.MsgReadReq
+		excl := false
+		if nl.mshr[n].kind == mReadEx {
+			t = protocol.MsgReadExReq
+			excl = true
+		}
+		if !ns.push(msg{typ: t, line: int8(l), src: int8(n), dst: int8(h), req: int8(n), excl: excl, retry: true}) {
+			continue
+		}
+		g.out = append(g.out, succ{
+			next: ns, line: int8(l), deliver: true, check: true,
+			trigger: trigMsg(protocol.MsgNack), handler: hNackAtRequester,
+			sends: []protocol.MsgType{t},
+			label: fmt.Sprintf("n%d reissue %v l%d (retry)", n, t, l),
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"ccnuma/internal/interconnect"
 	"ccnuma/internal/machine"
+	"ccnuma/internal/protocol"
 	pool "ccnuma/internal/runner"
 )
 
@@ -27,22 +28,40 @@ type SweepResult struct {
 // OK reports whether every injected fault was recovered from.
 func (r *SweepResult) OK() bool { return len(r.Violations) == 0 }
 
-// sweepKinds are the single-fault mutations the sweep injects.
-var sweepKinds = [...]string{"drop", "dup"}
+// sweepKinds are the single-fault mutations the sweep injects: losing a
+// message on the link, duplicating it, bouncing it off a "full" NI
+// request queue (nackable requests only — the forced-NACK seam is inert
+// for other types), and delaying it past the requester's re-issue
+// timeout so the retry races its own original.
+var sweepKinds = [...]string{"drop", "dup", "nack", "timeout"}
 
 // SweepSingleFaults replays one canonical path — every (processor, op) pair
 // in order, the state-space walk's step vocabulary — on the robust machine
-// configuration, once per (message index, drop/duplicate) combination, with
+// configuration, once per (message index, fault kind) combination, with
 // exactly one fault injected at that message boundary. Each replay must
 // drain to a quiescent, invariant-clean state: the link layer and the
 // NACK/retry/timeout machinery must absorb any single fault. maxRuns bounds
-// the grid (0 = default 300); larger grids are stride-sampled. Violations
-// carry the replay path plus the injected fault for reproduction.
-func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
+// the grid (0 = default 600); larger grids are stride-sampled. kinds
+// restricts the sweep to a subset of the fault classes (default: all).
+// Violations carry the replay path plus the injected fault for
+// reproduction.
+func SweepSingleFaults(vc Config, maxRuns int, kinds ...string) (*SweepResult, error) {
 	c := vc.normalized()
 	c.Robust = true
 	if maxRuns <= 0 {
-		maxRuns = 300
+		maxRuns = 600
+	}
+	if len(kinds) == 0 {
+		kinds = sweepKinds[:]
+	}
+	for _, k := range kinds {
+		known := false
+		for _, s := range sweepKinds {
+			known = known || k == s
+		}
+		if !known {
+			return nil, fmt.Errorf("verify: unknown sweep fault kind %q", k)
+		}
 	}
 	// The canonical path: every (processor, op) pair, then a second round of
 	// target writes and reads ping-ponging dirty ownership between
@@ -70,7 +89,7 @@ func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
 	}
 
 	res := &SweepResult{Messages: int(msgs), Violations: []Violation{}}
-	total := int(msgs) * len(sweepKinds)
+	total := int(msgs) * len(kinds)
 	stride := 1
 	if total > maxRuns {
 		stride = (total + maxRuns - 1) / maxRuns
@@ -87,7 +106,7 @@ func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
 	// serial sweep exactly.
 	vios, _ := pool.Map(context.Background(), c.Jobs, len(idxs),
 		func(j int) (*Violation, error) {
-			target, kind := uint64(idxs[j]/len(sweepKinds)), sweepKinds[idxs[j]%len(sweepKinds)]
+			target, kind := uint64(idxs[j]/len(kinds)), kinds[idxs[j]%len(kinds)]
 			cj := c
 			cj.Fault = func(m *machine.Machine) {
 				var idx uint64
@@ -97,6 +116,17 @@ func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
 						switch kind {
 						case "drop":
 							d.Drop = true
+						case "nack":
+							// Deliver normally, but arm the destination's
+							// one-shot forced bounce so a nackable request is
+							// rejected as if the NI queue were full.
+							if pm, ok := payload.(*protocol.Msg); ok && pm.Nackable() {
+								m.CCs[dst].ForceNackNext(1)
+							}
+						case "timeout":
+							// Park the message past the requester's re-issue
+							// timeout so the retry races the delayed original.
+							d.Delay = m.Cfg.RequestTimeout + m.Cfg.RequestTimeout/2
 						default:
 							d.Duplicate = true
 						}
@@ -109,7 +139,7 @@ func SweepSingleFaults(vc Config, maxRuns int) (*SweepResult, error) {
 			return vio, nil
 		})
 	for j, vio := range vios {
-		target, kind := uint64(idxs[j]/len(sweepKinds)), sweepKinds[idxs[j]%len(sweepKinds)]
+		target, kind := uint64(idxs[j]/len(kinds)), kinds[idxs[j]%len(kinds)]
 		res.Runs++
 		if vio != nil {
 			vio.Detail = fmt.Sprintf("%s [injected %s@msg%d]", vio.Detail, kind, target)
