@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench microbench tables lint verify model chaos scenario attribution clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify model chaos scenario attribution serve-smoke torture-smoke clean
 
 all: build
 
@@ -19,7 +19,7 @@ build:
 # extracted-model checker must close its abstract state space, and
 # ccbench's smoke run must finish without a gross performance regression
 # against the committed BENCH artifact.
-check: fmt vet lint race verify model bench scenario attribution
+check: fmt vet lint race verify model bench scenario attribution serve-smoke torture-smoke
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -91,6 +91,34 @@ attribution:
 	$(GO) run ./cmd/ccsim -app fft -arch HWC -nodes 4 -ppn 2 -size test -attribution -json "$$tmp/attr.json" >/dev/null && \
 	grep -q '"attribution"' "$$tmp/attr.json" && echo "attribution: conservation + schema OK"; \
 	status=$$?; rm -rf "$$tmp"; exit $$status
+
+# serve-smoke exercises the experiment service end to end through real
+# binaries: start ccserved, submit a sweep with ccsubmit, resubmit it
+# (must be all store hits), fetch one artifact, and drain gracefully.
+serve-smoke:
+	@tmp="$$(mktemp -d)"; status=1; \
+	$(GO) build -o "$$tmp/ccserved" ./cmd/ccserved && \
+	$(GO) build -o "$$tmp/ccsubmit" ./cmd/ccsubmit && \
+	"$$tmp/ccserved" -addr 127.0.0.1:18347 -store "$$tmp/store" -compute-log "$$tmp/compute.log" 2>"$$tmp/served.log" & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18347/readyz >/dev/null 2>&1; then break; fi; sleep 0.1; done; \
+	"$$tmp/ccsubmit" -addr 127.0.0.1:18347 -scenario examples/scenarios/2hwc-vs-2ppc.json >"$$tmp/first.out" && \
+	"$$tmp/ccsubmit" -addr 127.0.0.1:18347 -scenario examples/scenarios/2hwc-vs-2ppc.json >"$$tmp/second.out" && \
+	! grep -q computed "$$tmp/second.out" && grep -q hit "$$tmp/second.out" && \
+	fp="$$(awk 'NR==2{print $$1}' "$$tmp/first.out")" && \
+	"$$tmp/ccsubmit" -addr 127.0.0.1:18347 -fetch "$$fp" | grep -q '"schema": "ccnuma-run/v1"' && \
+	curl -fsS http://127.0.0.1:18347/statusz | grep -q '"quarantined": 0' && \
+	status=0 && echo "serve-smoke: memoized resubmit + artifact fetch OK"; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$status -ne 0 ]; then echo "serve-smoke FAILED"; cat "$$tmp/served.log"; fi; \
+	rm -rf "$$tmp"; exit $$status
+
+# torture-smoke is the crash-safety gate: a real ccserved process is
+# SIGKILLed mid-sweep and restarted for at least 25 seeded cycles; the
+# store must never corrupt, never recompute a completed cell, and every
+# surviving artifact must be byte-identical to an uninterrupted run.
+torture-smoke:
+	$(GO) test -count=1 -run TestKillTorture -v ./internal/serve/
 
 # microbench runs the go-test benchmark suites (paper artifacts at SizeTest
 # plus the engine hot-loop benchmarks in internal/sim).

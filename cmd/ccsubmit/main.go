@@ -1,0 +1,123 @@
+// Command ccsubmit is the ccserved client: it posts a scenario document
+// to a running ccserved, prints the per-cell outcome table, and can fetch
+// stored artifacts by fingerprint. With -wait it honors 429 Retry-After
+// hints instead of failing, so scripted sweeps survive a busy server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"ccnuma/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8347", "ccserved address")
+		scenPath = flag.String("scenario", "", "scenario JSON to submit")
+		fetch    = flag.String("fetch", "", "fetch the artifact for this fingerprint instead of submitting")
+		out      = flag.String("out", "", "write the fetched artifact (or full submit response) here instead of stdout")
+		wait     = flag.Bool("wait", false, "on 429, honor Retry-After and resubmit instead of failing")
+	)
+	flag.Parse()
+	if err := run(*addr, *scenPath, *fetch, *out, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsubmit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scenPath, fetch, out string, wait bool) error {
+	base := "http://" + addr
+	switch {
+	case fetch != "":
+		return fetchArtifact(base, fetch, out)
+	case scenPath != "":
+		return submit(base, scenPath, out, wait)
+	default:
+		return fmt.Errorf("one of -scenario or -fetch is required")
+	}
+}
+
+func submit(base, scenPath, out string, wait bool) error {
+	doc, err := os.ReadFile(scenPath)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := http.Post(base+"/v1/submit", "application/json", bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && wait {
+			delay := 1
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = ra
+			}
+			fmt.Fprintf(os.Stderr, "ccsubmit: server busy, retrying in %ds\n", delay)
+			time.Sleep(time.Duration(delay) * time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+		return report(body, out)
+	}
+}
+
+// report prints the per-cell outcome table and optionally saves the raw
+// response document.
+func report(body []byte, out string) error {
+	var sr serve.SubmitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return fmt.Errorf("submit response: %w", err)
+	}
+	fmt.Printf("submission %s: %d cells\n", sr.Fingerprint, len(sr.Cells))
+	for _, c := range sr.Cells {
+		loc := ""
+		if c.Arch != "" {
+			loc = fmt.Sprintf(" %-6s value=%-6d", c.Arch, c.Value)
+		}
+		switch c.Status {
+		case serve.StatusError:
+			fmt.Printf("  %s%s %-8s [%s] %s\n", c.Fp, loc, c.Status, c.Failure.Class, c.Failure.Message)
+		default:
+			fmt.Printf("  %s%s %-8s exec=%d cycles\n", c.Fp, loc, c.Status, c.ExecCycles)
+		}
+	}
+	if out != "" {
+		return os.WriteFile(out, body, 0o666)
+	}
+	return nil
+}
+
+func fetchArtifact(base, fp, out string) error {
+	resp, err := http.Get(base + "/v1/artifact/" + fp)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: %s: %s", fp, resp.Status, bytes.TrimSpace(body))
+	}
+	if out != "" {
+		return os.WriteFile(out, body, 0o666)
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}

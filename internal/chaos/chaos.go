@@ -86,27 +86,35 @@ func (c *Campaign) RunApp(name string) (int, error) {
 	// not an error: the sweep always runs to completion, exactly like the
 	// serial loop, and failures are reported in schedule order.
 	type scheduleResult struct {
-		sch *fault.Schedule
-		run *stats.Run
-		inj *fault.Injector
-		err error
+		sch  *fault.Schedule
+		run  *stats.Run
+		inj  *fault.Injector
+		fail *obs.FailureDoc
+		err  error
 	}
 	failed := 0
 	applied := map[string]uint64{}
+	var failures []obs.FailureDoc
 	var lastRun *stats.Run
 	_, err = runner.MapStream(context.Background(), c.Jobs, c.Schedules,
 		func(i int) (scheduleResult, error) {
 			seed := c.BaseSeed + int64(c.First+i)
 			sch := fault.Generate(seed, params)
-			r, inj, err := c.runSchedule(name, sch)
-			return scheduleResult{sch: sch, run: r, inj: inj, err: err}, nil
+			r, inj, fail, err := c.runSchedule(name, sch)
+			return scheduleResult{sch: sch, run: r, inj: inj, fail: fail, err: err}, nil
 		},
 		func(i int, res scheduleResult) {
 			s := c.First + i
 			seed := c.BaseSeed + int64(s)
 			if res.err != nil {
 				failed++
-				fmt.Fprintf(c.Out, "%-10s seed=%d FAILED: %v\n", name, seed, res.err)
+				doc := res.fail
+				if doc == nil {
+					doc = machine.ClassifyFailure(res.err)
+				}
+				doc.Seed = seed
+				failures = append(failures, *doc)
+				fmt.Fprintf(c.Out, "%-10s seed=%d FAILED [%s]: %v\n", name, seed, doc.Class, res.err)
 				fmt.Fprintf(c.Out, "  repro: ccchaos -app %s -arch %s -nodes %d -ppn %d -size %s -seed %d -first %d -schedules 1 -events %d\n",
 					name, c.Cfg.ArchName(), c.Cfg.Nodes, c.Cfg.ProcsPerNode, c.SizeName, c.BaseSeed, s, c.Events)
 				fmt.Fprintf(c.Out, "  schedule: %s\n", res.sch)
@@ -135,6 +143,7 @@ func (c *Campaign) RunApp(name string) (int, error) {
 		art.Scenario = c.ScenarioJSON
 		art.ScenarioFingerprint = c.ScenarioFingerprint
 		art.Recovery = obs.NewRecoveryDoc(&c.Cfg, lastRun, applied)
+		art.Recovery.Failures = failures
 		path := filepath.Join(c.JSONDir, "ccchaos-"+name+".json")
 		if err := art.WriteFile(path); err != nil {
 			return failed, err
@@ -167,33 +176,36 @@ func (c *Campaign) pilot(name string) (uint64, sim.Time, error) {
 
 // runSchedule executes one kernel run with the schedule injected and all
 // recovery checks applied: completion, result verification, network drain.
-func (c *Campaign) runSchedule(name string, sch *fault.Schedule) (r *stats.Run, inj *fault.Injector, err error) {
+func (c *Campaign) runSchedule(name string, sch *fault.Schedule) (r *stats.Run, inj *fault.Injector, fail *obs.FailureDoc, err error) {
 	// The recovery machinery is deliberately fail-stop (e.g. an exhausted
 	// retry budget panics); one schedule's failure must not take down the
-	// rest of the sweep.
+	// rest of the sweep. The panic value is classified before it is
+	// flattened to an error, so the artifact records *why* the schedule
+	// failed (retry-budget exhaustion vs an unclassified panic).
 	defer func() {
 		if p := recover(); p != nil {
+			fail = machine.ClassifyFailure(p)
 			r, err = nil, fmt.Errorf("panic: %v", p)
 		}
 	}()
 	m, err := machine.New(c.Cfg, name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	inj = m.InjectFaults(sch)
 	r, err = c.runKernel(m, name)
 	if err != nil {
-		return nil, inj, err
+		return nil, inj, nil, err
 	}
 	if inflight := m.Net.InFlight(); inflight != 0 {
-		return nil, inj, fmt.Errorf("network did not drain: %d frames still in flight", inflight)
+		return nil, inj, nil, fmt.Errorf("network did not drain: %d frames still in flight", inflight)
 	}
 	for n := 0; n < c.Cfg.Nodes; n++ {
 		if q := m.Net.OutQueued(n); q != 0 {
-			return nil, inj, fmt.Errorf("network did not drain: node %d NI still queues %d frames", n, q)
+			return nil, inj, nil, fmt.Errorf("network did not drain: node %d NI still queues %d frames", n, q)
 		}
 	}
-	return r, inj, nil
+	return r, inj, nil, nil
 }
 
 // runKernel builds the seeded workload, runs it, and verifies the result.

@@ -38,6 +38,30 @@ func (cc *Controller) requesterNack(w *work) sim.Time {
 	return occ
 }
 
+// RetryBudgetError is the fail-stop condition of the recovery machinery: a
+// line exhausted its NACK/timeout retry budget, meaning a NACK storm or a
+// transaction lost beyond the link layer's recovery. It is thrown as a
+// panic value (the simulation cannot continue without livelocking
+// silently) so that harnesses which recover sweeps — internal/chaos,
+// internal/serve — can classify the failure as pathological-scenario
+// rather than a transient fault, and record it machine-readably in the
+// ccnuma-run/v1 artifact instead of as a bare string.
+type RetryBudgetError struct {
+	Node     int
+	Line     uint64
+	Attempts int
+	// LastEvent names the event that consumed the final attempt ("NACKed"
+	// or "timed out"); At is the simulated time it fired.
+	LastEvent string
+	At        sim.Time
+}
+
+func (e *RetryBudgetError) Error() string {
+	return fmt.Sprintf(
+		"core: node %d line %#x exhausted its retry budget (%d attempts, last %s at t=%d): NACK storm or lost transaction",
+		e.Node, e.Line, e.Attempts, e.LastEvent, e.At)
+}
+
 // noteAttempt charges one retry against the episode's budget. Exhausting
 // the budget is a fail-stop condition: the line is unserviceable (a NACK
 // storm or a transaction lost beyond the link layer's recovery), and
@@ -45,9 +69,10 @@ func (cc *Controller) requesterNack(w *work) sim.Time {
 func (cc *Controller) noteAttempt(m *mshrEntry, why string) {
 	m.attempts++
 	if b := cc.cfg.RetryBudget; b > 0 && m.attempts > b {
-		panic(fmt.Sprintf(
-			"core: node %d line %#x exhausted its retry budget (%d attempts, last %s at t=%d): NACK storm or lost transaction",
-			cc.node, m.line, m.attempts, why, cc.eng.Now()))
+		panic(&RetryBudgetError{
+			Node: cc.node, Line: m.line, Attempts: m.attempts,
+			LastEvent: why, At: cc.eng.Now(),
+		})
 	}
 }
 

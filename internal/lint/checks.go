@@ -103,6 +103,7 @@ var goroutineAllowed = map[string]bool{
 	"ccnuma/internal/runner": true,
 	"ccnuma/internal/cpu":    true, // workload handoff: Proc runs program bodies
 	"ccnuma/internal/pram":   true, // workload handoff: PRAM reference driver
+	"ccnuma/internal/serve":  true, // host-side daemon: HTTP serving + sweep resume
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -97,6 +97,48 @@ type RecoveryDoc struct {
 	// RetryLatency is the issue-to-fill service-time distribution of
 	// requests that needed at least one retry.
 	RetryLatency HistogramDoc `json:"retryLatency"`
+
+	// Failures classifies the runs of the producing campaign that did NOT
+	// recover, machine-readably: a consumer deciding whether to re-run can
+	// distinguish a pathological scenario (class "retry-budget-exhausted":
+	// the protocol's fail-stop fired, re-running reproduces it) from an
+	// unclassified fault. Empty when every run recovered.
+	Failures []FailureDoc `json:"failures,omitempty"`
+}
+
+// Failure classes. A class is a stable, machine-readable name; Message is
+// the human diagnostic.
+const (
+	// FailureRetryBudget marks the protocol's deterministic fail-stop:
+	// re-running the same scenario reproduces the failure, so retrying is
+	// pointless (the scenario itself is unserviceable).
+	FailureRetryBudget = "retry-budget-exhausted"
+	// FailurePanic is an unclassified panic; FailureError an unclassified
+	// error return. Either may be transient from a harness's point of view
+	// (worth a bounded retry).
+	FailurePanic = "panic"
+	FailureError = "error"
+)
+
+// FailureDoc is one classified run failure in a ccnuma-run/v1 artifact.
+type FailureDoc struct {
+	Class   string `json:"class"`
+	Message string `json:"message"`
+	// Seed identifies the failing run within a seeded campaign (0 outside
+	// one).
+	Seed int64 `json:"seed,omitempty"`
+	// Node/Line/Attempts locate a retry-budget exhaustion (absent for
+	// other classes). Line is hex-formatted for readability.
+	Node     int    `json:"node,omitempty"`
+	Line     string `json:"line,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// Pathological reports whether the failure is deterministic — re-running
+// the identical scenario will fail the same way — so a serving layer must
+// not spend retries on it.
+func (f *FailureDoc) Pathological() bool {
+	return f.Class == FailureRetryBudget
 }
 
 // AttributionDoc is the latency-attribution section of a run artifact:

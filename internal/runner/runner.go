@@ -20,6 +20,10 @@
 //   - On error, the error with the lowest job index wins, and every job
 //     with a smaller index is guaranteed to have completed — so partial
 //     results below the failure point are trustworthy.
+//   - On cancellation, jobs already in flight finish and their results are
+//     recorded; MapPartial's completed markers report exactly which jobs
+//     ran to completion, so a draining caller can account for (journal,
+//     persist) every finished unit of work.
 package runner
 
 import (
@@ -81,12 +85,31 @@ func Map[T any](ctx context.Context, workers, n int, fn func(int) (T, error)) ([
 // jobs not yet started are skipped. All skipped indices are strictly
 // greater than the returned error's index.
 func MapStream[T any](ctx context.Context, workers, n int, fn func(int) (T, error), done func(int, T)) ([]T, error) {
+	results, _, err := MapPartial(ctx, workers, n, fn, done)
+	return results, err
+}
+
+// MapPartial is MapStream with a partial-results marker: completed[i]
+// reports whether job i ran fn to a successful return, so results[i] is a
+// real result rather than a zero value. The distinction only matters on a
+// failed or cancelled run — in-flight jobs are allowed to finish after
+// cancellation, and their results ARE recorded (with completed[i] = true)
+// even though done is no longer invoked for them. Callers that must
+// account for every finished unit of work on shutdown — ccserved's drain
+// journals exactly the cells that completed — consult the marker instead
+// of guessing from the error index.
+//
+// Invariants: completed[i] implies results[i] holds fn(i)'s result;
+// done(i, …) was invoked iff completed[j] for every j <= i and no job
+// <= i failed; on a nil error every entry of completed is true.
+func MapPartial[T any](ctx context.Context, workers, n int, fn func(int) (T, error), done func(int, T)) ([]T, []bool, error) {
 	if n < 0 {
 		panic(fmt.Sprintf("runner: negative job count %d", n))
 	}
 	results := make([]T, n)
+	completed := make([]bool, n)
 	if n == 0 {
-		return results, nil
+		return results, completed, nil
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -98,18 +121,19 @@ func MapStream[T any](ctx context.Context, workers, n int, fn func(int) (T, erro
 		// channels, no goroutines — callers get today's behaviour exactly.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return results, &JobError{Index: i, Err: err}
+				return results, completed, &JobError{Index: i, Err: err}
 			}
 			r, err := runJob(i, fn)
 			if err != nil {
-				return results, err
+				return results, completed, err
 			}
 			results[i] = r
+			completed[i] = true
 			if done != nil {
 				done(i, r)
 			}
 		}
-		return results, nil
+		return results, completed, nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -161,8 +185,9 @@ func MapStream[T any](ctx context.Context, workers, n int, fn func(int) (T, erro
 
 	// Collect in index order on the calling goroutine. The first error
 	// cancels the feeder; collection continues (jobs already dispatched
-	// still post outcomes) but done is no longer invoked and the first
-	// error — necessarily the lowest-index one — is kept.
+	// still post outcomes, and are marked completed) but done is no longer
+	// invoked and the first error — necessarily the lowest-index one — is
+	// kept.
 	var firstErr error
 	for i := 0; i < n; i++ {
 		o := <-outcomes[i]
@@ -174,12 +199,13 @@ func MapStream[T any](ctx context.Context, workers, n int, fn func(int) (T, erro
 			continue
 		}
 		results[i] = o.result
+		completed[i] = true
 		if firstErr == nil && done != nil {
 			done(i, o.result)
 		}
 	}
 	wg.Wait()
-	return results, firstErr
+	return results, completed, firstErr
 }
 
 // runJob invokes fn(i) with panic capture, reporting the job's busy window

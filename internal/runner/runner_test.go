@@ -202,6 +202,102 @@ func TestMapCancelledBeforeStart(t *testing.T) {
 	}
 }
 
+func TestMapPartialAllCompletedOnSuccess(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, completed, err := MapPartial(context.Background(), workers, 40, func(i int) (int, error) {
+			return i + 1, nil
+		}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range completed {
+			if !completed[i] {
+				t.Fatalf("workers=%d: completed[%d] = false on a clean run", workers, i)
+			}
+			if got[i] != i+1 {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, got[i], i+1)
+			}
+		}
+	}
+}
+
+// TestMapPartialMarksInFlightCompletions is the ccserved-drain contract:
+// after cancellation, jobs already in flight finish, and every job the
+// marker reports as completed carries a real result — even jobs above the
+// error index, whose results MapStream callers cannot distinguish from
+// zero values.
+func TestMapPartialMarksInFlightCompletions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 200
+	release := make(chan struct{})
+	var started atomic.Int64
+	var finished [n]atomic.Bool
+	_, completed, err := MapPartial(ctx, 4, n, func(i int) (int, error) {
+		if i == 0 {
+			// Wait until the other three workers hold jobs, so cancellation
+			// provably lands while jobs are in flight.
+			for started.Load() < 3 {
+				runtime.Gosched()
+			}
+			cancel()
+			close(release) // then let the in-flight jobs finish
+			return 0, ctx.Err()
+		}
+		started.Add(1)
+		<-release
+		finished[i].Store(true)
+		return i * 10, nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	// Every job that ran fn to completion must be marked, and only those.
+	for i := 1; i < n; i++ {
+		if completed[i] != finished[i].Load() {
+			t.Fatalf("completed[%d] = %v, but job finished = %v", i, completed[i], finished[i].Load())
+		}
+	}
+	if completed[0] {
+		t.Fatal("completed[0] = true for the failing job")
+	}
+	marked := 0
+	for _, c := range completed {
+		if c {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no in-flight job was marked completed after cancellation")
+	}
+	if marked == n-1 {
+		t.Fatal("every job completed; cancellation skipped nothing")
+	}
+}
+
+func TestMapPartialResultsMatchMarkers(t *testing.T) {
+	// Results for completed jobs must be the real fn results; uncompleted
+	// slots hold the zero value.
+	boom := errors.New("boom")
+	results, completed, err := MapPartial(context.Background(), 4, 100, func(i int) (int, error) {
+		if i == 30 {
+			return 0, boom
+		}
+		return i + 1000, nil
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	for i, c := range completed {
+		if c && results[i] != i+1000 {
+			t.Fatalf("completed[%d] set but results[%d] = %d", i, i, results[i])
+		}
+		if !c && results[i] != 0 {
+			t.Fatalf("completed[%d] clear but results[%d] = %d (not zero)", i, i, results[i])
+		}
+	}
+}
+
 func TestWorkers(t *testing.T) {
 	if Workers(3) != 3 {
 		t.Fatal("Workers(3) != 3")

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ccnuma/internal/obs"
+	"ccnuma/internal/scenario"
+	"ccnuma/internal/store"
+)
+
+// maxSubmitBytes bounds a submitted scenario document; real scenarios are
+// a few hundred bytes, so 1 MiB is generous without being a DoS vector.
+const maxSubmitBytes = 1 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("GET /v1/artifact/{fp}", s.handleArtifact)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+// apiError is the machine-readable error body for non-2xx responses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// handleSubmit accepts a ccnuma-scenario/v1 document and blocks until
+// every cell is served (hit), computed, or failed. Overload is a 429 with
+// a Retry-After estimate; drain is a 503.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if len(body) > maxSubmitBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{Error: fmt.Sprintf("scenario document exceeds %d bytes", maxSubmitBytes)})
+		return
+	}
+	spec, err := scenario.LoadBytes(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	resp, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errRejected):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
+}
+
+// handleArtifact serves stored ccnuma-run/v1 bytes verbatim. The store
+// verifies the object hash on every read, so a 200 body is guaranteed
+// uncorrupted.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	payload, ok, err := s.store.Get(fp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no artifact for fingerprint " + fp})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+// handleHealthz reports process liveness: 200 whenever the process can
+// answer at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports willingness to accept new work: 503 while
+// draining or while the admission queue is saturated, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, queued := s.draining, s.queued
+	depth := s.cfg.QueueDepth
+	s.mu.Unlock()
+	switch {
+	case draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case queued >= depth:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "saturated: %d/%d cells queued\n", queued, depth)
+	default:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	}
+}
+
+// statusDoc is the /statusz body: serving counters, the admission queue,
+// the store's live stats and startup recovery report, pool utilization,
+// and the latest computed cell's sample rows.
+type statusDoc struct {
+	Schema   string             `json:"schema"`
+	Draining bool               `json:"draining"`
+	Queued   int                `json:"queued"`
+	Depth    int                `json:"queueDepth"`
+	Counters Counters           `json:"counters"`
+	Store    store.Stats        `json:"store"`
+	Recovery *store.Recovery    `json:"recovery"`
+	Pool     *obs.RunnerUtilDoc `json:"pool,omitempty"`
+	Samples  []obs.Sample       `json:"samples,omitempty"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := statusDoc{
+		Schema:   "ccnuma-servestatus/v1",
+		Draining: s.draining,
+		Queued:   s.queued,
+		Depth:    s.cfg.QueueDepth,
+		Counters: s.counters,
+		Recovery: s.Recovery,
+		Samples:  append([]obs.Sample(nil), s.samples...),
+	}
+	s.mu.Unlock()
+	doc.Store = s.store.StatsSnapshot()
+	doc.Pool = obs.NewRunnerUtilDoc(s.usage, 8)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// probeExecCycles pulls the headline metric out of a stored artifact
+// without decoding the full document.
+func probeExecCycles(payload []byte) int64 {
+	var probe struct {
+		Metrics struct {
+			ExecCycles int64 `json:"execCycles"`
+		} `json:"metrics"`
+	}
+	if json.Unmarshal(payload, &probe) != nil {
+		return 0
+	}
+	return probe.Metrics.ExecCycles
+}

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// errInjected is what the crash seam returns; the aborted operation leaves
+// the disk exactly as a SIGKILL at that instant would.
+var errInjected = errors.New("injected crash")
+
+// failOnce returns a FailPoint hook that fires at the first occurrence of
+// point p and never again (so a Put reaches p even when an earlier step
+// shares the same journal-append seam).
+func failOnce(p CrashPoint) func(CrashPoint) error {
+	fired := false
+	return func(q CrashPoint) error {
+		if q == p && !fired {
+			fired = true
+			return errInjected
+		}
+		return nil
+	}
+}
+
+// TestCrashInterleavings drives the write protocol into a crash at every
+// point of the seam and proves the recovery invariant: after reopening,
+// the key is either absent or complete-and-verified — never torn — a
+// previously completed key is never lost, the recovery pass never
+// quarantines anything (quarantine is for disk corruption, which a crash
+// cannot produce), and a retried Put then succeeds.
+func TestCrashInterleavings(t *testing.T) {
+	payload := []byte(`{"cell":"artifact bytes, long enough to tear in half"}`)
+	const prior = "00000000aaaaaaaa" // completed before the crash
+	const fp = "00000000bbbbbbbb"    // the Put that crashes
+
+	cases := []struct {
+		point CrashPoint
+		// complete reports whether the object must survive the crash: true
+		// once the rename published it (only the bookkeeping after the
+		// rename can be lost), false before.
+		complete bool
+	}{
+		{CrashJournalAppend, false},
+		{CrashMidTempWrite, false},
+		{CrashBeforeTempSync, false},
+		{CrashBeforeRename, false},
+		{CrashBeforeDirSync, true},
+		{CrashBeforeJournalDone, true},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.point), func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := open(t, dir)
+			if err := s.Put(prior, []byte("prior artifact")); err != nil {
+				t.Fatal(err)
+			}
+			s.FailPoint = failOnce(tc.point)
+			if err := s.Put(fp, payload); !errors.Is(err, errInjected) {
+				t.Fatalf("Put under crash at %s: err = %v, want injected crash", tc.point, err)
+			}
+			// SIGKILL: the store is abandoned, not Closed.
+
+			s2, rec := open(t, dir)
+			defer s2.Close()
+			if rec.Quarantined != 0 {
+				t.Fatalf("crash at %s quarantined %d objects; a crash must never corrupt", tc.point, rec.Quarantined)
+			}
+
+			// The previously completed key survives every interleaving.
+			got, ok, err := s2.Get(prior)
+			if err != nil || !ok || string(got) != "prior artifact" {
+				t.Fatalf("prior key lost after crash at %s: ok=%v err=%v", tc.point, ok, err)
+			}
+
+			got, ok, err = s2.Get(fp)
+			if err != nil {
+				t.Fatalf("Get after crash at %s: %v (torn state survived recovery)", tc.point, err)
+			}
+			if ok != tc.complete {
+				t.Fatalf("crash at %s: complete=%v, want %v", tc.point, ok, tc.complete)
+			}
+			if ok && !bytes.Equal(got, payload) {
+				t.Fatalf("crash at %s: recovered payload %q != put payload", tc.point, got)
+			}
+			if !ok {
+				// An interrupted write that journaled its begin is reported
+				// for the serving layer; one that crashed before the begin
+				// record is simply absent.
+				if tc.point != CrashJournalAppend && len(rec.Interrupted) != 1 {
+					t.Fatalf("crash at %s: Interrupted = %v, want [%s]", tc.point, rec.Interrupted, fp)
+				}
+			}
+
+			// A retried Put converges to complete and verified.
+			if err := s2.Put(fp, payload); err != nil {
+				t.Fatalf("retried Put after crash at %s: %v", tc.point, err)
+			}
+			got, ok, err = s2.Get(fp)
+			if err != nil || !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("Get after retried Put at %s: ok=%v err=%v", tc.point, ok, err)
+			}
+		})
+	}
+}
+
+// TestCrashDuringSweepJournal crashes the sweep-accept append and proves
+// the sweep is either pending or absent after recovery, and re-journalable.
+func TestCrashDuringSweepJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	s.FailPoint = failOnce(CrashJournalAppend)
+	const fp = "00000000cccccccc"
+	if err := s.BeginSweep(fp, []byte("spec")); !errors.Is(err, errInjected) {
+		t.Fatalf("BeginSweep under crash: %v", err)
+	}
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if len(rec.PendingSweeps) != 0 {
+		t.Fatalf("sweep whose accept append crashed is pending: %+v", rec.PendingSweeps)
+	}
+	if err := s2.BeginSweep(fp, []byte("spec")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedCrashesConverge rains a crash on every Put of a batch, then
+// retries each; the store must end complete and verified with no residue
+// beyond the quarantine-free recovery reports.
+func TestRepeatedCrashesConverge(t *testing.T) {
+	dir := t.TempDir()
+	points := []CrashPoint{
+		CrashJournalAppend, CrashMidTempWrite, CrashBeforeTempSync,
+		CrashBeforeRename, CrashBeforeDirSync, CrashBeforeJournalDone,
+	}
+	for round, p := range points {
+		s, rec := open(t, dir)
+		if rec.Quarantined != 0 {
+			t.Fatalf("round %d: quarantined %d", round, rec.Quarantined)
+		}
+		fp := fmt.Sprintf("%016x", round+0xd00)
+		s.FailPoint = failOnce(p)
+		if err := s.Put(fp, []byte("payload")); !errors.Is(err, errInjected) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Abandon (crash), reopen, retry to completion, crash again on the
+		// NEXT round's open — every round inherits the previous wreckage.
+		s2, _ := open(t, dir)
+		if err := s2.Put(fp, []byte("payload")); err != nil {
+			t.Fatalf("round %d retry: %v", round, err)
+		}
+		// Abandoned without Close: the next round's recovery must cope
+		// with an uncheckpointed journal too.
+	}
+	s, rec := open(t, dir)
+	defer s.Close()
+	if rec.Quarantined != 0 || rec.Objects != len(points) {
+		t.Fatalf("final recovery: %+v", rec)
+	}
+	for round := range points {
+		fp := fmt.Sprintf("%016x", round+0xd00)
+		if got, ok, err := s.Get(fp); err != nil || !ok || string(got) != "payload" {
+			t.Fatalf("final Get(%s): ok=%v err=%v", fp, ok, err)
+		}
+	}
+}
+
+// TestTmpResidueNeverPublished proves a torn temp file is discarded, not
+// promoted: recovery must not move tmp/ leftovers into objects/.
+func TestTmpResidueNeverPublished(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	s.FailPoint = failOnce(CrashBeforeRename)
+	const fp = "00000000eeeeeeee"
+	if err := s.Put(fp, []byte("fully written, synced, never renamed")); !errors.Is(err, errInjected) {
+		t.Fatal("expected injected crash")
+	}
+	// The temp file exists and would even verify — but it was never
+	// published, so recovery must discard it.
+	tmps, _ := os.ReadDir(filepath.Join(dir, "tmp"))
+	if len(tmps) != 1 {
+		t.Fatalf("expected 1 temp leftover, found %d", len(tmps))
+	}
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.TmpDiscarded != 1 {
+		t.Fatalf("TmpDiscarded = %d, want 1", rec.TmpDiscarded)
+	}
+	if _, ok, _ := s2.Get(fp); ok {
+		t.Fatal("unpublished temp file was promoted to an object")
+	}
+}

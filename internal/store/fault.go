@@ -1,0 +1,38 @@
+package store
+
+// CrashPoint names one step of the store's write protocol. The FailPoint
+// seam injects a failure at the named step, leaving the on-disk state
+// exactly as a crash there would: no cleanup runs, the operation simply
+// stops. The crash-interleaving tests drive every point and prove the
+// recovery pass restores each one to "absent" or "complete and verified",
+// never torn.
+type CrashPoint string
+
+const (
+	// CrashJournalAppend fires before any journal record is written (the
+	// begin record of a Put, the done record, or a sweep record).
+	CrashJournalAppend CrashPoint = "journal-append"
+	// CrashMidTempWrite fires after half the payload has been written to
+	// the temp file — the canonical torn write.
+	CrashMidTempWrite CrashPoint = "temp-write"
+	// CrashBeforeTempSync fires after the payload is fully written but
+	// before the temp file is fsynced.
+	CrashBeforeTempSync CrashPoint = "temp-sync"
+	// CrashBeforeRename fires after the temp file is durable but before it
+	// is renamed into objects/.
+	CrashBeforeRename CrashPoint = "rename"
+	// CrashBeforeDirSync fires after the rename but before the directory
+	// entry is fsynced.
+	CrashBeforeDirSync CrashPoint = "dir-sync"
+	// CrashBeforeJournalDone fires after the object is fully durable but
+	// before the done record is appended.
+	CrashBeforeJournalDone CrashPoint = "journal-done"
+)
+
+// failAt consults the installed fault hook (nil outside tests).
+func (s *Store) failAt(p CrashPoint) error {
+	if s.FailPoint == nil {
+		return nil
+	}
+	return s.FailPoint(p)
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The write-ahead journal is an append-only file of JSON records, one per
+// line, each sealed with a checksum over its own fields. It records
+// intent, not data: which cell fingerprints have a write in flight
+// ("begin" without a matching "done") and which sweep submissions were
+// accepted but not finished ("sweep" without "sweepdone"). The artifact
+// bytes themselves live only in self-verifying object files, so the
+// journal never needs to be trusted for content — a lost or truncated
+// journal can cost knowledge of in-flight work, never integrity.
+//
+// Because appends are not atomic, a crash can leave a torn final record.
+// The checksum makes torn records detectable, and the append-only
+// discipline makes them safe to drop: a record is only unreadable if the
+// crash happened while it was being written, so everything after the first
+// unreadable byte is part of the same interrupted append and the journal
+// is truncated there on recovery.
+
+// Journal operation names.
+const (
+	opBegin     = "begin"     // cell fp has a write in flight
+	opDone      = "done"      // cell fp's object is durable
+	opSweep     = "sweep"     // sweep fp accepted; spec carries its scenario
+	opSweepDone = "sweepdone" // sweep fp fully served
+)
+
+// record is one journal line.
+type record struct {
+	Op string `json:"op"`
+	Fp string `json:"fp"`
+	// Spec is the canonical scenario document of a sweep record
+	// (base64-encoded by encoding/json), empty otherwise.
+	Spec []byte `json:"spec,omitempty"`
+	// Sum seals the record: the first 8 hex digits of the SHA-256 over
+	// op, fp, and spec. A mismatch marks a torn append.
+	Sum string `json:"sum"`
+}
+
+func recordSum(op, fp string, spec []byte) string {
+	h := sha256.New()
+	io.WriteString(h, op)
+	h.Write([]byte{0})
+	io.WriteString(h, fp)
+	h.Write([]byte{0})
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil))[:8]
+}
+
+// appendRecord marshals, appends, and fsyncs one sealed record.
+func (s *Store) appendRecord(op, fp string, spec []byte) error {
+	if err := s.failAt(CrashJournalAppend); err != nil {
+		return err
+	}
+	r := record{Op: op, Fp: fp, Spec: spec, Sum: recordSum(op, fp, spec)}
+	line, err := json.Marshal(&r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := s.syncFile(s.journal); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}
+
+// journalState is what a parse recovers: the fingerprints with begun or
+// completed cell writes and the accepted sweeps, in first-seen order.
+type journalState struct {
+	begun     map[string]bool
+	done      map[string]bool
+	sweeps    map[string][]byte // sweep fp -> canonical spec
+	sweepDone map[string]bool
+	sweepSeq  []string // sweeps in journal order, for deterministic resume
+	records   int
+	tornBytes int64
+}
+
+// parseJournal reads path, tolerating a torn tail: the state up to the
+// first unreadable record is returned, and the file is truncated there so
+// the next append starts on a record boundary. A missing journal is an
+// empty one.
+func parseJournal(path string) (*journalState, error) {
+	st := &journalState{
+		begun:     map[string]bool{},
+		done:      map[string]bool{},
+		sweeps:    map[string][]byte{},
+		sweepDone: map[string]bool{},
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+
+	good := int64(0) // byte offset of the end of the last readable record
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated final record: torn append
+		}
+		line := rest[:nl]
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			break // unparsable record: torn append
+		}
+		if r.Sum != recordSum(r.Op, r.Fp, r.Spec) {
+			break // seal mismatch: torn append
+		}
+		switch r.Op {
+		case opBegin:
+			st.begun[r.Fp] = true
+		case opDone:
+			st.done[r.Fp] = true
+		case opSweep:
+			if _, seen := st.sweeps[r.Fp]; !seen {
+				st.sweepSeq = append(st.sweepSeq, r.Fp)
+			}
+			st.sweeps[r.Fp] = r.Spec
+		case opSweepDone:
+			st.sweepDone[r.Fp] = true
+		default:
+			// A sealed record with an unknown op came from a newer writer;
+			// skipping it loses only that writer's bookkeeping.
+		}
+		st.records++
+		good += int64(nl) + 1
+		rest = rest[nl+1:]
+	}
+	if good < int64(len(data)) {
+		st.tornBytes = int64(len(data)) - good
+		if err := os.Truncate(path, good); err != nil {
+			return nil, fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,453 @@
+// Package store is a crash-safe, content-addressed artifact store: the
+// durability layer under ccserved. Objects are keyed by scenario
+// fingerprint (the canonical hash internal/scenario assigns every
+// experiment), written with the classic atomic-write discipline — temp
+// file, fsync, rename, directory fsync — and framed self-verifyingly, so a
+// read either returns exactly the bytes that were put or detects
+// corruption. A write-ahead journal records in-flight cell writes and
+// accepted-but-unfinished sweep submissions; the recovery pass at Open
+// discards torn temp files, truncates a torn journal tail, verifies every
+// object, quarantines anything corrupt, and replays the journal against
+// the surviving objects, so a process killed at any instant restarts into
+// a store that is consistent by construction: every key is either absent
+// or complete and verified, never torn.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// objectMagic frames an object file: "ccstore/v1 <sha256> <len>\n" followed
+// by exactly len payload bytes. The header binds the payload to its hash,
+// making every object self-verifying without a sidecar file that could
+// desynchronize.
+const objectMagic = "ccstore/v1"
+
+// fpPat constrains keys to scenario fingerprints (and keeps them safe as
+// file names).
+var fpPat = regexp.MustCompile(`^[0-9a-f]{8,64}$`)
+
+// Store is a content-addressed artifact store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	// FailPoint, when non-nil, is the crash-injection seam: it is consulted
+	// at every CrashPoint of the write protocol, and a non-nil return
+	// aborts the operation with no cleanup, modeling a crash at that
+	// instant. Install it only before the store is shared (tests).
+	FailPoint func(CrashPoint) error
+
+	dir     string
+	mu      sync.Mutex
+	journal *os.File
+	// complete holds the fingerprints whose objects were present and
+	// verified at recovery or written successfully since.
+	complete map[string]bool
+	// inflight holds fingerprints with a begin record but no completed
+	// object (this process's active Puts plus interrupted ones inherited
+	// from the journal).
+	inflight map[string]bool
+	// sweeps holds accepted-but-unfinished sweep submissions.
+	sweeps   map[string][]byte
+	sweepSeq []string
+	stats    Stats
+	noSync   bool
+}
+
+// Stats counts store activity since Open.
+type Stats struct {
+	Objects     int    `json:"objects"`     // verified complete objects
+	InFlight    int    `json:"inFlight"`    // begun, not completed
+	Puts        uint64 `json:"puts"`        // successful writes this process
+	Gets        uint64 `json:"gets"`        // successful verified reads
+	VerifyFails uint64 `json:"verifyFails"` // corrupt objects detected (and quarantined)
+}
+
+// Recovery reports what the startup pass found and repaired.
+type Recovery struct {
+	JournalRecords int   `json:"journalRecords"`
+	TornTailBytes  int64 `json:"tornTailBytes"` // journal bytes dropped as a torn append
+	TmpDiscarded   int   `json:"tmpDiscarded"`  // torn temp files removed
+	Objects        int   `json:"objects"`       // objects present and verified
+	Quarantined    int   `json:"quarantined"`   // corrupt objects moved aside
+	// ReplayedDone counts begin records whose object proved durable even
+	// though the done record was lost (crash between rename and journal
+	// append); recovery re-marks them complete.
+	ReplayedDone int `json:"replayedDone"`
+	// Interrupted lists cell fingerprints that were mid-write at the
+	// crash: begun, never completed. They are absent from the store and
+	// will be recomputed on demand.
+	Interrupted []string `json:"interrupted,omitempty"`
+	// PendingSweeps are sweep submissions accepted but not finished, in
+	// journal order; the serving layer resumes them.
+	PendingSweeps []PendingSweep `json:"pendingSweeps,omitempty"`
+}
+
+// PendingSweep is one journaled, unfinished sweep submission.
+type PendingSweep struct {
+	Fp   string `json:"fp"`
+	Spec []byte `json:"spec"`
+}
+
+// Open opens (creating if needed) the store rooted at dir and runs the
+// recovery pass. It returns the store and a report of what recovery found.
+func Open(dir string) (*Store, *Recovery, error) {
+	s := &Store{
+		dir:      dir,
+		complete: map[string]bool{},
+		inflight: map[string]bool{},
+		sweeps:   map[string][]byte{},
+	}
+	for _, d := range []string{dir, s.objectsDir(), s.tmpDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// recover ends with a checkpoint, which leaves s.journal open for
+	// appending.
+	rec, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.dir, "objects") }
+func (s *Store) tmpDir() string        { return filepath.Join(s.dir, "tmp") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+func (s *Store) journalPath() string   { return filepath.Join(s.dir, "journal.wal") }
+func (s *Store) objectPath(fp string) string {
+	return filepath.Join(s.objectsDir(), fp+".obj")
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Has reports whether fp is complete and verified.
+func (s *Store) Has(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.complete[fp]
+}
+
+// Keys returns the complete fingerprints, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.complete))
+	for fp := range s.complete {
+		keys = append(keys, fp)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// StatsSnapshot returns a copy of the store's counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Objects = len(s.complete)
+	st.InFlight = len(s.inflight)
+	return st
+}
+
+// Get returns the verified payload for fp. ok is false when fp is absent.
+// A non-nil error means the object existed but failed verification; it has
+// been quarantined and fp now reads as absent.
+func (s *Store) Get(fp string) (payload []byte, ok bool, err error) {
+	if !fpPat.MatchString(fp) {
+		return nil, false, fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.complete[fp] {
+		return nil, false, nil
+	}
+	payload, err = readObject(s.objectPath(fp))
+	if err != nil {
+		// The object was verified at recovery (or written by us) and is now
+		// unreadable: disk-level corruption. Quarantine it and drop the key
+		// rather than ever serving bad bytes.
+		s.stats.VerifyFails++
+		delete(s.complete, fp)
+		qerr := s.quarantineLocked(s.objectPath(fp))
+		return nil, false, fmt.Errorf("store: object %s failed verification (quarantined): %w (quarantine: %v)", fp, err, qerr)
+	}
+	s.stats.Gets++
+	return payload, true, nil
+}
+
+// Put makes payload durable under fp using the journaled atomic-write
+// protocol: journal begin → temp write → fsync → rename → directory fsync
+// → journal done. A Put of an already-complete fp is a no-op (the store is
+// content-addressed: one fingerprint, one payload).
+func (s *Store) Put(fp string, payload []byte) error {
+	if !fpPat.MatchString(fp) {
+		return fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.complete[fp] {
+		return nil
+	}
+
+	if err := s.appendRecord(opBegin, fp, nil); err != nil {
+		return err
+	}
+	s.inflight[fp] = true
+
+	if err := s.writeObjectLocked(fp, payload); err != nil {
+		return err
+	}
+
+	if err := s.failAt(CrashBeforeJournalDone); err != nil {
+		return err
+	}
+	if err := s.appendRecord(opDone, fp, nil); err != nil {
+		return err
+	}
+	delete(s.inflight, fp)
+	s.complete[fp] = true
+	s.stats.Puts++
+	return nil
+}
+
+// writeObjectLocked performs the atomic object write below the journal.
+func (s *Store) writeObjectLocked(fp string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d\n", objectMagic, hex.EncodeToString(sum[:]), len(payload))
+
+	tmp, err := os.CreateTemp(s.tmpDir(), fp+".*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	// No deferred cleanup: an abort at a crash point must leave the disk
+	// exactly as a crash would; recovery discards tmp/ leftovers.
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: temp write: %w", err)
+	}
+	if ferr := s.failAt(CrashMidTempWrite); ferr != nil {
+		tmp.Write(payload[:len(payload)/2])
+		tmp.Close()
+		return ferr
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: temp write: %w", err)
+	}
+	if ferr := s.failAt(CrashBeforeTempSync); ferr != nil {
+		tmp.Close()
+		return ferr
+	}
+	if err := s.syncFile(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: temp sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: temp close: %w", err)
+	}
+	if ferr := s.failAt(CrashBeforeRename); ferr != nil {
+		return ferr
+	}
+	if err := os.Rename(tmp.Name(), s.objectPath(fp)); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	if ferr := s.failAt(CrashBeforeDirSync); ferr != nil {
+		return ferr
+	}
+	if err := s.syncDir(s.objectsDir()); err != nil {
+		return fmt.Errorf("store: directory sync: %w", err)
+	}
+	return nil
+}
+
+// BeginSweep journals an accepted sweep submission: fp is the submitted
+// spec's fingerprint, spec its canonical bytes. After a crash, recovery
+// surfaces it as pending so the serving layer can resume it.
+func (s *Store) BeginSweep(fp string, spec []byte) error {
+	if !fpPat.MatchString(fp) {
+		return fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.sweeps[fp]; !seen {
+		s.sweepSeq = append(s.sweepSeq, fp)
+	}
+	s.sweeps[fp] = spec
+	return s.appendRecord(opSweep, fp, spec)
+}
+
+// EndSweep journals a sweep as fully served.
+func (s *Store) EndSweep(fp string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sweeps[fp]; !ok {
+		return nil
+	}
+	delete(s.sweeps, fp)
+	return s.appendRecord(opSweepDone, fp, nil)
+}
+
+// Checkpoint compacts the journal to the live state only: begin records
+// for in-flight cells and sweep records for unfinished submissions.
+// Everything else — done pairs, finished sweeps, any torn-tail slack — is
+// dropped. Graceful shutdown checkpoints so restart recovery replays a
+// minimal journal.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	var buf strings.Builder
+	write := func(op, fp string, spec []byte) {
+		r := record{Op: op, Fp: fp, Spec: spec, Sum: recordSum(op, fp, spec)}
+		line, err := json.Marshal(&r)
+		if err == nil {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+	}
+	for _, fp := range s.sweepSeq {
+		if spec, ok := s.sweeps[fp]; ok {
+			write(opSweep, fp, spec)
+		}
+	}
+	inflight := make([]string, 0, len(s.inflight))
+	for fp := range s.inflight {
+		inflight = append(inflight, fp)
+	}
+	sort.Strings(inflight)
+	for _, fp := range inflight {
+		write(opBegin, fp, nil)
+	}
+
+	tmp := s.journalPath() + ".tmp"
+	if err := os.WriteFile(tmp, []byte(buf.String()), 0o666); err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := s.syncPath(tmp); err != nil {
+		return fmt.Errorf("store: checkpoint sync: %w", err)
+	}
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	if err := os.Rename(tmp, s.journalPath()); err != nil {
+		return fmt.Errorf("store: checkpoint rename: %w", err)
+	}
+	if err := s.syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: checkpoint dir sync: %w", err)
+	}
+	j, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint reopen: %w", err)
+	}
+	s.journal = j
+	return nil
+}
+
+// Close checkpoints the journal and releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.checkpointLocked()
+	cerr := s.journal.Close()
+	s.journal = nil
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// quarantineLocked moves a corrupt file into quarantine/ under a unique
+// name, so the evidence survives without ever being served again.
+func (s *Store) quarantineLocked(path string) error {
+	base := filepath.Base(path)
+	for i := 0; ; i++ {
+		dst := filepath.Join(s.quarantineDir(), base)
+		if i > 0 {
+			dst += "." + strconv.Itoa(i)
+		}
+		if _, err := os.Lstat(dst); err == nil {
+			continue
+		}
+		return os.Rename(path, dst)
+	}
+}
+
+func (s *Store) syncFile(f *os.File) error {
+	if s.noSync {
+		return nil
+	}
+	return f.Sync()
+}
+
+func (s *Store) syncPath(path string) error {
+	if s.noSync {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Store) syncDir(dir string) error {
+	return s.syncPath(dir)
+}
+
+// readObject reads and verifies one object file: header parse, length
+// check, SHA-256 match.
+func readObject(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != objectMagic {
+		return nil, fmt.Errorf("bad header %q", string(data[:nl]))
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad header length: %w", err)
+	}
+	payload := data[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("payload %d bytes, header says %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return nil, fmt.Errorf("sha256 mismatch")
+	}
+	return payload, nil
+}

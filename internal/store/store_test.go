@@ -1,0 +1,290 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, rec := open(t, t.TempDir())
+	defer s.Close()
+	if rec.Objects != 0 || rec.JournalRecords != 0 {
+		t.Fatalf("fresh store recovered state: %+v", rec)
+	}
+	payload := []byte(`{"schema":"ccnuma-run/v1","fake":true}`)
+	const fp = "00deadbeef00cafe"
+	if err := s.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(fp) {
+		t.Fatal("Has after Put = false")
+	}
+	got, ok, err := s.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get returned %q, want %q", got, payload)
+	}
+	if _, ok, _ := s.Get("ffffffffffffffff"); ok {
+		t.Fatal("Get of absent key reported ok")
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	defer s.Close()
+	const fp = "0123456789abcdef"
+	if err := s.Put(fp, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Content-addressed: a second Put of a complete fp is a no-op, even
+	// with different bytes (the fingerprint IS the identity; disagreeing
+	// bytes would mean the caller broke the fingerprint contract).
+	if err := s.Put(fp, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.StatsSnapshot(); st.Puts != 1 || st.Objects != 1 {
+		t.Fatalf("stats after duplicate Put: %+v", st)
+	}
+}
+
+func TestInvalidFingerprintRejected(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	defer s.Close()
+	for _, fp := range []string{"", "UPPER", "short", "../../etc/passwd", "0123456789abcdeg"} {
+		if err := s.Put(fp, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted an invalid fingerprint", fp)
+		}
+		if _, _, err := s.Get(fp); err == nil {
+			t.Fatalf("Get(%q) accepted an invalid fingerprint", fp)
+		}
+	}
+}
+
+func TestReopenRecoversObjects(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	var fps []string
+	for i := 0; i < 5; i++ {
+		fp := fmt.Sprintf("%016x", i+1)
+		fps = append(fps, fp)
+		if err := s.Put(fp, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.Objects != 5 || rec.Quarantined != 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	for i, fp := range fps {
+		got, ok, err := s2.Get(fp)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", fp, ok, err)
+		}
+		if want := fmt.Sprintf("payload-%d", i); string(got) != want {
+			t.Fatalf("Get(%s) = %q, want %q", fp, got, want)
+		}
+	}
+	if got := s2.Keys(); len(got) != 5 {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestCorruptObjectQuarantinedAtRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	const fp = "00000000000000aa"
+	if err := s.Put(fp, []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip payload bytes on disk: header hash no longer matches.
+	path := filepath.Join(dir, "objects", fp+".obj")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.Quarantined != 1 || rec.Objects != 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if _, ok, err := s2.Get(fp); ok || err != nil {
+		t.Fatalf("corrupt object still served: ok=%v err=%v", ok, err)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err=%v", len(q), err)
+	}
+}
+
+func TestCorruptObjectDetectedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	defer s.Close()
+	const fp = "00000000000000bb"
+	if err := s.Put(fp, []byte("will rot")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt behind the running store's back (disk rot).
+	path := filepath.Join(dir, "objects", fp+".obj")
+	if err := os.WriteFile(path, []byte("ccstore/v1 junk"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp); ok || err == nil {
+		t.Fatalf("first Get of rotted object: ok=%v err=%v (want detection error)", ok, err)
+	}
+	// Detection quarantines and drops the key: subsequent reads are clean
+	// absences, never bad bytes.
+	if _, ok, err := s.Get(fp); ok || err != nil {
+		t.Fatalf("second Get: ok=%v err=%v (want plain absent)", ok, err)
+	}
+	if st := s.StatsSnapshot(); st.VerifyFails != 1 {
+		t.Fatalf("VerifyFails = %d, want 1", st.VerifyFails)
+	}
+}
+
+func TestTornJournalTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	const fp = "00000000000000cc"
+	if err := s.Put(fp, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginSweep("00000000000000dd", []byte(`{"spec":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage after the last good record. The
+	// store is deliberately not Closed (a Close would checkpoint).
+	jp := filepath.Join(dir, "journal.wal")
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"done","fp":"0000000`) // torn mid-record
+	f.Close()
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.TornTailBytes == 0 {
+		t.Fatalf("torn tail not detected: %+v", rec)
+	}
+	if rec.Objects != 1 {
+		t.Fatalf("object lost: %+v", rec)
+	}
+	if len(rec.PendingSweeps) != 1 || rec.PendingSweeps[0].Fp != "00000000000000dd" {
+		t.Fatalf("pending sweep lost: %+v", rec.PendingSweeps)
+	}
+	if string(rec.PendingSweeps[0].Spec) != `{"spec":1}` {
+		t.Fatalf("sweep spec corrupted: %q", rec.PendingSweeps[0].Spec)
+	}
+}
+
+func TestSweepLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	if err := s.BeginSweep("00000000000000ee", []byte("spec-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginSweep("00000000000000ef", []byte("spec-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndSweep("00000000000000ee"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if len(rec.PendingSweeps) != 1 || rec.PendingSweeps[0].Fp != "00000000000000ef" {
+		t.Fatalf("pending sweeps after restart: %+v", rec.PendingSweeps)
+	}
+	if err := s2.EndSweep("00000000000000ef"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, rec3 := open(t, dir)
+	if len(rec3.PendingSweeps) != 0 {
+		t.Fatalf("finished sweep still pending: %+v", rec3.PendingSweeps)
+	}
+}
+
+func TestCheckpointCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("%016x", i+0x100), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.TrimSpace(string(data)); lines != "" {
+		t.Fatalf("checkpoint of a quiescent store left journal records:\n%s", lines)
+	}
+	// The store must still be usable after the journal swap.
+	if err := s.Put("00000000000000ff", []byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				fp := fmt.Sprintf("%015x%d", i, w%2) // overlap across workers
+				payload := []byte(fmt.Sprintf("payload-%d-%d", i, w%2))
+				if err := s.Put(fp, payload); err != nil {
+					t.Errorf("Put(%s): %v", fp, err)
+					return
+				}
+				got, ok, err := s.Get(fp)
+				if err != nil || !ok || !bytes.Equal(got, payload) {
+					t.Errorf("Get(%s): ok=%v err=%v", fp, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.StatsSnapshot(); st.Objects != 40 {
+		t.Fatalf("Objects = %d, want 40", st.Objects)
+	}
+}
