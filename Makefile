@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench microbench tables lint verify model chaos scenario attribution serve-smoke torture-smoke clean
+.PHONY: all build check fmt vet test race bench microbench tables lint verify model chaos scenario attribution serve-smoke torture-smoke pdes-smoke clean
 
 all: build
 
@@ -19,7 +19,7 @@ build:
 # extracted-model checker must close its abstract state space, and
 # ccbench's smoke run must finish without a gross performance regression
 # against the committed BENCH artifact.
-check: fmt vet lint race verify model bench scenario attribution serve-smoke torture-smoke
+check: fmt vet lint race verify model bench scenario attribution serve-smoke torture-smoke pdes-smoke
 
 # lint runs the repo's own analyzer suite (internal/lint): exhaustive
 # switches over protocol/cache/directory enums, no wall-clock or global
@@ -111,6 +111,24 @@ serve-smoke:
 	status=0 && echo "serve-smoke: memoized resubmit + artifact fetch OK"; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$status -ne 0 ]; then echo "serve-smoke FAILED"; cat "$$tmp/served.log"; fi; \
+	rm -rf "$$tmp"; exit $$status
+
+# pdes-smoke is the sharded-scheduler gate: the same scenario run serial
+# (-shards 1) and sharded must write byte-identical artifacts — two kernels
+# (one with attribution + robustness on, one two-engine) plus one seeded
+# chaos schedule whose full progress output is compared byte for byte.
+pdes-smoke:
+	@tmp="$$(mktemp -d)"; status=1; \
+	$(GO) run ./cmd/ccsim -app fft -arch HWC -nodes 4 -ppn 2 -size test -attribution -robust -json "$$tmp/fft-1.json" >/dev/null && \
+	$(GO) run ./cmd/ccsim -app fft -arch HWC -nodes 4 -ppn 2 -size test -attribution -robust -shards 4 -json "$$tmp/fft-4.json" >/dev/null && \
+	cmp "$$tmp/fft-1.json" "$$tmp/fft-4.json" && \
+	$(GO) run ./cmd/ccsim -app radix -arch 2PPC -nodes 4 -ppn 2 -size test -json "$$tmp/radix-1.json" >/dev/null && \
+	$(GO) run ./cmd/ccsim -app radix -arch 2PPC -nodes 4 -ppn 2 -size test -shards 2 -json "$$tmp/radix-2.json" >/dev/null && \
+	cmp "$$tmp/radix-1.json" "$$tmp/radix-2.json" && \
+	$(GO) run ./cmd/ccchaos -app fft -schedules 1 -first 3 >"$$tmp/chaos-1.out" && \
+	$(GO) run ./cmd/ccchaos -app fft -schedules 1 -first 3 -shards 4 >"$$tmp/chaos-4.out" && \
+	cmp "$$tmp/chaos-1.out" "$$tmp/chaos-4.out" && \
+	status=0 && echo "pdes-smoke: sharded runs byte-identical to serial"; \
 	rm -rf "$$tmp"; exit $$status
 
 # torture-smoke is the crash-safety gate: a real ccserved process is

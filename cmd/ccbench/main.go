@@ -111,6 +111,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline artifact to compare against (default: newest other BENCH_*.json in -out by mtime)")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent; a metric this much worse than the baseline fails the run")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel section")
+	allowProcsMismatch := flag.Bool("allow-procs-mismatch", false, "compare against a baseline recorded at a different GOMAXPROCS (wall-clock numbers are not comparable across core counts)")
 	smoke := flag.Bool("smoke", false, "gate mode: no artifact written, threshold x4 (budgets stay identical so every metric is comparable with the committed artifact)")
 	specPath := flag.String("spec", "", "drive the chaos section from a ccnuma-scenario/v1 file instead of the built-in campaign")
 	printSpec := flag.Bool("print-spec", false, "print the resolved canonical chaos scenario and exit without benchmarking")
@@ -257,6 +258,17 @@ func main() {
 		doc.Baseline = filepath.Base(basePath)
 		doc.BaselineGoMaxProcs = base.GoMaxProcs
 		if base.GoMaxProcs != doc.GoMaxProcs {
+			// A baseline from a different core count measures a different
+			// machine: serial-vs-parallel speedups recorded at GOMAXPROCS=1
+			// are oversubscription numbers, and comparing against them
+			// produces phantom regressions (or hides real ones). A full run
+			// (whose artifact becomes the next baseline) refuses the
+			// comparison unless explicitly overridden; the smoke gate is
+			// already documented as advisory and only warns.
+			if !*smoke && !*allowProcsMismatch {
+				fatal(fmt.Errorf("baseline %s was recorded at GOMAXPROCS=%d but this run is GOMAXPROCS=%d; re-record the baseline on this host or pass -allow-procs-mismatch to compare anyway",
+					filepath.Base(basePath), base.GoMaxProcs, doc.GoMaxProcs))
+			}
 			fmt.Printf("warning: baseline %s was recorded at GOMAXPROCS=%d, this run is GOMAXPROCS=%d; wall-clock comparison is advisory — re-record the baseline on this host\n",
 				filepath.Base(basePath), base.GoMaxProcs, doc.GoMaxProcs)
 		}

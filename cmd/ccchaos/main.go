@@ -38,6 +38,7 @@ func main() {
 	flag.Int("events", 0, "faults per schedule (0 = scale with the machine: 2 + nodes)")
 	flag.Int64("seed", 1, "base seed; schedule s runs under seed base+s")
 	flag.Int("jobs", 0, "schedules to run concurrently (0 = GOMAXPROCS; 1 = serial; output is identical for any value)")
+	flag.Int("shards", 1, "event-engine shards inside each simulation (results are identical for any value)")
 	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
 	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
 	jsonDir := flag.String("json", "", "write one run artifact per app (ccchaos-<app>.json) into this directory")

@@ -46,6 +46,7 @@ func main() {
 	flag.Int64("seed", 0, "workload input seed (0 = the kernel's fixed default input)")
 	flag.Bool("robust", false, "enable the robustness knobs: finite queues, NACK/retry, request timeouts, reliable link layer")
 	flag.Bool("attribution", false, "enable per-transaction span tracing and print the miss-latency attribution")
+	flag.Int("shards", 1, "event-engine shards running the simulation in parallel (results are identical for any value)")
 	specPath := flag.String("spec", "", "load a ccnuma-scenario/v1 file; explicit flags override its fields")
 	replayPath := flag.String("replay", "", "re-run the scenario embedded in a run artifact")
 	printSpec := flag.Bool("print-spec", false, "print the resolved canonical scenario and exit without simulating")
@@ -106,7 +107,7 @@ func main() {
 	var runErr error
 	perf := obs.MeasurePerf(func() uint64 {
 		r, runErr = m.Run(w.Body)
-		return m.Eng.Executed()
+		return m.Executed()
 	})
 	if runErr != nil {
 		fatal(runErr)

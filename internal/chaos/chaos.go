@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/fault"
@@ -164,7 +165,9 @@ func (c *Campaign) pilot(name string) (uint64, sim.Time, error) {
 	}
 	var msgs uint64
 	m.Net.Fault = func(src, dst int, payload interface{}) interconnect.Decision {
-		msgs++
+		// The hook fires on every source node's engine; under -shards those
+		// run concurrently.
+		atomic.AddUint64(&msgs, 1)
 		return interconnect.Decision{}
 	}
 	r, err := c.runKernel(m, name)

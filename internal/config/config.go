@@ -503,6 +503,16 @@ type Config struct {
 	// unchanged when the knob is off.
 	Attribution bool `json:"attribution,omitempty"`
 
+	// SimShards splits one simulation across this many event-engine shards
+	// executed on separate OS threads, synchronized in conservative time
+	// windows one network latency wide (see internal/sim's Cluster). Nodes
+	// are assigned to shards in contiguous blocks; 0 or 1 runs the literal
+	// serial event loop. Results are byte-identical for any value (pinned
+	// by the golden determinism tests), so the knob is excluded from
+	// canonical scenario encodings and fingerprints — it tunes the host,
+	// not the experiment.
+	SimShards int `json:"simShards,omitempty"`
+
 	// Robustness / flow control. The paper's model assumes infinitely deep
 	// controller queues and a lossless network; every knob below defaults to
 	// its zero value, which preserves that model cycle-for-cycle (pinned by
@@ -822,6 +832,12 @@ func (c *Config) Validate() error {
 		return fieldErr("BusBackoffMax", "must be non-negative, got %d", int64(c.BusBackoffMax))
 	case c.QueueDepth > 0 && c.QueueDepth < 2:
 		return fieldErr("QueueDepth", "below 2 cannot hold a request and its replay, got %d", c.QueueDepth)
+	case c.SimShards < 0:
+		return fieldErr("SimShards", "must be non-negative, got %d", c.SimShards)
+	case c.SimShards > c.Nodes:
+		return fieldErr("SimShards", "cannot exceed Nodes (%d), got %d", c.Nodes, c.SimShards)
+	case c.SimShards > 1 && c.Topology == TopoMesh2D:
+		return fieldErr("SimShards", "mesh topology routes through shared per-hop links and cannot shard; use the crossbar or SimShards <= 1")
 	}
 	if err := c.validateCosts(); err != nil {
 		return err

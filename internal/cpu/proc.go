@@ -289,7 +289,16 @@ func (p *Proc) access(addr uint64, write bool) {
 	line := p.space.Line(addr)
 	if p.space.Home(line) < 0 {
 		// First touch under first-touch placement assigns the page here.
-		p.space.HomeOrAssign(line, p.node)
+		// The placement table is shared by every node, so on a sharded
+		// engine the assignment runs under a cluster fence and the access
+		// re-enters once the home is set (nothing above this point has
+		// side effects, so re-entry is safe). On a serial engine the fence
+		// body runs inline and this is the plain assign-and-continue path.
+		p.eng.Fence(func() {
+			p.space.HomeOrAssign(line, p.node)
+			p.access(addr, write)
+		})
+		return
 	}
 
 	// L1: presence filter. Writes additionally require L2 exclusivity.

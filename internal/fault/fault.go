@@ -3,9 +3,12 @@
 // a pure function of its seed: the same seed always produces the same fault
 // sequence, so any failing chaos run reproduces exactly from the seed alone.
 //
-// Message faults (drop, duplicate, delay, corrupt) target the k-th message
-// entering the network, counted in global send order — a coordinate that is
-// stable across runs because the simulation itself is deterministic.
+// Message faults (drop, duplicate, delay, corrupt) target the k-th original
+// message sent on one directed (src, dst) node pair, counted in the pair's
+// send order — a coordinate that is stable across runs because each node's
+// send order is deterministic, and stable across shard counts because a
+// sharded simulation reproduces every node's send order exactly even though
+// it does not track a global interleaving.
 // Component faults (engine stall, NI port brownout, bus stall) target a
 // node at a simulated time. The Injector turns a Schedule into the
 // interconnect.FaultHook plus the component-fault wiring that
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"ccnuma/internal/interconnect"
 	"ccnuma/internal/protocol"
@@ -65,8 +69,9 @@ func (k Kind) MessageFault() bool { return k <= Corrupt }
 type Event struct {
 	Kind Kind
 
-	// MsgIndex is the global send-order index the fault hits (message
-	// faults only).
+	// Src, Dst, MsgIndex locate a message fault: the MsgIndex-th original
+	// message sent from node Src to node Dst.
+	Src, Dst int
 	MsgIndex uint64
 	// Extra is the added traversal latency of a Delay fault.
 	Extra sim.Time
@@ -84,9 +89,9 @@ type Event struct {
 func (e Event) String() string {
 	if e.Kind.MessageFault() {
 		if e.Kind == Delay {
-			return fmt.Sprintf("%s@msg%d(+%d)", e.Kind, e.MsgIndex, int64(e.Extra))
+			return fmt.Sprintf("%s@%d>%d#%d(+%d)", e.Kind, e.Src, e.Dst, e.MsgIndex, int64(e.Extra))
 		}
-		return fmt.Sprintf("%s@msg%d", e.Kind, e.MsgIndex)
+		return fmt.Sprintf("%s@%d>%d#%d", e.Kind, e.Src, e.Dst, e.MsgIndex)
 	}
 	switch e.Kind {
 	case EngineStall:
@@ -128,8 +133,9 @@ type Params struct {
 	Events int
 	// Horizon is the simulated-time window component faults land in.
 	Horizon sim.Time
-	// Messages is the (estimated) message count message faults index into;
-	// indices past the run's actual traffic simply never fire.
+	// Messages is the (estimated) total message count of the run; message
+	// faults draw a per-pair index from its per-pair share, and indices
+	// past a pair's actual traffic simply never fire.
 	Messages uint64
 	// Nodes and Engines size the component-fault targets.
 	Nodes   int
@@ -178,7 +184,18 @@ func Generate(seed int64, p Params) *Schedule {
 		}
 		ev := Event{Kind: k}
 		if k.MessageFault() {
-			ev.MsgIndex = uint64(rng.Int63n(int64(p.Messages)))
+			ev.Src = rng.Intn(p.Nodes)
+			ev.Dst = ev.Src
+			if p.Nodes > 1 {
+				// Self-sends never cross the network, so aim the fault at a
+				// remote destination.
+				ev.Dst = (ev.Src + 1 + rng.Intn(p.Nodes-1)) % p.Nodes
+			}
+			pairMsgs := int64(p.Messages) / int64(p.Nodes*p.Nodes)
+			if pairMsgs < 1 {
+				pairMsgs = 1
+			}
+			ev.MsgIndex = uint64(rng.Int63n(pairMsgs))
 			if k == Delay {
 				ev.Extra = sim.Time(20 + rng.Int63n(480))
 			}
@@ -209,29 +226,48 @@ const corruptMask = 0xdeadbeefdeadbeef
 type Injector struct {
 	Schedule *Schedule
 
-	msgFaults map[uint64][]Event
-	msgIndex  uint64
-	applied   [numKinds]uint64
+	msgFaults map[pairIdx][]Event
+	// pairNext[src][dst] counts the original messages seen on the pair. A
+	// pair's counter is only ever touched from its source node's engine, so
+	// no synchronization is needed even when the simulation is sharded.
+	pairNext [][]uint64
+	applied  [numKinds]uint64
 }
 
-// NewInjector indexes a schedule for application.
-func NewInjector(s *Schedule) *Injector {
-	in := &Injector{Schedule: s, msgFaults: make(map[uint64][]Event)}
+// pairIdx is a message-fault coordinate: the idx-th original message on the
+// directed (src, dst) pair.
+type pairIdx struct {
+	src, dst int
+	idx      uint64
+}
+
+// NewInjector indexes a schedule for application on a machine with the
+// given node count (faults aimed outside it never fire).
+func NewInjector(s *Schedule, nodes int) *Injector {
+	in := &Injector{Schedule: s, msgFaults: make(map[pairIdx][]Event)}
+	in.pairNext = make([][]uint64, nodes)
+	for i := range in.pairNext {
+		in.pairNext[i] = make([]uint64, nodes)
+	}
 	for _, ev := range s.Events {
 		if ev.Kind.MessageFault() {
-			in.msgFaults[ev.MsgIndex] = append(in.msgFaults[ev.MsgIndex], ev)
+			k := pairIdx{src: ev.Src, dst: ev.Dst, idx: ev.MsgIndex}
+			in.msgFaults[k] = append(in.msgFaults[k], ev)
 		}
 	}
 	return in
 }
 
-// NetFault is the interconnect.FaultHook: it counts original messages in
-// send order and folds every fault scheduled for the current index into one
-// Decision.
+// NetFault is the interconnect.FaultHook: it counts original messages per
+// directed pair in send order and folds every fault scheduled for the
+// current coordinate into one Decision.
 func (in *Injector) NetFault(src, dst int, payload interface{}) interconnect.Decision {
-	idx := in.msgIndex
-	in.msgIndex++
-	evs := in.msgFaults[idx]
+	if src < 0 || src >= len(in.pairNext) || dst < 0 || dst >= len(in.pairNext) {
+		return interconnect.Decision{}
+	}
+	idx := in.pairNext[src][dst]
+	in.pairNext[src][dst]++
+	evs := in.msgFaults[pairIdx{src: src, dst: dst, idx: idx}]
 	if len(evs) == 0 {
 		return interconnect.Decision{}
 	}
@@ -240,19 +276,19 @@ func (in *Injector) NetFault(src, dst int, payload interface{}) interconnect.Dec
 		switch ev.Kind {
 		case Drop:
 			d.Drop = true
-			in.applied[Drop]++
+			atomic.AddUint64(&in.applied[Drop], 1)
 		case Duplicate:
 			d.Duplicate = true
-			in.applied[Duplicate]++
+			atomic.AddUint64(&in.applied[Duplicate], 1)
 		case Delay:
 			d.Delay += ev.Extra
-			in.applied[Delay]++
+			atomic.AddUint64(&in.applied[Delay], 1)
 		case Corrupt:
 			if msg, ok := payload.(*protocol.Msg); ok {
 				mutated := *msg
 				mutated.Data ^= corruptMask
 				d.Replace = &mutated
-				in.applied[Corrupt]++
+				atomic.AddUint64(&in.applied[Corrupt], 1)
 			}
 		}
 	}
@@ -272,8 +308,9 @@ func (in *Injector) ComponentEvents() []Event {
 }
 
 // NoteApplied records that a component fault actually took effect (the
-// machine calls this when it fires one).
-func (in *Injector) NoteApplied(k Kind) { in.applied[k]++ }
+// machine calls this when it fires one). Component faults on different
+// nodes may fire from different shard workers, so the count is atomic.
+func (in *Injector) NoteApplied(k Kind) { atomic.AddUint64(&in.applied[k], 1) }
 
 // Applied returns how many faults of kind k took effect.
 func (in *Injector) Applied(k Kind) uint64 { return in.applied[k] }
@@ -300,4 +337,12 @@ func (in *Injector) AppliedByKind() map[string]uint64 {
 }
 
 // MsgCount returns how many original messages the injector has seen.
-func (in *Injector) MsgCount() uint64 { return in.msgIndex }
+func (in *Injector) MsgCount() uint64 {
+	var n uint64
+	for _, row := range in.pairNext {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}

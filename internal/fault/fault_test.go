@@ -8,51 +8,57 @@ import (
 )
 
 // TestInjectorNetFault pins the message-fault folding: the injector counts
-// every message, applies each event at its send-order index, corrupts only
-// protocol payloads, and accounts what it applied.
+// messages per directed pair, applies each event at its pair-order index,
+// corrupts only protocol payloads, and accounts what it applied.
 func TestInjectorNetFault(t *testing.T) {
 	sch := &Schedule{Seed: 1, Events: []Event{
-		{Kind: Drop, MsgIndex: 0},
-		{Kind: Duplicate, MsgIndex: 1},
-		{Kind: Delay, MsgIndex: 2, Extra: 40},
-		{Kind: Corrupt, MsgIndex: 3},
-		{Kind: Corrupt, MsgIndex: 4},
+		{Kind: Drop, Src: 0, Dst: 1, MsgIndex: 0},
+		{Kind: Duplicate, Src: 0, Dst: 1, MsgIndex: 1},
+		{Kind: Delay, Src: 1, Dst: 0, MsgIndex: 0, Extra: 40},
+		{Kind: Corrupt, Src: 1, Dst: 0, MsgIndex: 1},
+		{Kind: Corrupt, Src: 0, Dst: 1, MsgIndex: 2},
 	}}
-	inj := NewInjector(sch)
+	inj := NewInjector(sch, 2)
 
 	d := inj.NetFault(0, 1, &protocol.Msg{})
 	if !d.Drop {
-		t.Error("msg 0: expected Drop")
+		t.Error("0>1 #0: expected Drop")
 	}
 	d = inj.NetFault(0, 1, &protocol.Msg{})
 	if !d.Duplicate {
-		t.Error("msg 1: expected Duplicate")
+		t.Error("0>1 #1: expected Duplicate")
 	}
 	d = inj.NetFault(1, 0, &protocol.Msg{})
 	if d.Delay != 40 {
-		t.Errorf("msg 2: Delay = %d, want 40", d.Delay)
+		t.Errorf("1>0 #0: Delay = %d, want 40", d.Delay)
 	}
 	d = inj.NetFault(1, 0, &protocol.Msg{Data: 7})
 	m, ok := d.Replace.(*protocol.Msg)
 	if !ok {
-		t.Fatal("msg 3: expected a corrupted *protocol.Msg replacement")
+		t.Fatal("1>0 #1: expected a corrupted *protocol.Msg replacement")
 	}
 	if m.Data == 7 {
-		t.Error("msg 3: corruption left the payload intact")
+		t.Error("1>0 #1: corruption left the payload intact")
 	}
 	// A corrupt event landing on a non-protocol payload is skipped.
 	d = inj.NetFault(0, 1, "opaque")
 	if d.Replace != nil {
-		t.Error("msg 4: corrupted a non-protocol payload")
+		t.Error("0>1 #2: corrupted a non-protocol payload")
 	}
 	// Past the schedule: clean passthrough.
 	d = inj.NetFault(0, 1, &protocol.Msg{})
 	if d != (interconnect.Decision{}) {
-		t.Errorf("msg 5: expected a zero decision, got %+v", d)
+		t.Errorf("0>1 #3: expected a zero decision, got %+v", d)
+	}
+	// A pair's counter is independent of every other pair: the same index
+	// on a different pair does not fire its faults.
+	d = inj.NetFault(1, 0, &protocol.Msg{})
+	if d != (interconnect.Decision{}) {
+		t.Errorf("1>0 #2: expected a zero decision, got %+v", d)
 	}
 
-	if inj.MsgCount() != 6 {
-		t.Errorf("MsgCount = %d, want 6", inj.MsgCount())
+	if inj.MsgCount() != 7 {
+		t.Errorf("MsgCount = %d, want 7", inj.MsgCount())
 	}
 	if got := inj.Applied(Drop); got != 1 {
 		t.Errorf("Applied(Drop) = %d, want 1", got)
@@ -66,6 +72,21 @@ func TestInjectorNetFault(t *testing.T) {
 	}
 }
 
+// TestInjectorOutOfRange checks that faults aimed outside the machine's node
+// range never fire (a schedule generated for a bigger machine stays safe).
+func TestInjectorOutOfRange(t *testing.T) {
+	sch := &Schedule{Seed: 2, Events: []Event{
+		{Kind: Drop, Src: 3, Dst: 1, MsgIndex: 0},
+	}}
+	inj := NewInjector(sch, 2)
+	if d := inj.NetFault(3, 1, &protocol.Msg{}); d != (interconnect.Decision{}) {
+		t.Errorf("out-of-range src: expected a zero decision, got %+v", d)
+	}
+	if inj.AppliedTotal() != 0 {
+		t.Errorf("AppliedTotal = %d, want 0", inj.AppliedTotal())
+	}
+}
+
 // TestGenerateBounds checks that generated coordinates respect the params.
 func TestGenerateBounds(t *testing.T) {
 	p := Params{Events: 64, Horizon: 10_000, Messages: 500, Nodes: 4, Engines: 2}
@@ -73,10 +94,17 @@ func TestGenerateBounds(t *testing.T) {
 	if len(sch.Events) != p.Events {
 		t.Fatalf("generated %d events, want %d", len(sch.Events), p.Events)
 	}
+	pairShare := uint64(int64(p.Messages) / int64(p.Nodes*p.Nodes))
 	for _, e := range sch.Events {
 		if e.Kind.MessageFault() {
-			if e.MsgIndex >= uint64(p.Messages) {
-				t.Errorf("%s: message index beyond the run's message count", e)
+			if e.Src < 0 || e.Src >= p.Nodes || e.Dst < 0 || e.Dst >= p.Nodes {
+				t.Errorf("%s: pair out of range", e)
+			}
+			if e.Src == e.Dst {
+				t.Errorf("%s: self-send pair never crosses the network", e)
+			}
+			if e.MsgIndex >= pairShare {
+				t.Errorf("%s: message index beyond the pair's share", e)
 			}
 			continue
 		}
@@ -92,5 +120,18 @@ func TestGenerateBounds(t *testing.T) {
 		if e.Kind == EngineStall && (e.Engine < 0 || e.Engine >= p.Engines) {
 			t.Errorf("%s: engine out of range", e)
 		}
+	}
+}
+
+// TestGenerateDeterminism pins that identical (seed, Params) reproduce an
+// identical schedule, the property every chaos repro line relies on.
+func TestGenerateDeterminism(t *testing.T) {
+	p := Params{Events: 32, Horizon: 50_000, Messages: 2000, Nodes: 4, Engines: 2}
+	a, b := Generate(7, p), Generate(7, p)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := Generate(8, p); c.String() == a.String() {
+		t.Fatal("different seeds produced identical schedules")
 	}
 }

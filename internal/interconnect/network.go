@@ -7,6 +7,7 @@ package interconnect
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ccnuma/internal/config"
 	"ccnuma/internal/obs"
@@ -71,9 +72,6 @@ type frame struct {
 	delay   sim.Time
 }
 
-// pairKey identifies one directed (src, dst) link-layer connection.
-type pairKey struct{ src, dst int }
-
 // pairHold is a go-back-N recovery window on one (src, dst) pair: the
 // frames queued here re-enter the send path, in order, when the window
 // closes. The coherence protocol relies on per-pair FIFO delivery (an
@@ -88,7 +86,13 @@ type pairHold struct {
 
 // Network connects the nodes' network interfaces.
 type Network struct {
-	eng   *sim.Engine
+	eng *sim.Engine
+	// engs, when non-nil, maps each node to the shard engine that owns it
+	// (set by Shard). The source side of a send — output port, overflow
+	// buffer, go-back-N holds — runs entirely on the source node's engine;
+	// the destination side crosses shards through DeferTo, so the input
+	// port admits requests in the reconstructed serial order.
+	engs  []*sim.Engine
 	cfg   *config.Config
 	tr    *obs.Tracer     // nil when tracing is disabled
 	out   []*sim.Resource // per-node NI output ports
@@ -101,12 +105,15 @@ type Network struct {
 	// detection tests install targeted hooks directly).
 	Fault FaultHook
 
+	// msgs/flits/inFlight are updated atomically: when sharded, sends on
+	// different source engines race on the totals (the sums are still
+	// deterministic; only the interleaving is not).
 	msgs  uint64
 	flits uint64
 	// inFlight counts messages accepted by Send whose sink has not fired
 	// yet (the ccverify model checker uses it to detect quiescence and to
 	// bound its in-flight message multiset).
-	inFlight int
+	inFlight int64
 
 	link  LinkStats
 	spans *obs.SpanTracker // nil when attribution is disabled
@@ -116,9 +123,10 @@ type Network struct {
 	// schedule an identical event stream.
 	outQueued []int
 	outWait   [][]frame
-	// hold carries the active go-back-N recovery windows (NetReliable
-	// only; never populated on a fault-free run).
-	hold map[pairKey]*pairHold
+	// hold[src] carries the active go-back-N recovery windows keyed by
+	// destination (NetReliable only; never populated on a fault-free run).
+	// Per-source maps keep all mutation on the source node's engine.
+	hold []map[int]*pairHold
 }
 
 // New creates the network for the configured node count. tr may be nil.
@@ -132,17 +140,46 @@ func New(eng *sim.Engine, cfg *config.Config, tr *obs.Tracer) *Network {
 		sinks:     make([]Handler, cfg.Nodes),
 		outQueued: make([]int, cfg.Nodes),
 		outWait:   make([][]frame, cfg.Nodes),
-		hold:      map[pairKey]*pairHold{},
+		hold:      make([]map[int]*pairHold, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n.out[i] = sim.NewResource(eng, fmt.Sprintf("ni-out-%d", i))
 		n.in[i] = sim.NewResource(eng, fmt.Sprintf("ni-in-%d", i))
+		n.hold[i] = map[int]*pairHold{}
 	}
 	if cfg.Topology == config.TopoMesh2D {
 		n.mesh = newMesh(eng, cfg.Nodes)
 	}
 	return n
 }
+
+// Shard rebinds each node's NI port resources to the shard engine that owns
+// the node. Must be called before any traffic is sent. The mesh topology
+// routes through per-hop links shared between nodes and cannot shard
+// (config.Validate rejects the combination).
+func (n *Network) Shard(engs []*sim.Engine) {
+	if len(engs) != len(n.out) {
+		panic(fmt.Sprintf("interconnect: Shard got %d engines for %d nodes", len(engs), len(n.out)))
+	}
+	if n.mesh != nil {
+		panic("interconnect: mesh topology cannot shard")
+	}
+	n.engs = engs
+	for i := range n.out {
+		n.out[i] = sim.NewResource(engs[i], fmt.Sprintf("ni-out-%d", i))
+		n.in[i] = sim.NewResource(engs[i], fmt.Sprintf("ni-in-%d", i))
+	}
+}
+
+// engOf returns the engine that owns a node's NI.
+func (n *Network) engOf(node int) *sim.Engine {
+	if n.engs != nil {
+		return n.engs[node]
+	}
+	return n.eng
+}
+
+func (n *Network) sharded() bool { return n.engs != nil }
 
 // AttachSpans attaches the latency-attribution span tracker (nil keeps
 // attribution disabled).
@@ -182,7 +219,7 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	}
 	if n.spans.Enabled() {
 		txn, epoch := obs.DescribeSpan(payload)
-		n.spans.SpanBegin(txn, obs.StageNIPort, epoch, n.eng.Now())
+		n.spans.SpanBegin(txn, obs.StageNIPort, epoch, n.engOf(src).Now())
 	}
 	if n.Fault == nil {
 		n.enqueue(src, dst, flitCount, payload, 0)
@@ -190,30 +227,30 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 	}
 	d := n.Fault(src, dst, payload)
 	if d.Delay > 0 {
-		n.link.DelaysInjected++
+		atomic.AddUint64(&n.link.DelaysInjected, 1)
 	}
 	if d.Replace != nil {
-		n.link.Corrupts++
+		atomic.AddUint64(&n.link.Corrupts, 1)
 		if n.cfg.NetReliable {
 			// The mangled frame crosses the wire, fails the receiver's
 			// CRC, and the sender's replay buffer re-sends the original.
 			n.enqueue(src, dst, flitCount, &discardFrame{payload: d.Replace}, d.Delay)
-			n.link.Retransmits++
+			atomic.AddUint64(&n.link.Retransmits, 1)
 			n.holdPair(src, dst, n.retryDelay(), frame{dst: dst, flits: flitCount, payload: payload})
 			return
 		}
 		payload = d.Replace
 	}
 	if d.Drop {
-		n.link.Drops++
+		atomic.AddUint64(&n.link.Drops, 1)
 		if n.cfg.NetReliable {
-			n.link.Retransmits++
+			atomic.AddUint64(&n.link.Retransmits, 1)
 			n.holdPair(src, dst, n.retryDelay(), frame{dst: dst, flits: flitCount, payload: payload})
 		}
 		return
 	}
 	if d.Duplicate {
-		n.link.Duplicates++
+		atomic.AddUint64(&n.link.Duplicates, 1)
 		copyPayload := payload
 		if n.cfg.NetReliable {
 			copyPayload = &discardFrame{payload: payload}
@@ -229,7 +266,7 @@ func (n *Network) Send(src, dst, flitCount int, payload interface{}) {
 			n.holdPair(src, dst, d.Delay, frame{dst: dst, flits: flitCount, payload: payload})
 			return
 		}
-		if h := n.hold[pairKey{src, dst}]; h != nil {
+		if h := n.hold[src][dst]; h != nil {
 			h.frames = append(h.frames, frame{dst: dst, flits: flitCount, payload: payload})
 			return
 		}
@@ -249,17 +286,16 @@ func (n *Network) retryDelay() sim.Time {
 // every subsequent original on the pair re-enter the send path, in order,
 // when the window closes after delay.
 func (n *Network) holdPair(src, dst int, delay sim.Time, f frame) {
-	key := pairKey{src, dst}
-	if h := n.hold[key]; h != nil {
+	if h := n.hold[src][dst]; h != nil {
 		// Already recovering this pair: the frame joins the replay queue
 		// and rides the existing window.
 		h.frames = append(h.frames, f)
 		return
 	}
 	h := &pairHold{frames: []frame{f}}
-	n.hold[key] = h
-	n.eng.After(delay, func() {
-		delete(n.hold, key)
+	n.hold[src][dst] = h
+	n.engOf(src).After(delay, func() {
+		delete(n.hold[src], dst)
 		for _, qf := range h.frames {
 			n.enqueue(src, qf.dst, qf.flits, qf.payload, qf.delay)
 		}
@@ -270,7 +306,7 @@ func (n *Network) holdPair(src, dst int, delay sim.Time, f frame) {
 // when the configured finite depth is exceeded (back-pressure).
 func (n *Network) enqueue(src, dst, flitCount int, payload interface{}, delay sim.Time) {
 	if n.cfg.NIPortDepth > 0 && n.outQueued[src] >= n.cfg.NIPortDepth {
-		n.link.Overflows++
+		atomic.AddUint64(&n.link.Overflows, 1)
 		n.outWait[src] = append(n.outWait[src], frame{dst: dst, flits: flitCount, payload: payload, delay: delay})
 		return
 	}
@@ -278,9 +314,9 @@ func (n *Network) enqueue(src, dst, flitCount int, payload interface{}, delay si
 }
 
 func (n *Network) transmit(src, dst, flitCount int, payload interface{}, delay sim.Time) {
-	n.msgs++
-	n.flits += uint64(flitCount)
-	n.inFlight++
+	atomic.AddUint64(&n.msgs, 1)
+	atomic.AddUint64(&n.flits, uint64(flitCount))
+	atomic.AddInt64(&n.inFlight, 1)
 	track := n.cfg.NIPortDepth > 0
 	if track {
 		n.outQueued[src]++
@@ -297,7 +333,7 @@ func (n *Network) transmit(src, dst, flitCount int, payload interface{}, delay s
 			n.spans.SpanBegin(txn, obs.StageWire, epoch, start)
 		}
 		if track {
-			n.eng.At(start+ser, func() { n.portDrained(src) })
+			n.engOf(src).At(start+ser, func() { n.portDrained(src) })
 		}
 		if n.mesh != nil && src != dst {
 			n.sendMesh(src, dst, start+delay, ser, payload)
@@ -327,10 +363,21 @@ func (n *Network) Brownout(node int, out bool, dur sim.Time) {
 	if node < 0 || node >= len(n.out) || dur <= 0 {
 		return
 	}
-	n.link.Brownouts++
+	atomic.AddUint64(&n.link.Brownouts, 1)
 	r := n.in[node]
 	if out {
 		r = n.out[node]
+	}
+	if !out && n.sharded() {
+		// Input-port admissions are serialized through the window drain in
+		// reconstructed serial order; the outage must take its place in that
+		// same order or the port's FIFO accumulation diverges from serial.
+		// The nil grant schedules no event, so the drain's lookahead guard
+		// never sees the below-horizon arrival.
+		eng := n.engOf(node)
+		at := eng.Now()
+		eng.DeferTo(eng, func() { r.AcquireAt(at, dur, nil) })
+		return
 	}
 	r.Acquire(dur, func(sim.Time) {})
 }
@@ -355,15 +402,33 @@ func (n *Network) sendMesh(src, dst int, start, ser sim.Time, payload interface{
 }
 
 // deliverAt drains the message into the destination NI beginning at
-// headArrives and fires the sink when the last flit lands.
+// headArrives and fires the sink when the last flit lands. When sharded,
+// every delivery — even one whose destination shares the source's shard —
+// crosses through DeferTo, so the input port admits requests in the
+// reconstructed serial order (its FIFO accumulation depends on admission
+// order, not just arrival times). headArrives is at least one network
+// latency past the sending event, and the cluster lookahead never exceeds
+// the network latency, so the drained admission lands at or past the
+// window horizon.
 func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload interface{}) {
+	if n.sharded() {
+		n.engOf(src).DeferTo(n.engOf(dst), func() {
+			n.admit(src, dst, headArrives, ser, payload)
+		})
+		return
+	}
+	n.admit(src, dst, headArrives, ser, payload)
+}
+
+func (n *Network) admit(src, dst int, headArrives, ser sim.Time, payload interface{}) {
+	eng := n.engOf(dst)
 	n.in[dst].AcquireAt(headArrives, ser, func(inStart sim.Time) {
-		n.eng.At(inStart+ser, func() {
-			n.inFlight--
+		eng.At(inStart+ser, func() {
+			atomic.AddInt64(&n.inFlight, -1)
 			if _, rejected := payload.(*discardFrame); rejected {
 				// Failed CRC or duplicate sequence number: the NI rejects
 				// the frame after it has consumed wire bandwidth.
-				n.link.Discards++
+				atomic.AddUint64(&n.link.Discards, 1)
 				return
 			}
 			sink := n.sinks[dst]
@@ -372,11 +437,11 @@ func (n *Network) deliverAt(src, dst int, headArrives, ser sim.Time, payload int
 			}
 			if n.tr != nil {
 				name, line := obs.DescribePayload(payload)
-				n.tr.NetRecv(n.eng.Now(), src, dst, name, line)
+				n.tr.NetRecv(eng.Now(), src, dst, name, line)
 			}
 			if n.spans.Enabled() {
 				txn, epoch := obs.DescribeSpan(payload)
-				n.spans.SpanEnd(txn, obs.StageWire, epoch, n.eng.Now())
+				n.spans.SpanEnd(txn, obs.StageWire, epoch, eng.Now())
 			}
 			sink(src, payload)
 		})
@@ -397,7 +462,7 @@ func (n *Network) OutQueued(node int) int {
 
 // InFlight returns the number of messages currently traversing the network
 // (sent but not yet delivered to a sink).
-func (n *Network) InFlight() int { return n.inFlight }
+func (n *Network) InFlight() int { return int(n.inFlight) }
 
 // Flits returns the number of flits sent so far.
 func (n *Network) Flits() uint64 { return n.flits }

@@ -94,16 +94,19 @@ var configSchemaPackages = map[string]bool{
 
 // goroutineAllowed lists the only packages that may contain a go
 // statement: the worker pool itself (the single sanctioned home of
-// concurrency) and the workload-handoff shims, where each compute
+// concurrency), the workload-handoff shims, where each compute
 // processor runs its program body on a goroutine that yields control back
-// to the engine synchronously. Everywhere else — model code, experiment
-// drivers, tools — a go statement breaks the determinism argument: results
-// must be committed on one goroutine in a fixed order.
+// to the engine synchronously, and the shard scheduler, whose barrier
+// protocol carries its own determinism proof (serial (time, seq) order is
+// reproduced exactly; see DESIGN.md §16). Everywhere else — model code,
+// experiment drivers, tools — a go statement breaks the determinism
+// argument: results must be committed on one goroutine in a fixed order.
 var goroutineAllowed = map[string]bool{
 	"ccnuma/internal/runner": true,
 	"ccnuma/internal/cpu":    true, // workload handoff: Proc runs program bodies
 	"ccnuma/internal/pram":   true, // workload handoff: PRAM reference driver
 	"ccnuma/internal/serve":  true, // host-side daemon: HTTP serving + sweep resume
+	"ccnuma/internal/sim":    true, // shard scheduler: barrier-synchronized workers
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -12,32 +12,36 @@ import (
 // stalls, NI brownouts, bus stalls) are scheduled at their simulated times.
 // Call before Run. The returned injector reports what actually fired.
 func (m *Machine) InjectFaults(sch *fault.Schedule) *fault.Injector {
-	inj := fault.NewInjector(sch)
+	inj := fault.NewInjector(sch, m.Cfg.Nodes)
 	m.Net.Fault = inj.NetFault
 	for _, ev := range inj.ComponentEvents() {
 		ev := ev
 		if ev.Node < 0 || ev.Node >= m.Cfg.Nodes {
 			continue
 		}
+		// Component faults are node-local, so each arms on the engine that
+		// owns its node; when sharded the callbacks touch only that shard's
+		// state (NoteApplied counters are only read after Run).
+		eng := m.engFor(ev.Node)
 		switch ev.Kind {
 		case fault.EngineStall:
-			m.Eng.At(ev.At, func() {
+			eng.At(ev.At, func() {
 				if m.CCs[ev.Node].StallEngine(ev.Engine, ev.Dur) {
 					inj.NoteApplied(fault.EngineStall)
-					m.Tracer.Fault(m.Eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
+					m.Tracer.Fault(eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
 				}
 			})
 		case fault.Brownout:
-			m.Eng.At(ev.At, func() {
+			eng.At(ev.At, func() {
 				m.Net.Brownout(ev.Node, ev.Out, ev.Dur)
 				inj.NoteApplied(fault.Brownout)
-				m.Tracer.Fault(m.Eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
+				m.Tracer.Fault(eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
 			})
 		case fault.BusStall:
-			m.Eng.At(ev.At, func() {
+			eng.At(ev.At, func() {
 				m.Buses[ev.Node].Stall(ev.Dur)
 				inj.NoteApplied(fault.BusStall)
-				m.Tracer.Fault(m.Eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
+				m.Tracer.Fault(eng.Now(), ev.Node, ev.Kind.String(), int64(ev.Dur))
 			})
 		}
 	}
@@ -119,10 +123,10 @@ func (r StallReport) String() string {
 // snapshot.
 func (m *Machine) stallReport(last sim.Time, events int, prevDisp, prevNacks, prevRetries uint64) StallReport {
 	rep := StallReport{
-		At:             m.Eng.Now(),
-		TimeAdvanced:   m.Eng.Now() - last,
+		At:             m.simNow(),
+		TimeAdvanced:   m.simNow() - last,
 		EventsInWindow: events,
-		PendingEvents:  m.Eng.Pending(),
+		PendingEvents:  m.pendingEvents(),
 		TotalProcs:     len(m.Procs),
 	}
 	for _, cc := range m.CCs {

@@ -26,14 +26,22 @@ import (
 
 // Machine is one fully wired CC-NUMA system.
 type Machine struct {
+	// Eng is the serial event engine, or shard 0's engine when the
+	// simulation is sharded (Cfg.SimShards > 1). Code that needs the
+	// engine owning a particular node must use engFor.
 	Eng   *sim.Engine
 	Cfg   config.Config
 	Space *memaddr.Space
-	Net   *interconnect.Network
-	Buses []*smpbus.Bus
-	Dirs  []*directory.Directory
-	CCs   []*core.Controller
-	Procs []*cpu.Proc
+
+	// engs[n] is the engine that owns node n's components; every entry
+	// aliases Eng when the run is serial. cluster is nil when serial.
+	engs    []*sim.Engine
+	cluster *sim.Cluster
+	Net     *interconnect.Network
+	Buses   []*smpbus.Bus
+	Dirs    []*directory.Directory
+	CCs     []*core.Controller
+	Procs   []*cpu.Proc
 
 	// Tracer is the structured-event tracer every component records into
 	// (nil when tracing is disabled).
@@ -70,10 +78,51 @@ func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	eng.Limit = cfg.SimLimit
+	var cluster *sim.Cluster
+	if cfg.SimShards > 1 {
+		if tr != nil {
+			return nil, fmt.Errorf("machine: tracing requires SimShards <= 1: the trace ring is one globally ordered log")
+		}
+		// Conservative lookahead: the smallest delay any cross-node effect
+		// pays. Messages pay NetLatency on the wire, barrier releases pay
+		// BarrierCost, and lock handoffs pay LockRetry, so no shard can be
+		// affected by another within a window shorter than their minimum.
+		look := cfg.NetLatency
+		if cfg.BarrierCost < look {
+			look = cfg.BarrierCost
+		}
+		if cfg.LockRetry < look {
+			look = cfg.LockRetry
+		}
+		if look <= 0 {
+			return nil, fmt.Errorf("machine: SimShards=%d needs positive NetLatency, BarrierCost, and LockRetry for conservative lookahead (got %d, %d, %d)",
+				cfg.SimShards, cfg.NetLatency, cfg.BarrierCost, cfg.LockRetry)
+		}
+		cluster = sim.NewCluster(cfg.SimShards, look)
+	}
+	engs := make([]*sim.Engine, cfg.Nodes)
+	for n := range engs {
+		switch {
+		case cluster != nil:
+			engs[n] = cluster.Shard(n * cfg.SimShards / cfg.Nodes)
+		case n == 0:
+			engs[n] = sim.NewEngine()
+		default:
+			engs[n] = engs[0]
+		}
+	}
+	if cluster != nil {
+		for i := 0; i < cfg.SimShards; i++ {
+			cluster.Shard(i).Limit = cfg.SimLimit
+		}
+	} else {
+		engs[0].Limit = cfg.SimLimit
+	}
+	eng := engs[0]
 	m := &Machine{
 		Eng:       eng,
+		engs:      engs,
+		cluster:   cluster,
 		Cfg:       cfg,
 		Tracer:    tr,
 		locks:     make(map[int]*lockState),
@@ -82,14 +131,17 @@ func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) 
 	}
 	m.Space = memaddr.NewSpace(&m.Cfg)
 	m.Net = interconnect.New(eng, &m.Cfg, tr)
+	if cluster != nil {
+		m.Net.Shard(engs)
+	}
 	if cfg.Attribution {
 		m.spans = obs.NewSpanTracker(tr)
 		m.Net.AttachSpans(m.spans)
 	}
 	for n := 0; n < cfg.Nodes; n++ {
-		bus := smpbus.New(eng, &m.Cfg, n, tr)
-		dir := directory.New(eng, &m.Cfg, n, tr)
-		cc := core.New(eng, &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n], tr)
+		bus := smpbus.New(engs[n], &m.Cfg, n, tr)
+		dir := directory.New(engs[n], &m.Cfg, n, tr)
+		cc := core.New(engs[n], &m.Cfg, n, bus, m.Net, dir, m.Space, &m.run.Controllers[n], tr)
 		bus.AttachSpans(m.spans)
 		cc.AttachSpans(m.spans)
 		m.Buses = append(m.Buses, bus)
@@ -97,12 +149,45 @@ func NewTraced(cfg config.Config, app string, tr *obs.Tracer) (*Machine, error) 
 		m.CCs = append(m.CCs, cc)
 		for i := 0; i < cfg.ProcsPerNode; i++ {
 			id := n*cfg.ProcsPerNode + i
-			p := cpu.New(eng, &m.Cfg, id, n, bus, m.Space, m, tr)
+			p := cpu.New(engs[n], &m.Cfg, id, n, bus, m.Space, m, tr)
 			p.AttachSpans(m.spans)
 			m.Procs = append(m.Procs, p)
 		}
 	}
 	return m, nil
+}
+
+// engFor returns the engine that owns node n's components (Eng when serial).
+func (m *Machine) engFor(node int) *sim.Engine { return m.engs[node] }
+
+// fence runs fn in a globally serialized context. Shared machine state —
+// the barrier list, the lock tables, the page-placement map — may only be
+// touched under a fence; when serial, fn runs inline at zero cost.
+func (m *Machine) fence(p *cpu.Proc, fn func()) { m.engFor(p.Node()).Fence(fn) }
+
+// Executed returns the events executed so far, summed across shards.
+func (m *Machine) Executed() uint64 {
+	if m.cluster != nil {
+		return m.cluster.Executed()
+	}
+	return m.Eng.Executed()
+}
+
+// Cluster returns the shard cluster, or nil when the run is serial.
+func (m *Machine) Cluster() *sim.Cluster { return m.cluster }
+
+func (m *Machine) simNow() sim.Time {
+	if m.cluster != nil {
+		return m.cluster.Now()
+	}
+	return m.Eng.Now()
+}
+
+func (m *Machine) pendingEvents() int {
+	if m.cluster != nil {
+		return m.cluster.Pending()
+	}
+	return m.Eng.Pending()
 }
 
 // Spans returns the machine's span tracker (nil unless Cfg.Attribution).
@@ -124,6 +209,9 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 		p.Run(program)
 	}
 	if m.sampler != nil {
+		if m.cluster != nil {
+			return nil, fmt.Errorf("machine: the sampler probes every node from one periodic event and requires SimShards <= 1")
+		}
 		m.startSampler()
 	}
 	if err := m.runEngine(); err != nil {
@@ -134,7 +222,7 @@ func (m *Machine) Run(program func(prog.Env)) (*stats.Run, error) {
 		done, at := p.Finished()
 		if !done {
 			return nil, fmt.Errorf("machine: processor %d never finished (deadlock: %d events executed, %d parked at barrier)\n%s",
-				p.ID(), m.Eng.Executed(), len(m.barrierParked), m.Snapshot())
+				p.ID(), m.Executed(), len(m.barrierParked), m.Snapshot())
 		}
 		if at > execTime {
 			execTime = at
@@ -169,6 +257,9 @@ const watchdogChunk = 2_000_000
 // traffic, the run is aborted with a classified stall report and a state
 // snapshot instead of spinning forever.
 func (m *Machine) runEngine() error {
+	if m.cluster != nil {
+		return m.runEngineSharded()
+	}
 	prevDisp, prevNacks, prevRetries := m.progressCounters()
 	for {
 		last := m.Eng.Now()
@@ -200,13 +291,47 @@ func (m *Machine) runEngine() error {
 	return nil
 }
 
+// runEngineSharded drives the shard cluster with the same watchdog policy
+// as the serial loop: the onCheck hook fires with the cluster quiescent
+// every watchdogChunk events, applying the identical stall classification.
+func (m *Machine) runEngineSharded() error {
+	prevDisp, prevNacks, prevRetries := m.progressCounters()
+	last := m.simNow()
+	check := func(executed uint64) error {
+		rep := m.stallReport(last, watchdogChunk, prevDisp, prevNacks, prevRetries)
+		now := m.simNow()
+		if now == last {
+			return fmt.Errorf("machine: watchdog: simulated time stalled at t=%d (%d events without progress)\n%s\n%s",
+				now, watchdogChunk, rep, m.Snapshot())
+		}
+		if rep.DispatchesInWindow == 0 && rep.NacksInWindow+rep.RetriesInWindow > 0 {
+			return fmt.Errorf("machine: watchdog: no useful work for %d events at t=%d\n%s\n%s",
+				watchdogChunk, now, rep, m.Snapshot())
+		}
+		prevDisp, prevNacks, prevRetries = m.progressCounters()
+		last = now
+		return nil
+	}
+	if _, err := m.cluster.Run(watchdogChunk, check); err != nil {
+		// The cluster reports the limit only after draining every event at
+		// or below it, exactly like the serial loop; re-render its error in
+		// the machine's format. Watchdog errors pass through unchanged.
+		if m.cluster.LimitHit() && strings.HasPrefix(err.Error(), "sim: time limit") {
+			return fmt.Errorf("machine: time limit %d exceeded at t=%d with %d events pending\n%s",
+				m.Eng.Limit, m.simNow(), m.pendingEvents(), m.Snapshot())
+		}
+		return err
+	}
+	return nil
+}
+
 // Snapshot renders the machine's live state for stall and deadlock reports:
 // engine occupancy and queue depths, outstanding transient protocol state,
 // and network-interface port backlogs.
 func (m *Machine) Snapshot() string {
 	var b strings.Builder
-	now := m.Eng.Now()
-	fmt.Fprintf(&b, "t=%d executed=%d pending=%d\n", now, m.Eng.Executed(), m.Eng.Pending())
+	now := m.simNow()
+	fmt.Fprintf(&b, "t=%d executed=%d pending=%d\n", now, m.Executed(), m.pendingEvents())
 	for n, cc := range m.CCs {
 		b.WriteString(cc.DumpPending())
 		out := m.Net.OutPort(n).FreeAt() - now
@@ -377,18 +502,24 @@ func (m *Machine) collect(execTime sim.Time) {
 
 // Barrier parks the processor; when the last one arrives, all resume after
 // the configured barrier cost. Barriers are simulated at a fixed cost
-// rather than as coherence spin loops (see DESIGN.md substitutions).
+// rather than as coherence spin loops (see DESIGN.md substitutions). The
+// arrival list is shared machine state, so the whole operation runs under a
+// fence; releases pay BarrierCost, which is at least the cluster lookahead,
+// so the cross-engine resumes are legal from the fence body.
 func (m *Machine) Barrier(p *cpu.Proc) {
-	m.barrierParked = append(m.barrierParked, p)
-	if len(m.barrierParked) < len(m.Procs) {
-		return
-	}
-	parked := m.barrierParked
-	m.barrierParked = nil
-	for _, q := range parked {
-		q := q
-		m.Eng.After(m.Cfg.BarrierCost, q.Resume)
-	}
+	m.fence(p, func() {
+		m.barrierParked = append(m.barrierParked, p)
+		if len(m.barrierParked) < len(m.Procs) {
+			return
+		}
+		parked := m.barrierParked
+		m.barrierParked = nil
+		at := m.engFor(p.Node()).Now()
+		for _, q := range parked {
+			q := q
+			m.engFor(q.Node()).At(at+m.Cfg.BarrierCost, q.Resume)
+		}
+	})
 }
 
 // lockAddrFor lazily assigns each lock a cache line (packed 32 per page so
@@ -411,40 +542,56 @@ func (m *Machine) lockAddrFor(id int) uint64 {
 // of the lock's cache line; contended acquirers park until the release and
 // then retry the line acquisition after a back-off.
 func (m *Machine) Lock(p *cpu.Proc, id int) {
-	ls := m.locks[id]
-	if ls == nil {
-		ls = &lockState{}
-		m.locks[id] = ls
-	}
-	addr := m.lockAddrFor(id)
-	p.SyncAccess(addr, true, func() {
-		if !ls.held {
-			ls.held = true
-			p.Resume()
-			return
+	// Outer fence: the lock table and lock-line placement are shared
+	// machine state. Inner fence: the completion callback mutates the lock
+	// state again, from an event on p's engine. Both run inline when serial.
+	m.fence(p, func() {
+		ls := m.locks[id]
+		if ls == nil {
+			ls = &lockState{}
+			m.locks[id] = ls
 		}
-		ls.waiters = append(ls.waiters, p)
+		addr := m.lockAddrFor(id)
+		p.SyncAccess(addr, true, func() {
+			m.fence(p, func() {
+				if !ls.held {
+					ls.held = true
+					p.Resume()
+					return
+				}
+				ls.waiters = append(ls.waiters, p)
+			})
+		})
 	})
 }
 
 // Unlock releases the lock with a store to its line and hands it to the
 // next waiter, whose retry pays another line acquisition.
 func (m *Machine) Unlock(p *cpu.Proc, id int) {
-	ls := m.locks[id]
-	if ls == nil || !ls.held {
-		panic(fmt.Sprintf("machine: unlock of free lock %d", id))
-	}
-	addr := m.lockAddrFor(id)
-	p.SyncAccess(addr, true, func() {
-		if len(ls.waiters) == 0 {
-			ls.held = false
-		} else {
-			next := ls.waiters[0]
-			ls.waiters = ls.waiters[1:]
-			m.Eng.After(m.Cfg.LockRetry, func() {
-				next.SyncAccess(addr, true, next.Resume)
-			})
+	m.fence(p, func() {
+		ls := m.locks[id]
+		if ls == nil || !ls.held {
+			panic(fmt.Sprintf("machine: unlock of free lock %d", id))
 		}
-		p.Resume()
+		addr := m.lockAddrFor(id)
+		p.SyncAccess(addr, true, func() {
+			m.fence(p, func() {
+				if len(ls.waiters) == 0 {
+					ls.held = false
+				} else {
+					next := ls.waiters[0]
+					ls.waiters = ls.waiters[1:]
+					at := m.engFor(p.Node()).Now()
+					// The handoff pays LockRetry >= lookahead, so the retry
+					// may land cross-engine; its completion callback
+					// (next.Resume) touches no shared state and needs no
+					// fence.
+					m.engFor(next.Node()).At(at+m.Cfg.LockRetry, func() {
+						next.SyncAccess(addr, true, next.Resume)
+					})
+				}
+				p.Resume()
+			})
+		})
 	})
 }

@@ -16,6 +16,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
@@ -123,7 +124,15 @@ type spanState struct {
 // check, so call sites need no attribution-knob branches and the disabled
 // path leaves event order untouched.
 type SpanTracker struct {
-	tr   *Tracer // optional: emits EvSpan trace events (may be nil)
+	tr *Tracer // optional: emits EvSpan trace events (may be nil)
+
+	// mu guards the open-transaction map and the aggregates: under -shards,
+	// checkpoints for different transactions arrive from different shard
+	// workers. Any one transaction's checkpoints are never concurrent (its
+	// lifecycle events are causally chained at least one lookahead apart),
+	// and every aggregate is an order-independent sum, so the lock protects
+	// memory without affecting the aggregated results.
+	mu   sync.Mutex
 	open map[uint64]*spanState
 
 	stages     [numStages]stats.Histogram
@@ -148,7 +157,9 @@ func (s *SpanTracker) Start(txn uint64, node int, line uint64, at sim.Time) {
 	if s == nil || txn == 0 {
 		return
 	}
+	s.mu.Lock()
 	s.open[txn] = &spanState{line: line, node: int32(node), start: at, cursor: at}
+	s.mu.Unlock()
 }
 
 // SetEpoch tags the open transaction with its current request episode so
@@ -159,9 +170,11 @@ func (s *SpanTracker) SetEpoch(txn uint64, epoch uint32) {
 	if s == nil || txn == 0 {
 		return
 	}
+	s.mu.Lock()
 	if st := s.open[txn]; st != nil {
 		st.epoch = epoch
 	}
+	s.mu.Unlock()
 }
 
 // match resolves a checkpoint to its open transaction. Epoch zero on
@@ -186,11 +199,18 @@ func (s *SpanTracker) match(txn uint64, epoch uint32) *spanState {
 // SpanEnd's cursor tiling): it emits a trace event for cctrace/Perfetto
 // and anchors the lint pairing rule, but moves no cursor.
 func (s *SpanTracker) SpanBegin(txn uint64, stage Stage, epoch uint32, at sim.Time) {
-	st := s.match(txn, epoch)
-	if st == nil {
+	if s == nil {
 		return
 	}
-	s.tr.Span(at, 0, int(st.node), stage.String(), st.line, txn, spanMarkBegin)
+	s.mu.Lock()
+	st := s.match(txn, epoch)
+	if st == nil {
+		s.mu.Unlock()
+		return
+	}
+	node, line := int(st.node), st.line
+	s.mu.Unlock()
+	s.tr.Span(at, 0, node, stage.String(), line, txn, spanMarkBegin)
 }
 
 // SpanEnd closes the open interval [cursor, at) under the given stage and
@@ -198,13 +218,19 @@ func (s *SpanTracker) SpanBegin(txn uint64, stage Stage, epoch uint32, at sim.Ti
 // stale deliveries, same-cycle hops) are silent no-ops: they attribute
 // zero cycles rather than corrupt the tiling.
 func (s *SpanTracker) SpanEnd(txn uint64, stage Stage, epoch uint32, at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
 	st := s.match(txn, epoch)
 	if st == nil || at <= st.cursor {
+		s.mu.Unlock()
 		return
 	}
 	s.tr.Span(st.cursor, at-st.cursor, int(st.node), stage.String(), st.line, txn, spanMarkSlice)
 	st.segs[stage] += at - st.cursor
 	st.cursor = at
+	s.mu.Unlock()
 }
 
 // Finish completes transaction txn at time at (the processor restart),
@@ -217,6 +243,8 @@ func (s *SpanTracker) Finish(txn uint64, at sim.Time) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := s.open[txn]
 	if st == nil {
 		return
@@ -248,7 +276,9 @@ func (s *SpanTracker) Abandon(txn uint64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	delete(s.open, txn)
+	s.mu.Unlock()
 }
 
 // OpenCount returns how many transactions are currently open.
@@ -256,6 +286,8 @@ func (s *SpanTracker) OpenCount() int {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.open)
 }
 

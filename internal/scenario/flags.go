@@ -184,6 +184,12 @@ func ApplyFlag(s *Spec, name, value string) (bool, error) {
 			return true, err
 		}
 		s.Jobs = v
+	case "shards":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return true, err
+		}
+		s.Machine.SimShards = v
 	case "schedules":
 		v, err := strconv.Atoi(value)
 		if err != nil {

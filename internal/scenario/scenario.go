@@ -247,7 +247,14 @@ func (s *Spec) Canonical() ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	b, err := json.MarshalIndent(s, "", "  ")
+	// SimShards tunes the host, not the experiment: results are pinned
+	// byte-identical for every shard count, so the canonical form — and
+	// with it the fingerprint, the scenario an artifact embeds, and what
+	// -replay reproduces — excludes it. (Machine is a value field, so the
+	// shallow copy cannot disturb the caller's spec.)
+	c := *s
+	c.Machine.SimShards = 0
+	b, err := json.MarshalIndent(&c, "", "  ")
 	if err != nil {
 		return nil, err
 	}

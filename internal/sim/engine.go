@@ -23,15 +23,30 @@ func (t Time) Nanoseconds() float64 { return float64(t) * 5.0 }
 // Events are stored by value inside the engine's heap slab: scheduling one
 // performs no per-event heap allocation (the closure the caller passes is
 // the only allocation on the scheduling path).
+//
+// rank is nil on a serial engine. On a sharded engine (one that belongs to a
+// Cluster) every event carries a scheduling-lineage rank that reconstructs
+// the serial (time, seq) total order without a global sequence counter; see
+// shard.go for the ordering argument.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	rank *rankNode
+	fn   func()
 }
 
-// before reports whether e orders ahead of o in (time, sequence) order.
+// before reports whether e orders ahead of o in the engine's total order:
+// (time, seq) on a serial engine, (time, rank) on a sharded one. An engine
+// never mixes ranked and unranked events, so the nil checks only select the
+// mode.
 func (e *event) before(o *event) bool {
-	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.rank == nil {
+		return e.seq < o.seq
+	}
+	return rankLess(e.rank, o.rank)
 }
 
 // heapArity is the fan-out of the event heap. A 4-ary heap halves the tree
@@ -67,6 +82,17 @@ type Engine struct {
 	// Limit optionally bounds simulated time; Run returns an error if the
 	// event horizon passes Limit (guards against protocol livelock bugs).
 	Limit Time
+
+	// Sharded-mode state (nil/zero on a serial engine). cluster links the
+	// engine to its Cluster, shard is its index there, cur is the scheduling
+	// context of the event currently executing on this engine's worker,
+	// fence holds a quiesce request posted by the current event, and
+	// crossSends counts DeferTo publications originating here.
+	cluster    *Cluster
+	shard      int
+	cur        Ctx
+	fence      *fenceReq
+	crossSends uint64
 }
 
 // NewEngine returns an empty engine at time zero with no time limit.
@@ -90,8 +116,27 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, fn: fn}
+	if c := e.cluster; c != nil {
+		if c.draining && t < c.drainHorizon {
+			panic(fmt.Sprintf("sim: cross-shard lookahead violated: drained send schedules at %d before window horizon %d", t, c.drainHorizon))
+		}
+		ctx := c.ctx(e)
+		if ctx == &e.cur && e.fence != nil {
+			// A fence body runs inline on a serial engine but after the
+			// posting event's body on a sharded one; scheduling on the
+			// posting engine after Fence could therefore tie-break
+			// differently against the body's own events. Requiring Fence
+			// in tail position keeps the orders provably identical.
+			panic("sim: event scheduled on its own engine after posting a Fence")
+		}
+		ev.rank = &rankNode{t: ctx.at, parent: ctx.parent, idx: ctx.next}
+		ctx.next++
+	} else {
+		e.seq++
+		ev.seq = e.seq
+	}
+	e.push(ev)
 	if len(e.events) > e.maxPending {
 		e.maxPending = len(e.events)
 	}
@@ -177,9 +222,17 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.executed++
+	if e.cluster != nil {
+		e.cur = Ctx{parent: ev.rank, at: ev.at}
+	}
 	ev.fn()
 	return true
 }
+
+// Sharded reports whether the engine belongs to a Cluster. Model components
+// use it to route cross-shard effects through DeferTo/Fence instead of
+// calling into another engine directly.
+func (e *Engine) Sharded() bool { return e.cluster != nil }
 
 // Run executes events until the queue is empty, Stop is called, or the time
 // limit (if any) is exceeded. It returns the final simulated time and an

@@ -57,6 +57,35 @@ func BenchmarkEngineMixedHorizon(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterWindow measures the sharded scheduling path end to end:
+// per-event rank minting (one small allocation per event, absent from the
+// serial path), window barriers, and cross-shard drain, on a 2-shard
+// ping-pong at the lookahead horizon — the worst case for barrier overhead
+// (one message per window).
+func BenchmarkClusterWindow(b *testing.B) {
+	const look = 14
+	b.ReportAllocs()
+	c := NewCluster(2, look)
+	remaining := b.N
+	var hop func(self, other *Engine) func()
+	hop = func(self, other *Engine) func() {
+		return func() {
+			if remaining--; remaining <= 0 {
+				return
+			}
+			arr := self.Now() + look
+			self.DeferTo(other, func() {
+				other.At(arr, hop(other, self))
+			})
+		}
+	}
+	c.Shard(0).At(0, hop(c.Shard(0), c.Shard(1)))
+	b.ResetTimer()
+	if _, err := c.Run(0, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEngineSameCycleBurst measures bursts of same-cycle events (the
 // FIFO tie-break path): snoop fan-outs and zero-latency handoffs schedule
 // many events at the current time.

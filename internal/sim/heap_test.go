@@ -118,6 +118,31 @@ func TestHeapSlabReuse(t *testing.T) {
 	}
 }
 
+// TestHeapScheduleStepAllocFree asserts the serial scheduling hot path is
+// allocation-free at steady state: the rank machinery added for sharded
+// clusters must cost serial engines nothing (events carry a nil rank and
+// the (time, seq) path is unchanged).
+func TestHeapScheduleStepAllocFree(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(3))
+	var fire func()
+	fire = func() { e.After(Time(rng.Intn(16)+1), fire) }
+	for i := 0; i < 256; i++ {
+		e.At(Time(rng.Intn(16)), fire)
+	}
+	for i := 0; i < 10_000; i++ { // reach slab high water
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			e.Step()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("serial schedule/step allocates %.1f per 100 steps at steady state", allocs)
+	}
+}
+
 // TestHeapPoppedSlotCleared checks that pop zeroes the vacated tail slot so
 // completed closures are not pinned by the slab.
 func TestHeapPoppedSlotCleared(t *testing.T) {

@@ -55,7 +55,13 @@ func (r *Resource) Acquire(hold Time, grant func(start Time)) Time {
 // given (current or future) time rather than now. It is used when a model
 // component decides at time t that a resource will be needed at t+d.
 func (r *Resource) AcquireAt(arrive, hold Time, grant func(start Time)) Time {
-	if arrive < r.eng.Now() {
+	// On a sharded engine a request drained at a window boundary may carry
+	// an arrival earlier than this shard's local clock (which has already
+	// run ahead within the window); clamping it would change occupancy
+	// statistics relative to the serial run, so the stated arrival is kept.
+	// Serial engines keep the clamp as a safety net for callers that
+	// computed an arrival in the past.
+	if arrive < r.eng.Now() && !r.eng.Sharded() {
 		arrive = r.eng.Now()
 	}
 	r.noteArrival(arrive)

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"ccnuma/internal/config"
+	"ccnuma/internal/fault"
+	"ccnuma/internal/machine"
+	"ccnuma/internal/obs"
+	"ccnuma/internal/stats"
+)
+
+// runSharded runs one kernel at the given shard count and returns the run.
+// Shards beyond 1 execute on concurrent engine workers; everything the run
+// reports must nonetheless be identical to the serial loop.
+func runSharded(t *testing.T, cfg config.Config, app string, seed int64, shards int) *stats.Run {
+	t.Helper()
+	cfg.SimShards = shards
+	m, err := machine.New(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewSeeded(app, SizeTest, m.NProcs(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(w.Body)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", app, shards, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s shards=%d verification: %v", app, shards, err)
+	}
+	return r
+}
+
+// artifactBytes reduces a run to its canonical artifact JSON, the external
+// byte-identity surface `-shards` is held to.
+func artifactBytes(t *testing.T, cfg *config.Config, r *stats.Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.NewArtifact("test", "test", cfg, r).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardGoldenExecTimes extends the golden cycle pins to sharded
+// execution: the parallel scheduler must reproduce the serial loop's exact
+// cycle counts, not merely statistically similar ones. Any drift means a
+// cross-shard event was merged out of (time, seq) order.
+func TestShardGoldenExecTimes(t *testing.T) {
+	cases := []struct {
+		app  string
+		arch string
+		want int64
+	}{
+		{"fft", "HWC", 14804},
+		{"fft", "2PPC", 21476},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{2, 4} {
+			cfg, err := config.Base().WithArch(tc.arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Nodes = 4
+			cfg.ProcsPerNode = 2
+			cfg.SimLimit = 2_000_000_000
+			r := runSharded(t, cfg, tc.app, 0, shards)
+			if int64(r.ExecTime) != tc.want {
+				t.Errorf("%s on %s shards=%d: ExecTime = %d cycles, want %d — sharded execution diverged from the serial schedule",
+					tc.app, tc.arch, shards, r.ExecTime, tc.want)
+			}
+		}
+	}
+}
+
+// TestShardArtifactByteIdentity is the headline determinism check: the full
+// run artifact — every counter, histogram bucket, and recovery total — must
+// be byte-identical between the serial loop and any shard count, on the
+// paper's base configuration, with robustness on, and with attribution on.
+func TestShardArtifactByteIdentity(t *testing.T) {
+	type variant struct {
+		name string
+		mut  func(*config.Config)
+	}
+	variants := []variant{
+		{"base", func(*config.Config) {}},
+		{"robust", func(c *config.Config) { *c = c.WithRobustness() }},
+		{"attribution", func(c *config.Config) {
+			*c = c.WithRobustness()
+			c.Attribution = true
+		}},
+	}
+	for _, v := range variants {
+		for _, app := range []string{"fft", "radix"} {
+			cfg, err := config.Base().WithArch("HWC")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Nodes = 4
+			cfg.ProcsPerNode = 2
+			cfg.SimLimit = 2_000_000_000
+			v.mut(&cfg)
+			serial := artifactBytes(t, &cfg, runSharded(t, cfg, app, 1, 1))
+			for _, shards := range []int{2, 4} {
+				got := artifactBytes(t, &cfg, runSharded(t, cfg, app, 1, shards))
+				if !bytes.Equal(serial, got) {
+					t.Errorf("%s/%s: artifact at shards=%d differs from serial (%d vs %d bytes)",
+						v.name, app, shards, len(serial), len(got))
+				}
+			}
+		}
+	}
+}
+
+// TestShardChaosByteIdentity drives seeded fault schedules through sharded
+// machines and requires every recovered run to be byte-identical to its
+// serial twin. Faults exercise the paths plain runs cannot: message drops
+// and duplicates crossing shard boundaries, per-pair fault indexing,
+// brownouts deferred into the destination window, component stalls armed on
+// individual shard engines.
+func TestShardChaosByteIdentity(t *testing.T) {
+	cfg, err := config.Base().WithArch("HWC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.SimLimit = 50_000_000_000
+	cfg = cfg.WithRobustness()
+
+	const app = "fft"
+	pilot := runSharded(t, cfg, app, 1, 1)
+	params := fault.Params{
+		Events: 8, Horizon: pilot.ExecTime, Messages: 4000,
+		Nodes: cfg.Nodes, Engines: cfg.EngineCount(),
+	}
+	runFaulted := func(seed int64, shards int) ([]byte, uint64) {
+		c := cfg
+		c.SimShards = shards
+		m, err := machine.New(c, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := fault.Generate(seed, params)
+		inj := m.InjectFaults(sch)
+		w, err := NewSeeded(app, SizeTest, m.NProcs(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Setup(m); err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(w.Body)
+		if err != nil {
+			t.Fatalf("seed %d shards=%d (%s): %v", seed, shards, sch, err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatalf("seed %d shards=%d verification: %v", seed, shards, err)
+		}
+		return artifactBytes(t, &c, r), inj.AppliedTotal()
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		serial, appliedSerial := runFaulted(seed, 1)
+		got, appliedSharded := runFaulted(seed, 4)
+		if appliedSerial != appliedSharded {
+			t.Errorf("seed %d: %d faults applied serial vs %d sharded — fault coordinates are not shard-stable",
+				seed, appliedSerial, appliedSharded)
+		}
+		if !bytes.Equal(serial, got) {
+			t.Errorf("seed %d: sharded chaos artifact differs from serial", seed)
+		}
+	}
+}
+
+// TestShardCountFullWidth runs one shard per node (the widest legal
+// decomposition) across several kernels, pinning each to its serial result.
+// Non-power-of-two widths catch mapping bugs the 2/4 cases cannot.
+func TestShardCountFullWidth(t *testing.T) {
+	for _, tc := range []struct {
+		app   string
+		nodes int
+	}{
+		{"fft", 4},
+		{"lu", 3},
+		{"water-sp", 2},
+	} {
+		cfg, err := config.Base().WithArch("HWC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Nodes = tc.nodes
+		cfg.ProcsPerNode = 2
+		cfg.SimLimit = 2_000_000_000
+		serial := runSharded(t, cfg, tc.app, 0, 1)
+		full := runSharded(t, cfg, tc.app, 0, tc.nodes)
+		if serial.ExecTime != full.ExecTime {
+			t.Errorf("%s: shards=%d ExecTime %d != serial %d",
+				tc.app, tc.nodes, full.ExecTime, serial.ExecTime)
+		}
+		if !bytes.Equal(artifactBytes(t, &cfg, serial), artifactBytes(t, &cfg, full)) {
+			t.Errorf("%s: full-width sharded artifact differs from serial", tc.app)
+		}
+	}
+}
+
+// TestShardStress is the race-detector workout for the shard barrier: a
+// robust attributed run with faults at full shard width, repeated across
+// seeds. Its assertions are light — the value is running the cross-shard
+// machinery (mailbox publication, fence resolution, atomic counters) under
+// `go test -race`, where any unsynchronized access fails the build.
+func TestShardStress(t *testing.T) {
+	cfg, err := config.Base().WithArch("HWC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.SimLimit = 50_000_000_000
+	cfg = cfg.WithRobustness()
+	cfg.Attribution = true
+	cfg.SimShards = 4
+	for seed := int64(1); seed <= 4; seed++ {
+		m, err := machine.New(cfg, "fft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := fault.Generate(seed, fault.Params{
+			Events: 10, Horizon: 200_000, Messages: 4000,
+			Nodes: cfg.Nodes, Engines: cfg.EngineCount(),
+		})
+		m.InjectFaults(sch)
+		w, err := NewSeeded("fft", SizeTest, m.NProcs(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Setup(m); err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(w.Body)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatalf("seed %d verification: %v", seed, err)
+		}
+		if a := r.Attribution; a == nil || a.Violations != 0 {
+			t.Fatalf("seed %d: attribution missing or violated under shards", seed)
+		}
+	}
+}
+
+// TestShardRejectsTracing pins the tracer gate: the trace ring is one
+// globally ordered log and cannot record from concurrent shard workers, so
+// machine construction must refuse the combination loudly instead of
+// emitting a silently scrambled trace.
+func TestShardRejectsTracing(t *testing.T) {
+	cfg, err := config.Base().WithArch("HWC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.SimShards = 2
+	if _, err := machine.NewTraced(cfg, "fft", obs.NewTracer()); err == nil {
+		t.Fatal("NewTraced accepted a tracer on a sharded machine")
+	}
+	if _, err := machine.New(cfg, "fft"); err != nil {
+		t.Fatalf("untraced sharded machine must build: %v", err)
+	}
+}
+
+// TestShardRejectsSampler pins the sampler gate for the same reason: its
+// periodic probe walks every node's state from one event.
+func TestShardRejectsSampler(t *testing.T) {
+	cfg, err := config.Base().WithArch("HWC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.SimShards = 2
+	m, err := machine.New(cfg, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachSampler(obs.NewSampler(1000))
+	w, err := New("fft", SizeTest, m.NProcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(w.Body); err == nil {
+		t.Fatal("Run accepted a sampler on a sharded machine")
+	}
+}
